@@ -1,0 +1,27 @@
+"""Shared fixtures for the figure/table regeneration benchmarks.
+
+Benchmark contexts (traces, profiles, hint tables, memoized simulations)
+are session-scoped so that regenerating all exhibits costs each distinct
+(benchmark, machine-configuration) simulation exactly once.
+
+Scale with ``REPRO_BENCH_ITERATIONS`` (default 400: a few minutes for the
+whole set; the paper-vs-measured numbers in EXPERIMENTS.md were produced
+at 1500).
+"""
+
+import os
+
+import pytest
+
+ITERATIONS = int(os.environ.get("REPRO_BENCH_ITERATIONS", "400"))
+
+
+@pytest.fixture(scope="session")
+def contexts():
+    """Benchmark-name -> BenchmarkContext, shared by every exhibit."""
+    return {}
+
+
+@pytest.fixture(scope="session")
+def iterations():
+    return ITERATIONS

@@ -1,0 +1,95 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These go beyond the paper's own exhibits:
+
+* confidence-estimator quality (the paper: "better confidence estimators
+  are worthy of research since they critically affect the benefit");
+* the footnote-7 GHR exit-policy design choice;
+* dynamic predication under weaker direction predictors.
+"""
+
+from repro.harness.experiment import BenchmarkContext
+from repro.uarch.config import MachineConfig
+
+PANEL = ("parser", "vpr")
+
+
+def _context(contexts, iterations, name):
+    key = name
+    if key not in contexts:
+        contexts[key] = BenchmarkContext(name, iterations=iterations)
+    return contexts[key]
+
+
+def test_ablation_confidence_quality(benchmark, contexts, iterations):
+    """Oracle > JRS > predicate-always, and the JRS-vs-oracle gap is the
+    paper's 'critically affects performance' conclusion."""
+
+    def run():
+        out = {}
+        for name in PANEL:
+            context = _context(contexts, iterations, name)
+            base = context.simulate(MachineConfig.baseline())
+            out[name] = {
+                "jrs": context.simulate(MachineConfig.dmp()).ipc / base.ipc,
+                "oracle": context.simulate(
+                    MachineConfig.dmp(confidence_kind="perfect")
+                ).ipc / base.ipc,
+                "always": context.simulate(
+                    MachineConfig.dmp(confidence_kind="never")
+                ).ipc / base.ipc,
+            }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, r in results.items():
+        print(f"  {name}: oracle {r['oracle']:.3f}x  jrs {r['jrs']:.3f}x  "
+              f"predicate-always {r['always']:.3f}x")
+        assert r["oracle"] >= r["jrs"] - 0.01
+        assert r["oracle"] > 1.0
+
+
+def test_ablation_ghr_exit_policy(benchmark, contexts, iterations):
+    """Footnote 7's design choice: which path's history survives a normal
+    dpred exit.  Both run; the repository default must not be worse."""
+
+    def run():
+        out = {}
+        for name in PANEL:
+            context = _context(contexts, iterations, name)
+            out[name] = {
+                policy: context.simulate(
+                    MachineConfig.dmp(dpred_ghr_policy=policy)
+                ).ipc
+                for policy in ("predicted", "alternate")
+            }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for name, r in results.items():
+        print(f"  {name}: predicted {r['predicted']:.3f}  "
+              f"alternate {r['alternate']:.3f}")
+        assert r["predicted"] >= r["alternate"] * 0.97
+
+
+def test_ablation_predictor_strength(benchmark, contexts, iterations):
+    """DMP's *relative* gain is largest under weaker predictors (more
+    mispredictions to save), while absolute IPC favors the perceptron."""
+
+    def run():
+        context = _context(contexts, iterations, "parser")
+        out = {}
+        for kind in ("perceptron", "gshare", "bimodal"):
+            base = context.simulate(MachineConfig.baseline(predictor_kind=kind))
+            dmp = context.simulate(MachineConfig.dmp(predictor_kind=kind))
+            out[kind] = (base.ipc, dmp.ipc / base.ipc - 1.0)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for kind, (base_ipc, gain) in results.items():
+        print(f"  {kind:12s} base IPC {base_ipc:.3f}  DMP {gain:+.1%}")
+    assert results["perceptron"][0] >= results["bimodal"][0]
+    assert results["bimodal"][1] > 0.0  # DMP still helps a weak predictor

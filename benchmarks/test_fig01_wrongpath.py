@@ -1,0 +1,29 @@
+"""Figure 1: percentage of fetched instructions on the wrong path,
+split into control-dependent and control-independent."""
+
+from repro.harness import figures
+
+
+def test_fig1_wrong_path_breakdown(benchmark, contexts, iterations):
+    result = benchmark.pedantic(
+        figures.fig1,
+        kwargs={"contexts": contexts, "iterations": iterations},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+
+    rows = result.by_benchmark()
+    mean_cd, mean_ci, mean_total = rows["amean"]
+
+    # Paper shape: a large fraction of all fetched instructions are
+    # wrong-path (52% in the paper), and the majority of the wrong path is
+    # control-independent (63% in the paper).
+    assert mean_total > 15.0
+    assert mean_ci > mean_cd
+
+    # The misprediction-bound benchmarks waste far more fetch than the
+    # well-predicted ones.
+    assert rows["parser"][2] > rows["perlbmk"][2]
+    assert rows["vpr"][2] > rows["eon"][2]

@@ -1,0 +1,37 @@
+"""Figure 6: classification of mispredicted branches into simple-hammock
+diverge / complex diverge / other."""
+
+from repro.harness import figures
+
+
+def test_fig6_misprediction_classification(benchmark, contexts, iterations):
+    result = benchmark.pedantic(
+        figures.fig6,
+        kwargs={"contexts": contexts, "iterations": iterations},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+
+    rows = result.by_benchmark()
+    mean_hammock, mean_complex, mean_other = rows["amean"]
+
+    # Paper shape: diverge branches (simple + complex) cover the majority
+    # of mispredictions on average; simple hammocks alone are a small
+    # slice (~9% in the paper); complex diverge dominates simple.
+    assert mean_complex > mean_hammock
+
+    # mcf is the hammock-heavy benchmark (44% in the paper).
+    mcf_hammock, mcf_complex, mcf_other = rows["mcf"]
+    assert mcf_hammock > mean_hammock
+
+    # gcc's mispredictions are dominated by 'other complex' branches the
+    # compiler cannot find CFM points for.
+    gcc_hammock, gcc_complex, gcc_other = rows["gcc"]
+    assert gcc_other > gcc_complex + gcc_hammock
+
+    # The complex-diverge-heavy benchmarks.
+    for name in ("parser", "twolf", "vpr", "bzip2"):
+        hammock, complex_div, other = rows[name]
+        assert complex_div > 0.5, name

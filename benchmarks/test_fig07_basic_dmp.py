@@ -1,0 +1,52 @@
+"""Figure 7: % IPC improvement of DHP, basic DMP (JRS and perfect
+confidence), selective dual-path and perfect branch prediction over the
+baseline — plus the Section 5.3 dual-path comparison."""
+
+from repro.harness import figures
+
+
+def test_fig7_basic_dmp_study(benchmark, contexts, iterations):
+    result = benchmark.pedantic(
+        figures.fig7,
+        kwargs={"contexts": contexts, "iterations": iterations},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+
+    rows = result.by_benchmark()
+    labels = [h.lstrip("%") for h in result.headers[1:]]
+
+    def mean(label):
+        return rows["amean"][labels.index(label)]
+
+    # Paper shapes (Fig 7 + Section 5.3):
+    # 1. DMP beats DHP on average (complex control flow matters).
+    assert mean("diverge-jrs") > mean("DHP-jrs")
+    # 2. Perfect confidence beats realistic JRS for both mechanisms, and
+    #    the gap is much larger for DMP (the paper's 19% vs 5%).
+    assert mean("diverge-perf-conf") > mean("diverge-jrs")
+    assert mean("DHP-perf-conf") > mean("DHP-jrs")
+    dmp_gap = mean("diverge-perf-conf") - mean("diverge-jrs")
+    dhp_gap = mean("DHP-perf-conf") - mean("DHP-jrs")
+    assert dmp_gap > dhp_gap
+    # 3. Perfect branch prediction towers over everything (48% avg paper).
+    assert mean("perfect-cbp") > mean("diverge-perf-conf")
+    assert mean("perfect-cbp") > 25.0
+    # 4. Selective dual-path is a modest average win (2.6% in the paper),
+    #    well below DMP.
+    assert mean("dualpath") > 0.0
+    assert mean("dualpath") < mean("diverge-jrs")
+
+    # Per-benchmark shapes: the benchmarks with the highest diverge-branch
+    # misprediction share benefit most (paper: bzip2, parser, twolf, vpr).
+    for name in ("parser", "twolf", "vpr"):
+        assert rows[name][labels.index("diverge-jrs")] > 10.0, name
+    # mcf is hammock-dominated: DHP ~= DMP there.
+    mcf = rows["mcf"]
+    assert abs(
+        mcf[labels.index("diverge-jrs")] - mcf[labels.index("DHP-jrs")]
+    ) < 5.0
+    # gcc shows no DMP potential (complex control flow without CFM points).
+    assert rows["gcc"][labels.index("diverge-jrs")] < 5.0

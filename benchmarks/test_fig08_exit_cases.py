@@ -1,0 +1,32 @@
+"""Figure 8: distribution of dynamic-predication exit cases, basic DMP."""
+
+from repro.harness import figures
+
+
+def test_fig8_exit_case_distribution(benchmark, contexts, iterations):
+    result = benchmark.pedantic(
+        figures.fig8,
+        kwargs={"contexts": contexts, "iterations": iterations},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+
+    rows = result.by_benchmark()
+    mean = rows["amean"]
+    case1, case2, case3, case4, case5, case6 = mean
+
+    # Paper shape: cases 1 and 2 (both paths reach the CFM point) are the
+    # common cases because CFM points come from frequently executed paths.
+    assert case1 + case2 > 50.0
+    # Case 1 (correct prediction, pure overhead) is the single most
+    # frequent exit with a realistic confidence estimator.
+    assert case1 >= max(case2, case3, case4, case5, case6)
+    # Every distribution sums to 100% (benchmarks without dpred entries
+    # report all-zero rows).
+    for name, shares in rows.items():
+        if name == "amean":
+            continue
+        total = sum(shares)
+        assert total == 0.0 or abs(total - 100.0) < 0.2, name

@@ -1,0 +1,41 @@
+"""Figure 9: % IPC improvement of the enhanced diverge-merge processor
+with the Section 2.7 mechanisms added cumulatively."""
+
+from repro.harness import figures
+
+
+def test_fig9_enhanced_dmp(benchmark, contexts, iterations):
+    result = benchmark.pedantic(
+        figures.fig9,
+        kwargs={"contexts": contexts, "iterations": iterations},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+
+    rows = result.by_benchmark()
+    labels = [h.lstrip("%") for h in result.headers[1:]]
+
+    def mean(label):
+        return rows["amean"][labels.index(label)]
+
+    basic = mean("basic-diverge")
+    full = mean("enhanced-mcfm-eexit-mdb")
+
+    # Paper headline: the fully enhanced DMP averages +10.8% over base.
+    # Our substrate reproduces the magnitude band (see EXPERIMENTS.md).
+    assert full > 5.0
+    # Enhancements never lose much on average and the full stack is at
+    # least as good as basic.
+    assert full >= basic - 1.0
+    # Multiple CFM points help the benchmarks built around alternative
+    # merge points (paper: bzip2, twolf, fma3d).
+    for name in ("bzip2", "twolf"):
+        row = rows[name]
+        assert row[labels.index("enhanced-mcfm")] >= (
+            row[labels.index("basic-diverge")] - 0.5
+        ), name
+    # The big four stay big under the full enhancement stack.
+    for name in ("parser", "twolf", "vpr"):
+        assert rows[name][labels.index("enhanced-mcfm-eexit-mdb")] > 10.0

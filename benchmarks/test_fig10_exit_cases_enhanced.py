@@ -1,0 +1,31 @@
+"""Figure 10: exit-case distribution under the enhanced diverge-merge
+processor (compare against Figure 8's basic distribution)."""
+
+from repro.harness import figures
+
+
+def test_fig10_exit_cases_enhanced(benchmark, contexts, iterations):
+    result = benchmark.pedantic(
+        figures.fig10,
+        kwargs={"contexts": contexts, "iterations": iterations},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+
+    basic = figures.fig8(contexts=contexts, iterations=iterations)
+    enhanced_rows = result.by_benchmark()
+    basic_rows = basic.by_benchmark()
+
+    # Paper shape: the enhancements keep normal exits dominant...
+    case1, case2, case3, case4, case5, case6 = enhanced_rows["amean"]
+    assert case1 + case2 > 50.0
+    # ...and the early-exit mechanism keeps case 3's share from growing
+    # (the paper reduces it from 10% to 3% on average).
+    assert case3 <= basic_rows["amean"][2] + 2.0
+    # Multiple CFM points raise the chance of reaching *some* CFM point:
+    # cases 5+6 (predicted path never merges) do not increase on average.
+    basic_no_merge = basic_rows["amean"][4] + basic_rows["amean"][5]
+    enhanced_no_merge = case5 + case6
+    assert enhanced_no_merge <= basic_no_merge + 2.0

@@ -1,0 +1,26 @@
+"""Figure 11: % reduction in pipeline flushes on the enhanced DMP."""
+
+from repro.harness import figures
+
+
+def test_fig11_flush_reduction(benchmark, contexts, iterations):
+    result = benchmark.pedantic(
+        figures.fig11,
+        kwargs={"contexts": contexts, "iterations": iterations},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+
+    rows = result.by_benchmark()
+    mean_reduction = rows["amean"][0]
+
+    # Paper: 31% of pipeline flushes eliminated on average; over 40% on
+    # the diverge-heavy benchmarks.
+    assert mean_reduction > 15.0
+    for name in ("parser", "twolf", "vpr", "bzip2"):
+        assert rows[name][0] > 30.0, name
+    # No benchmark's flushes increase materially.
+    for name, (reduction,) in rows.items():
+        assert reduction > -10.0, name

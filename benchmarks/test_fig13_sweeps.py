@@ -1,0 +1,50 @@
+"""Figure 13: the effect of instruction-window size (a) and pipeline
+depth (b) on diverge-merge performance.
+
+The paper's headline trend: DMP's advantage over the baseline GROWS with
+window size (6.9% / 9.4% / 10.8% at 128/256/512 entries) and with
+pipeline depth (3.3% / 6.8% / 9.4% at 10/20/30 stages).
+"""
+
+from repro.harness import figures
+
+# The full sweep is 6 machine points x 3 configs x 15 benchmarks; a 4-
+# benchmark panel keeps the bench affordable while covering both story
+# extremes (two DMP winners, one hammock-bound, one unaffected).
+PANEL = ("parser", "twolf", "mcf", "eon")
+
+
+def test_fig13_window_and_depth_sweeps(benchmark, contexts, iterations):
+    result = benchmark.pedantic(
+        figures.fig13,
+        kwargs={
+            "contexts": contexts,
+            "benchmarks": PANEL,
+            "iterations": iterations,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+
+    windows = {
+        row[1]: row[2:] for row in result.rows if row[0] == "window"
+    }
+    depths = {row[1]: row[2:] for row in result.rows if row[0] == "depth"}
+
+    def dmp_gain(row):
+        base_ipc, dhp_ipc, dmp_ipc = row
+        return dmp_ipc / base_ipc - 1.0
+
+    # (a) the DMP advantage grows with window size...
+    assert dmp_gain(windows[512]) >= dmp_gain(windows[128]) - 0.02
+    # (b) ...and with pipeline depth (bigger flush penalty to save).
+    assert dmp_gain(depths[30]) > dmp_gain(depths[10])
+    # DMP >= DHP at every machine point (DHP is a strict subset).
+    for row in list(windows.values()) + list(depths.values()):
+        base_ipc, dhp_ipc, dmp_ipc = row
+        assert dmp_ipc >= dhp_ipc * 0.98
+    # Absolute IPCs behave: bigger windows and shallower pipes are faster.
+    assert windows[512][0] >= windows[128][0]
+    assert depths[10][0] >= depths[30][0]

@@ -1,0 +1,33 @@
+"""Tables 1 and 2: the exit-case definitions and the baseline machine
+configuration (definitional exhibits, rendered for completeness)."""
+
+from repro.harness import figures
+from repro.uarch.config import MachineConfig
+
+
+def test_table1_exit_cases(benchmark):
+    result = benchmark.pedantic(figures.table1, rounds=1, iterations=1)
+    print()
+    print(result.format())
+    assert len(result.rows) == 6
+    # Only case 6 flushes; only cases 2 and 4 eliminate a misprediction.
+    assert result.rows[5][4] == "flush the pipeline"
+    assert result.rows[1][4] == "normal exit"
+
+
+def test_table2_baseline_configuration(benchmark):
+    result = benchmark.pedantic(figures.table2, rounds=1, iterations=1)
+    print()
+    print(result.format())
+    values = dict((row[0], row[1]) for row in result.rows)
+    # Table 2 of the paper.
+    assert values["fetch width"] == 8
+    assert values["conditional branches/cycle"] == 3
+    assert values["pipeline depth (min mispredict penalty)"] == 30
+    assert values["reorder buffer"] == 512
+    assert values["direction predictor"] == "perceptron"
+    assert values["confidence estimator"] == "jrs"
+    assert values["BTB entries"] == 4096
+    assert values["return address stack"] == 64
+    assert values["memory latency (cycles)"] == 300
+    assert MachineConfig().describe().startswith("baseline")

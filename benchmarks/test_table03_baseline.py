@@ -1,0 +1,38 @@
+"""Table 3: baseline characteristics of the 15 benchmarks."""
+
+from repro.harness import figures
+from repro.workloads.suite import BENCHMARK_NAMES
+
+
+def test_table3_baseline_characteristics(benchmark, contexts, iterations):
+    result = benchmark.pedantic(
+        figures.table3,
+        kwargs={"contexts": contexts, "iterations": iterations},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+
+    rows = result.by_benchmark()
+    assert set(rows) == set(BENCHMARK_NAMES)
+
+    ipc = {name: row[0] for name, row in rows.items()}
+    mpki = {name: row[4] for name, row in rows.items()}
+
+    # Paper shape (Table 3): the misprediction-bound benchmarks (bzip2,
+    # parser, twolf, vpr, gzip, mcf) sit at the top of the MPKI ranking,
+    # the well-predicted ones (eon, perlbmk, vortex, ammp) at the bottom.
+    hard = {"bzip2", "parser", "twolf", "vpr"}
+    easy = {"eon", "perlbmk", "vortex", "ammp"}
+    worst_hard = min(mpki[name] for name in hard)
+    best_easy = max(mpki[name] for name in easy)
+    assert worst_hard > best_easy
+
+    # IPC ordering: well-predicted code runs faster.
+    assert ipc["eon"] > ipc["vpr"]
+    assert ipc["vortex"] > ipc["parser"]
+    # All benchmarks execute a nontrivial instruction stream.
+    for name in BENCHMARK_NAMES:
+        assert rows[name][1] > 1000  # instructions
+        assert rows[name][2] > 100   # branches

@@ -1,0 +1,14 @@
+"""Repo-root pytest configuration.
+
+Makes the test and benchmark suites runnable directly from a source
+checkout (``pytest tests/``) even when the package has not been
+installed — e.g. on offline machines where ``pip install -e .`` cannot
+bootstrap its isolated build environment.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,83 @@
+"""Run the synthetic SPEC-2000-like suite through the full DMP pipeline.
+
+For each benchmark this drives the complete flow the paper describes:
+functional execution → two profile runs → diverge-branch/CFM selection →
+simulation on the baseline, DHP, basic DMP and enhanced DMP machines.
+
+Run:  python examples/spec_suite.py [--iterations N] [--benchmarks a,b,c]
+"""
+
+import argparse
+import time
+
+from repro.harness.experiment import BenchmarkContext
+from repro.uarch.config import MachineConfig
+from repro.workloads.suite import BENCHMARK_NAMES
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=1000,
+                        help="loop iterations per benchmark (default 1000)")
+    parser.add_argument("--benchmarks", type=str, default="",
+                        help="comma-separated subset (default: all 15)")
+    args = parser.parse_args()
+
+    names = (
+        [n.strip() for n in args.benchmarks.split(",") if n.strip()]
+        or list(BENCHMARK_NAMES)
+    )
+
+    configs = {
+        "base": MachineConfig.baseline(),
+        "DHP": MachineConfig.dhp(),
+        "DMP": MachineConfig.dmp(),
+        "DMP-enh": MachineConfig.dmp(enhanced=True),
+    }
+
+    header = (
+        f"{'benchmark':10s}{'insts':>9s}{'MPKI':>7s}{'divBr':>6s}"
+        f"{'base IPC':>10s}{'DHP':>8s}{'DMP':>8s}{'DMP-enh':>9s}"
+        f"{'flush-red':>10s}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    started = time.time()
+    means = {label: [] for label in configs if label != "base"}
+    for name in names:
+        context = BenchmarkContext(name, iterations=args.iterations)
+        stats = {
+            label: context.simulate(config)
+            for label, config in configs.items()
+        }
+        base = stats["base"]
+
+        def improvement(label):
+            return 100.0 * (stats[label].ipc / base.ipc - 1.0)
+
+        enhanced = stats["DMP-enh"]
+        if base.pipeline_flushes:
+            flush_red = 100.0 * (
+                1 - enhanced.pipeline_flushes / base.pipeline_flushes
+            )
+        else:
+            flush_red = 0.0
+        print(
+            f"{name:10s}{base.retired_instructions:>9d}{base.mpki:>7.2f}"
+            f"{len(context.diverge_hints):>6d}{base.ipc:>10.3f}"
+            f"{improvement('DHP'):>+8.1f}{improvement('DMP'):>+8.1f}"
+            f"{improvement('DMP-enh'):>+9.1f}{flush_red:>9.0f}%"
+        )
+        for label in means:
+            means[label].append(improvement(label))
+
+    print("-" * len(header))
+    for label, values in means.items():
+        mean = sum(values) / len(values) if values else 0.0
+        print(f"{label:>10s} mean IPC improvement: {mean:+.1f}%")
+    print(f"\n[{time.time() - started:.1f}s total]")
+
+
+if __name__ == "__main__":
+    main()

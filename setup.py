@@ -1,0 +1,8 @@
+"""Setup shim for environments whose pip cannot build PEP 517 wheels.
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""Analyses behind Figures 1 and 6.
+
+* :mod:`repro.analysis.wrongpath` — the wrong-path control-independence
+  breakdown of Figure 1;
+* :mod:`repro.analysis.classify` — the misprediction classification of
+  Figure 6 (simple-hammock diverge / complex diverge / other).
+"""
+
+from repro.analysis.wrongpath import WrongPathBreakdown, wrong_path_breakdown
+from repro.analysis.classify import (
+    MispredictionClassification,
+    classify_mispredictions,
+)
+
+__all__ = [
+    "WrongPathBreakdown",
+    "wrong_path_breakdown",
+    "MispredictionClassification",
+    "classify_mispredictions",
+]

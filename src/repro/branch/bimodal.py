@@ -1,0 +1,50 @@
+"""Bimodal (per-PC two-bit counter) predictor."""
+
+from __future__ import annotations
+
+from repro.branch.base import (
+    BranchPredictor,
+    Prediction,
+    saturating_decrement,
+    saturating_increment,
+)
+
+_WEAKLY_TAKEN = 2
+
+
+class BimodalPredictor(BranchPredictor):
+    """A table of two-bit saturating counters indexed by PC.
+
+    The classic Smith predictor; used standalone for ablations and as the
+    choice-complement component of :class:`~repro.branch.hybrid.HybridPredictor`.
+    """
+
+    def __init__(self, table_size: int = 4096, history_bits: int = 16) -> None:
+        super().__init__(history_bits)
+        if table_size & (table_size - 1):
+            raise ValueError("table_size must be a power of two")
+        self.table_size = table_size
+        self._counters = [_WEAKLY_TAKEN] * table_size
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & (self.table_size - 1)
+
+    def predict(self, pc: int) -> Prediction:
+        index = self._index(pc)
+        counter = self._counters[index]
+        return Prediction(
+            counter >= 2,
+            pc,
+            index=index,
+            history=self.history.bits,
+            output=counter,
+        )
+
+    def train(self, prediction: Prediction, actual: bool) -> None:
+        index = prediction.index
+        if actual:
+            self._counters[index] = saturating_increment(
+                self._counters[index], 3
+            )
+        else:
+            self._counters[index] = saturating_decrement(self._counters[index])

@@ -1,0 +1,53 @@
+"""Branch target buffer: set-associative PC -> target cache with LRU."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+
+class BranchTargetBuffer:
+    """A set-associative BTB (Table 2: 4K entries).
+
+    A front end only redirects fetch for a taken branch if the BTB knows
+    the target; a BTB miss on a taken branch costs a bubble.  Targets here
+    are instruction PCs.
+    """
+
+    def __init__(self, num_entries: int = 4096, associativity: int = 4) -> None:
+        if num_entries % associativity:
+            raise ValueError("entries must divide evenly into ways")
+        self.num_sets = num_entries // associativity
+        self.associativity = associativity
+        self._sets: Dict[int, OrderedDict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _set_index(self, pc: int) -> int:
+        return (pc >> 2) % self.num_sets
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """Return the cached target for ``pc``, updating LRU state."""
+        entry_set = self._sets.get(self._set_index(pc))
+        if entry_set is not None and pc in entry_set:
+            entry_set.move_to_end(pc)
+            self.hits += 1
+            return entry_set[pc]
+        self.misses += 1
+        return None
+
+    def insert(self, pc: int, target: int) -> None:
+        index = self._set_index(pc)
+        entry_set = self._sets.setdefault(index, OrderedDict())
+        if pc in entry_set:
+            entry_set.move_to_end(pc)
+            entry_set[pc] = target
+            return
+        if len(entry_set) >= self.associativity:
+            entry_set.popitem(last=False)  # evict LRU
+        entry_set[pc] = target
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,43 @@
+"""Gshare (McFarling) global-history predictor."""
+
+from __future__ import annotations
+
+from repro.branch.base import (
+    BranchPredictor,
+    Prediction,
+    saturating_decrement,
+    saturating_increment,
+)
+
+_WEAKLY_TAKEN = 2
+
+
+class GSharePredictor(BranchPredictor):
+    """Two-bit counters indexed by ``PC xor GHR``."""
+
+    def __init__(self, table_size: int = 16384, history_bits: int = 14) -> None:
+        super().__init__(history_bits)
+        if table_size & (table_size - 1):
+            raise ValueError("table_size must be a power of two")
+        self.table_size = table_size
+        self._counters = [_WEAKLY_TAKEN] * table_size
+
+    def _index(self, pc: int, history: int) -> int:
+        return ((pc >> 2) ^ history) & (self.table_size - 1)
+
+    def predict(self, pc: int) -> Prediction:
+        history = self.history.bits
+        index = self._index(pc, history)
+        counter = self._counters[index]
+        return Prediction(
+            counter >= 2, pc, index=index, history=history, output=counter
+        )
+
+    def train(self, prediction: Prediction, actual: bool) -> None:
+        index = prediction.index
+        if actual:
+            self._counters[index] = saturating_increment(
+                self._counters[index], 3
+            )
+        else:
+            self._counters[index] = saturating_decrement(self._counters[index])

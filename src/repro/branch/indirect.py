@@ -1,0 +1,41 @@
+"""Indirect target cache (Table 2: 64K entries).
+
+The mini-ISA's only indirect transfer is RET (predicted by the RAS), but
+the substrate is complete: a history-hashed last-target cache in the style
+of a tagless target cache, usable for indirect jumps if a workload adds
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class IndirectTargetCache:
+    """History-xor-PC indexed last-target table."""
+
+    def __init__(self, num_entries: int = 65536, history_bits: int = 8) -> None:
+        if num_entries & (num_entries - 1):
+            raise ValueError("num_entries must be a power of two")
+        self.num_entries = num_entries
+        self.history_bits = history_bits
+        self._targets = [None] * num_entries
+        self._history = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & (self.num_entries - 1)
+
+    def predict(self, pc: int) -> Optional[int]:
+        return self._targets[self._index(pc)]
+
+    def update(self, pc: int, target: int) -> None:
+        index = self._index(pc)
+        if self._targets[index] == target:
+            self.hits += 1
+        else:
+            self.misses += 1
+        self._targets[index] = target
+        mask = (1 << self.history_bits) - 1
+        self._history = ((self._history << 2) ^ (target >> 2)) & mask

@@ -1,0 +1,81 @@
+"""Perceptron branch predictor (Jiménez & Lin, HPCA 2001).
+
+The paper's baseline uses a 64KB perceptron predictor with 59-bit history
+and 1021 entries (Table 2).  We implement the same algorithm with
+configurable table size and history length; the default is scaled to the
+synthetic workloads' working sets (and a paper-sized instance is a one-line
+config change).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.branch.base import BranchPredictor, Prediction
+
+
+class PerceptronPredictor(BranchPredictor):
+    """Table of perceptrons, dot-product of signed weights with history.
+
+    Prediction is ``taken`` when the output (bias + Σ w_i · x_i, with
+    x_i = +1 for a taken history bit and −1 otherwise) is non-negative.
+    Training bumps weights toward the outcome whenever the prediction was
+    wrong or the output magnitude is below the threshold
+    θ = ⌊1.93·h + 14⌋.
+    """
+
+    def __init__(
+        self,
+        num_perceptrons: int = 1021,
+        history_bits: int = 31,
+        weight_bits: int = 8,
+    ) -> None:
+        super().__init__(history_bits)
+        self.num_perceptrons = num_perceptrons
+        self.history_bits = history_bits
+        self.theta = int(1.93 * history_bits + 14)
+        self._weight_max = (1 << (weight_bits - 1)) - 1
+        self._weight_min = -(1 << (weight_bits - 1))
+        # weights[i][0] is the bias; weights[i][1..h] pair with history bits.
+        self._weights: List[List[int]] = [
+            [0] * (history_bits + 1) for _ in range(num_perceptrons)
+        ]
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) % self.num_perceptrons
+
+    def predict(self, pc: int) -> Prediction:
+        index = self._index(pc)
+        weights = self._weights[index]
+        history = self.history.bits
+        output = weights[0]
+        bits = history
+        for i in range(1, self.history_bits + 1):
+            if bits & 1:
+                output += weights[i]
+            else:
+                output -= weights[i]
+            bits >>= 1
+        return Prediction(
+            output >= 0, pc, index=index, history=history, output=output
+        )
+
+    def train(self, prediction: Prediction, actual: bool) -> None:
+        mispredicted = prediction.taken != actual
+        if not mispredicted and abs(prediction.output) > self.theta:
+            return
+        weights = self._weights[prediction.index]
+        t = 1 if actual else -1
+        weights[0] = self._clip(weights[0] + t)
+        bits = prediction.history
+        for i in range(1, self.history_bits + 1):
+            x = 1 if bits & 1 else -1
+            weights[i] = self._clip(weights[i] + t * x)
+            bits >>= 1
+
+    def _clip(self, value: int) -> int:
+        if value > self._weight_max:
+            return self._weight_max
+        if value < self._weight_min:
+            return self._weight_min
+        return value

@@ -1,0 +1,38 @@
+"""Control-flow-graph substrate.
+
+Everything the compiler side of DMP needs to reason about programs: basic
+blocks and per-function CFGs (:mod:`repro.cfg.graph`), dominator and
+post-dominator analysis used to find reconvergence points
+(:mod:`repro.cfg.dominators`), frequently-executed-path utilities used by
+CFM-point selection (:mod:`repro.cfg.paths`), and a small builder DSL used by
+the workload generator and the test suite (:mod:`repro.cfg.builder`).
+"""
+
+from repro.cfg.graph import BasicBlock, ControlFlowGraph
+from repro.cfg.dominators import (
+    compute_dominators,
+    compute_postdominators,
+    immediate_postdominators,
+    reconvergence_point,
+)
+from repro.cfg.paths import (
+    EdgeProfile,
+    frequent_successors,
+    reachable_within,
+    walk_frequent_path,
+)
+from repro.cfg.builder import CFGBuilder
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "compute_dominators",
+    "compute_postdominators",
+    "immediate_postdominators",
+    "reconvergence_point",
+    "EdgeProfile",
+    "frequent_successors",
+    "reachable_within",
+    "walk_frequent_path",
+    "CFGBuilder",
+]

@@ -1,0 +1,156 @@
+"""A small DSL for constructing CFGs.
+
+Used by the synthetic workload generator and extensively by the test suite::
+
+    b = CFGBuilder("main")
+    a = b.block("A")
+    a.movi(1, 10)
+    a.br(Condition.LT, 1, 2, taken="C")   # if r1 < r2 goto C
+    body = b.block("B")                   # falls through from A
+    body.addi(3, 3, 1)
+    b.block("C").halt()
+    cfg = b.build()
+
+Blocks fall through in definition order unless an explicit ``fallthrough``
+is given or the block ends in an unconditional transfer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cfg.graph import BasicBlock, ControlFlowGraph
+from repro.isa.instructions import Condition, Instruction, Opcode
+
+
+class BlockHandle:
+    """Fluent instruction appender for one basic block."""
+
+    def __init__(self, block: BasicBlock) -> None:
+        self._block = block
+
+    @property
+    def name(self) -> str:
+        return self._block.name
+
+    def _append(self, instr: Instruction) -> "BlockHandle":
+        if self._block.instructions and self._block.instructions[-1].is_control:
+            raise ValueError(
+                f"block {self._block.name!r} already ends in control flow"
+            )
+        self._block.instructions.append(instr)
+        return self
+
+    # -- integer ALU -------------------------------------------------------
+
+    def add(self, dest: int, s0: int, s1: int) -> "BlockHandle":
+        return self._append(Instruction(Opcode.ADD, dest, (s0, s1)))
+
+    def sub(self, dest: int, s0: int, s1: int) -> "BlockHandle":
+        return self._append(Instruction(Opcode.SUB, dest, (s0, s1)))
+
+    def and_(self, dest: int, s0: int, s1: int) -> "BlockHandle":
+        return self._append(Instruction(Opcode.AND, dest, (s0, s1)))
+
+    def or_(self, dest: int, s0: int, s1: int) -> "BlockHandle":
+        return self._append(Instruction(Opcode.OR, dest, (s0, s1)))
+
+    def xor(self, dest: int, s0: int, s1: int) -> "BlockHandle":
+        return self._append(Instruction(Opcode.XOR, dest, (s0, s1)))
+
+    def shl(self, dest: int, s0: int, s1: int) -> "BlockHandle":
+        return self._append(Instruction(Opcode.SHL, dest, (s0, s1)))
+
+    def shr(self, dest: int, s0: int, s1: int) -> "BlockHandle":
+        return self._append(Instruction(Opcode.SHR, dest, (s0, s1)))
+
+    def mul(self, dest: int, s0: int, s1: int) -> "BlockHandle":
+        return self._append(Instruction(Opcode.MUL, dest, (s0, s1)))
+
+    def addi(self, dest: int, src: int, imm: int) -> "BlockHandle":
+        return self._append(Instruction(Opcode.ADDI, dest, (src,), imm=imm))
+
+    def andi(self, dest: int, src: int, imm: int) -> "BlockHandle":
+        return self._append(Instruction(Opcode.ANDI, dest, (src,), imm=imm))
+
+    def xori(self, dest: int, src: int, imm: int) -> "BlockHandle":
+        return self._append(Instruction(Opcode.XORI, dest, (src,), imm=imm))
+
+    def movi(self, dest: int, imm: int) -> "BlockHandle":
+        return self._append(Instruction(Opcode.MOVI, dest, (), imm=imm))
+
+    # -- floating point -----------------------------------------------------
+
+    def fadd(self, dest: int, s0: int, s1: int) -> "BlockHandle":
+        return self._append(Instruction(Opcode.FADD, dest, (s0, s1)))
+
+    def fmul(self, dest: int, s0: int, s1: int) -> "BlockHandle":
+        return self._append(Instruction(Opcode.FMUL, dest, (s0, s1)))
+
+    def fdiv(self, dest: int, s0: int, s1: int) -> "BlockHandle":
+        return self._append(Instruction(Opcode.FDIV, dest, (s0, s1)))
+
+    # -- memory --------------------------------------------------------------
+
+    def load(self, dest: int, addr: int, offset: int = 0) -> "BlockHandle":
+        return self._append(Instruction(Opcode.LOAD, dest, (addr,), imm=offset))
+
+    def store(self, value: int, addr: int, offset: int = 0) -> "BlockHandle":
+        return self._append(
+            Instruction(Opcode.STORE, None, (value, addr), imm=offset)
+        )
+
+    # -- control flow ----------------------------------------------------------
+
+    def br(
+        self,
+        cond: Condition,
+        s0: int,
+        s1: Optional[int] = None,
+        imm: int = 0,
+        taken: str = None,
+    ) -> "BlockHandle":
+        """Conditional branch: ``if s0 <cond> (s1 or imm) goto taken``."""
+        if taken is None:
+            raise ValueError("br requires a taken target")
+        srcs = (s0,) if s1 is None else (s0, s1)
+        return self._append(
+            Instruction(Opcode.BR, None, srcs, imm=imm, cond=cond, target=taken)
+        )
+
+    def jmp(self, target: str) -> "BlockHandle":
+        return self._append(Instruction(Opcode.JMP, target=target))
+
+    def call(self, function: str) -> "BlockHandle":
+        return self._append(Instruction(Opcode.CALL, target=function))
+
+    def ret(self) -> "BlockHandle":
+        return self._append(Instruction(Opcode.RET))
+
+    def nop(self, count: int = 1) -> "BlockHandle":
+        for _ in range(count):
+            self._append(Instruction(Opcode.NOP))
+        return self
+
+    def halt(self) -> "BlockHandle":
+        return self._append(Instruction(Opcode.HALT))
+
+
+class CFGBuilder:
+    """Builds one function's :class:`ControlFlowGraph`."""
+
+    def __init__(self, function_name: str) -> None:
+        self._cfg = ControlFlowGraph(function_name)
+
+    def block(self, name: str, fallthrough: Optional[str] = None) -> BlockHandle:
+        """Create a new block.  ``fallthrough`` overrides the default
+        textually-next-block fall-through target."""
+        block = BasicBlock(name)
+        block.fallthrough = fallthrough
+        self._cfg.add_block(block)
+        return BlockHandle(block)
+
+    def build(self) -> ControlFlowGraph:
+        """Seal and return the CFG."""
+        self._cfg.seal()
+        return self._cfg

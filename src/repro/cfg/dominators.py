@@ -1,0 +1,130 @@
+"""Dominator and post-dominator analysis.
+
+The immediate post-dominator of a branch block is the classical
+*reconvergence point* of the branch — the point the paper contrasts the
+profile-driven CFM point against ("for many control-flow graphs, the
+selected CFM point is much closer ... than the immediate post-dominator").
+The wrong-path control-independence analysis of Figure 1 also uses it.
+
+The implementation is the standard iterative data-flow algorithm of
+Cooper, Harvey and Kennedy ("A Simple, Fast Dominance Algorithm") run over
+either the CFG or its reverse.  Functions with multiple exit blocks are
+handled by a virtual exit node.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.cfg.graph import ControlFlowGraph
+
+_VIRTUAL_EXIT = "<exit>"
+
+
+def _reverse_postorder(
+    succs: Dict[str, List[str]], entry: str
+) -> List[str]:
+    """Reverse post-order of the graph reachable from ``entry``."""
+    visited: Set[str] = set()
+    order: List[str] = []
+    # Iterative DFS (workloads may have deep CFGs; avoid recursion limits).
+    stack: List[tuple] = [(entry, iter(succs.get(entry, ())))]
+    visited.add(entry)
+    while stack:
+        node, it = stack[-1]
+        advanced = False
+        for succ in it:
+            if succ not in visited:
+                visited.add(succ)
+                stack.append((succ, iter(succs.get(succ, ()))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(node)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+def _idoms(
+    succs: Dict[str, List[str]], preds: Dict[str, List[str]], entry: str
+) -> Dict[str, Optional[str]]:
+    """Immediate dominators for all nodes reachable from ``entry``."""
+    rpo = _reverse_postorder(succs, entry)
+    index = {name: i for i, name in enumerate(rpo)}
+    idom: Dict[str, Optional[str]] = {entry: entry}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in rpo:
+            if node == entry:
+                continue
+            candidates = [p for p in preds.get(node, ()) if p in idom]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for pred in candidates[1:]:
+                new_idom = intersect(new_idom, pred)
+            if idom.get(node) != new_idom:
+                idom[node] = new_idom
+                changed = True
+    idom[entry] = None
+    return idom
+
+
+def _forward_edges(cfg: ControlFlowGraph) -> Dict[str, List[str]]:
+    return {block.name: list(block.successors()) for block in cfg}
+
+
+def compute_dominators(cfg: ControlFlowGraph) -> Dict[str, Optional[str]]:
+    """Immediate dominator of every reachable block (entry maps to None)."""
+    succs = _forward_edges(cfg)
+    preds = {block.name: list(block.predecessors) for block in cfg}
+    return _idoms(succs, preds, cfg.entry.name)
+
+
+def compute_postdominators(cfg: ControlFlowGraph) -> Dict[str, Optional[str]]:
+    """Immediate post-dominator of every block.
+
+    Blocks whose only post-dominator is the virtual exit map to ``None``.
+    """
+    ipdoms = immediate_postdominators(cfg)
+    return ipdoms
+
+
+def immediate_postdominators(cfg: ControlFlowGraph) -> Dict[str, Optional[str]]:
+    succs = _forward_edges(cfg)
+    preds: Dict[str, List[str]] = {block.name: [] for block in cfg}
+    for name, ss in succs.items():
+        for s in ss:
+            preds[s].append(name)
+    # Reverse graph with a virtual exit joining all real exits.
+    rsuccs: Dict[str, List[str]] = {name: list(preds[name]) for name in succs}
+    rsuccs[_VIRTUAL_EXIT] = [b for b in succs if not succs[b]]
+    rpreds: Dict[str, List[str]] = {name: list(succs[name]) for name in succs}
+    for name in rpreds:
+        if not succs[name]:
+            rpreds[name] = rpreds[name] + [_VIRTUAL_EXIT]
+    rpreds[_VIRTUAL_EXIT] = []
+    idom = _idoms(rsuccs, rpreds, _VIRTUAL_EXIT)
+    result: Dict[str, Optional[str]] = {}
+    for block in cfg:
+        ip = idom.get(block.name)
+        result[block.name] = None if ip in (None, _VIRTUAL_EXIT) else ip
+    return result
+
+
+def reconvergence_point(cfg: ControlFlowGraph, block_name: str) -> Optional[str]:
+    """The immediate post-dominator of ``block_name`` — where the two paths
+    of a branch ending that block are architecturally guaranteed to merge.
+    """
+    return immediate_postdominators(cfg).get(block_name)

@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``suite``    run benchmarks through the machine configurations and print a
+             comparison table
+``figure``   regenerate one paper exhibit (fig1..fig13, table1..table3)
+``inspect``  show one benchmark's compiler-side artifacts (profile,
+             diverge branches, CFM points)
+``list``     list available benchmarks and machine configurations
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness import figures
+from repro.harness.experiment import BenchmarkContext
+from repro.uarch.config import MachineConfig
+from repro.workloads.suite import BENCHMARK_NAMES
+
+#: Named machine configurations selectable from the command line.
+CONFIG_FACTORIES = {
+    "base": MachineConfig.baseline,
+    "dhp": MachineConfig.dhp,
+    "dmp": MachineConfig.dmp,
+    "dmp-enhanced": lambda: MachineConfig.dmp(enhanced=True),
+    "dualpath": MachineConfig.dualpath,
+    "perfect-cbp": lambda: MachineConfig.baseline(predictor_kind="perfect"),
+    "dmp-perf-conf": lambda: MachineConfig.dmp(confidence_kind="perfect"),
+}
+
+
+def _parse_benchmarks(raw: str) -> List[str]:
+    if not raw:
+        return list(BENCHMARK_NAMES)
+    names = [name.strip() for name in raw.split(",") if name.strip()]
+    unknown = [name for name in names if name not in BENCHMARK_NAMES]
+    if unknown:
+        raise SystemExit(f"unknown benchmarks: {', '.join(unknown)}")
+    return names
+
+
+def cmd_list(args) -> int:
+    print("benchmarks:")
+    for name in BENCHMARK_NAMES:
+        print(f"  {name}")
+    print("\nmachine configurations:")
+    for name, factory in CONFIG_FACTORIES.items():
+        print(f"  {name:14s} {factory().describe()}")
+    print("\nfigure drivers:")
+    print("  " + " ".join(figures.ALL_DRIVERS))
+    return 0
+
+
+def cmd_suite(args) -> int:
+    config_names = [c.strip() for c in args.configs.split(",") if c.strip()]
+    unknown = [c for c in config_names if c not in CONFIG_FACTORIES]
+    if unknown:
+        raise SystemExit(f"unknown configs: {', '.join(unknown)}")
+    benchmarks = _parse_benchmarks(args.benchmarks)
+    header = f"{'benchmark':10s}" + "".join(
+        f"{name:>14s}" for name in config_names
+    )
+    print(header)
+    print("-" * len(header))
+    for name in benchmarks:
+        context = BenchmarkContext(name, iterations=args.iterations)
+        cells = []
+        base_ipc: Optional[float] = None
+        for config_name in config_names:
+            stats = context.simulate(CONFIG_FACTORIES[config_name]())
+            if args.relative and config_name != config_names[0]:
+                cells.append(f"{100 * (stats.ipc / base_ipc - 1):+13.1f}%")
+            else:
+                cells.append(f"{stats.ipc:14.3f}")
+                if base_ipc is None:
+                    base_ipc = stats.ipc
+        print(f"{name:10s}" + "".join(cells))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    driver = figures.ALL_DRIVERS.get(args.name)
+    if driver is None:
+        raise SystemExit(
+            f"unknown exhibit {args.name!r}; "
+            f"choose from: {' '.join(figures.ALL_DRIVERS)}"
+        )
+    if args.name in ("table1", "table2"):
+        result = driver()
+    else:
+        result = driver(
+            benchmarks=_parse_benchmarks(args.benchmarks),
+            iterations=args.iterations,
+        )
+    print(result.format())
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    context = BenchmarkContext(args.benchmark, iterations=args.iterations)
+    trace = context.trace
+    print(f"benchmark {args.benchmark}: {trace.instruction_count} insts, "
+          f"{trace.branch_count} branches")
+    profile = context.profile
+    print(f"mispredictions: {profile.total_mispredictions} "
+          f"({1000 * profile.total_mispredictions / trace.instruction_count:.2f} MPKI)")
+    print(f"\ndiverge branches ({len(context.selections)} selected):")
+    for selection in context.selections:
+        stats = profile.branches[selection.pc]
+        print(f"  @{selection.pc:#06x} {stats.function}/{stats.block:10s} "
+              f"misp={selection.mispredictions:5d} "
+              f"({stats.misprediction_rate:.1%})")
+        for cfm in selection.cfm_points:
+            print(f"     CFM @{cfm.pc:#06x}  score={cfm.score:.2f}  "
+                  f"dist={cfm.mean_distance:.1f}")
+    print(f"\nDHP simple hammocks: {len(context.hammock_hints)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Diverge-Merge Processor reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list benchmarks/configs/exhibits")
+    p_list.set_defaults(func=cmd_list)
+
+    p_suite = sub.add_parser("suite", help="compare machine configurations")
+    p_suite.add_argument("--benchmarks", default="",
+                         help="comma-separated benchmark subset")
+    p_suite.add_argument("--configs", default="base,dhp,dmp,dmp-enhanced")
+    p_suite.add_argument("--iterations", type=int, default=800)
+    p_suite.add_argument("--relative", action="store_true",
+                         help="print %% improvement over the first config")
+    p_suite.set_defaults(func=cmd_suite)
+
+    p_fig = sub.add_parser("figure", help="regenerate one paper exhibit")
+    p_fig.add_argument("name", help="fig1..fig13 or table1..table3")
+    p_fig.add_argument("--benchmarks", default="")
+    p_fig.add_argument("--iterations", type=int, default=800)
+    p_fig.set_defaults(func=cmd_figure)
+
+    p_inspect = sub.add_parser(
+        "inspect", help="show a benchmark's compiler-side artifacts"
+    )
+    p_inspect.add_argument("benchmark")
+    p_inspect.add_argument("--iterations", type=int, default=800)
+    p_inspect.set_defaults(func=cmd_inspect)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Branch confidence estimation.
+
+DMP enters dynamic-predication mode only for *low-confidence* diverge
+branches (Section 2.2).  The paper uses a 1KB JRS estimator with 12-bit
+history (Jacobsen, Rotenberg & Smith, MICRO 1996) and contrasts it with a
+perfect estimator (``diverge-perf-conf``); both live here, along with
+trivial always/never estimators used in tests and ablations.
+"""
+
+from repro.confidence.base import ConfidenceEstimator
+from repro.confidence.jrs import JRSConfidenceEstimator
+from repro.confidence.perfect import (
+    AlwaysConfident,
+    NeverConfident,
+    PerfectConfidenceEstimator,
+)
+
+__all__ = [
+    "ConfidenceEstimator",
+    "JRSConfidenceEstimator",
+    "PerfectConfidenceEstimator",
+    "AlwaysConfident",
+    "NeverConfident",
+]
+
+
+def make_estimator(kind: str, **kwargs) -> ConfidenceEstimator:
+    """Factory: ``jrs``, ``perfect``, ``always`` or ``never``."""
+    estimators = {
+        "jrs": JRSConfidenceEstimator,
+        "perfect": PerfectConfidenceEstimator,
+        "always": AlwaysConfident,
+        "never": NeverConfident,
+    }
+    if kind not in estimators:
+        raise ValueError(f"unknown confidence estimator {kind!r}")
+    return estimators[kind](**kwargs)

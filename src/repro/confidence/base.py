@@ -1,0 +1,22 @@
+"""Confidence estimator interface."""
+
+from __future__ import annotations
+
+import abc
+
+
+class ConfidenceEstimator(abc.ABC):
+    """Estimates, at fetch time, whether a branch prediction is trustworthy.
+
+    ``is_confident`` is consulted when a diverge branch is fetched; a
+    ``False`` answer triggers dynamic-predication mode.  ``update`` is
+    called at branch retirement with whether the prediction was correct.
+    """
+
+    @abc.abstractmethod
+    def is_confident(self, pc: int, history: int) -> bool:
+        """High confidence in the current prediction for the branch at pc?"""
+
+    @abc.abstractmethod
+    def update(self, pc: int, history: int, was_correct: bool) -> None:
+        """Train with the resolved outcome."""

@@ -1,0 +1,48 @@
+"""Oracle and degenerate confidence estimators.
+
+:class:`PerfectConfidenceEstimator` implements the ``*-perf-conf`` series
+of Figure 7: it is "confident" exactly when the branch prediction is about
+to be correct, so dynamic predication triggers only on real mispredictions.
+Like :class:`~repro.branch.perfect.PerfectPredictor`, it receives the truth
+through an oracle channel set by the timing model just before the query.
+"""
+
+from __future__ import annotations
+
+from repro.confidence.base import ConfidenceEstimator
+
+
+class PerfectConfidenceEstimator(ConfidenceEstimator):
+    """Low-confidence exactly on actual mispredictions."""
+
+    def __init__(self) -> None:
+        self._prediction_will_be_correct = True
+
+    def set_oracle(self, prediction_will_be_correct: bool) -> None:
+        self._prediction_will_be_correct = prediction_will_be_correct
+
+    def is_confident(self, pc: int, history: int) -> bool:
+        return self._prediction_will_be_correct
+
+    def update(self, pc: int, history: int, was_correct: bool) -> None:
+        return
+
+
+class AlwaysConfident(ConfidenceEstimator):
+    """Never triggers dynamic predication (degenerates DMP to the baseline)."""
+
+    def is_confident(self, pc: int, history: int) -> bool:
+        return True
+
+    def update(self, pc: int, history: int, was_correct: bool) -> None:
+        return
+
+
+class NeverConfident(ConfidenceEstimator):
+    """Predicates every candidate branch (stress-tests dpred overhead)."""
+
+    def is_confident(self, pc: int, history: int) -> bool:
+        return False
+
+    def update(self, pc: int, history: int, was_correct: bool) -> None:
+        return

@@ -1,0 +1,37 @@
+"""The diverge-merge processor core (the paper's contribution).
+
+* :mod:`repro.core.modes` — the dynamic-predication exit cases (Table 1)
+  and path outcomes;
+* :mod:`repro.core.cfm` — the CFM-point CAM (basic single-entry and the
+  Section 2.7.1 multiple-CFM variant);
+* :mod:`repro.core.dpred` — the dynamic-predication engine: a timing
+  simulator subclass implementing the Section 2.3–2.7 fetch/rename state
+  machine for both DMP and DHP;
+* :mod:`repro.core.processors` — the user-facing facades
+  (:func:`simulate`, plus one constructor per machine flavour).
+"""
+
+from repro.core.modes import ExitCase, PathOutcome
+from repro.core.cfm import CfmCam
+from repro.core.dpred import PredicationAwareSimulator
+from repro.core.processors import (
+    simulate,
+    baseline_processor,
+    diverge_merge_processor,
+    dynamic_hammock_processor,
+    dual_path_processor,
+    wish_branch_processor,
+)
+
+__all__ = [
+    "ExitCase",
+    "PathOutcome",
+    "CfmCam",
+    "PredicationAwareSimulator",
+    "simulate",
+    "baseline_processor",
+    "diverge_merge_processor",
+    "dynamic_hammock_processor",
+    "dual_path_processor",
+    "wish_branch_processor",
+]

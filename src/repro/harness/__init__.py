@@ -1,0 +1,25 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.harness.experiment` — per-benchmark context (workload →
+  trace → profiles → hint tables, built once, shared across machine
+  configurations) and suite runners;
+* :mod:`repro.harness.tables` — text rendering of result tables;
+* :mod:`repro.harness.figures` — one driver per paper figure/table, each
+  returning the data series the paper plots.
+"""
+
+from repro.harness.experiment import (
+    BenchmarkContext,
+    SuiteResult,
+    run_suite,
+)
+from repro.harness.tables import format_table
+from repro.harness import figures
+
+__all__ = [
+    "BenchmarkContext",
+    "SuiteResult",
+    "run_suite",
+    "format_table",
+    "figures",
+]

@@ -1,0 +1,305 @@
+"""Benchmark contexts and suite runners.
+
+A :class:`BenchmarkContext` owns everything one benchmark needs that is
+*independent of the machine configuration*: the built workload, its
+functional trace, the two profile runs, and the diverge/hammock hint
+tables.  All of it is computed lazily and cached, so sweeping N machine
+configurations over one benchmark pays the (comparatively expensive)
+profiling cost once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.processors import simulate
+from repro.isa.encoding import HintTable
+from repro.profiling.diverge_selection import (
+    SelectionThresholds,
+    build_hint_table,
+    candidate_branch_pcs,
+    select_diverge_branches,
+)
+from repro.profiling.hammock import find_simple_hammocks
+from repro.profiling.profiler import (
+    ProgramProfile,
+    collect_reconvergence,
+    profile_trace,
+)
+from repro.uarch.config import MachineConfig
+from repro.uarch.stats import SimStats
+from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
+
+
+class BenchmarkContext:
+    """One benchmark's machine-independent artifacts, lazily built."""
+
+    def __init__(
+        self,
+        name: str,
+        iterations: Optional[int] = None,
+        seed: int = 0,
+        thresholds: SelectionThresholds = SelectionThresholds(),
+    ) -> None:
+        self.name = name
+        self.iterations = iterations
+        self.seed = seed
+        self.thresholds = thresholds
+        self._workload = None
+        self._trace = None
+        self._profile: Optional[ProgramProfile] = None
+        self._selections = None
+        self._diverge_hints: Optional[HintTable] = None
+        self._hammock_hints: Optional[HintTable] = None
+        self._wish_hints: Optional[HintTable] = None
+        self._sim_cache: Dict[str, SimStats] = {}
+
+    # -- artifacts --------------------------------------------------------
+
+    @property
+    def workload(self):
+        if self._workload is None:
+            self._workload = build_benchmark(
+                self.name, self.iterations, self.seed
+            )
+        return self._workload
+
+    @property
+    def program(self):
+        return self.workload.program
+
+    @property
+    def trace(self):
+        if self._trace is None:
+            self._trace = self.workload.run()
+        return self._trace
+
+    @property
+    def profile(self) -> ProgramProfile:
+        """Profile run 1 (edge counts + mispredictions)."""
+        if self._profile is None:
+            self._profile = profile_trace(self.program, self.trace)
+        return self._profile
+
+    @property
+    def selections(self):
+        """Diverge-branch selections (profile run 2 + Section 3.2 rules)."""
+        if self._selections is None:
+            candidates = candidate_branch_pcs(self.profile, self.thresholds)
+            reconvergence = collect_reconvergence(
+                self.program,
+                self.trace,
+                candidates,
+                max_distance=self.thresholds.max_cfm_distance,
+            )
+            self._selections = select_diverge_branches(
+                self.profile, reconvergence, self.thresholds
+            )
+        return self._selections
+
+    @property
+    def diverge_hints(self) -> HintTable:
+        """The DMP hint table (all qualifying CFM points per branch)."""
+        if self._diverge_hints is None:
+            self._diverge_hints = build_hint_table(
+                self.selections, self.thresholds, multiple_cfm=True
+            )
+        return self._diverge_hints
+
+    @property
+    def hammock_hints(self) -> HintTable:
+        """The DHP hint table: simple hammocks whose branches are actually
+        hard to predict (same rate floor the DMP selection uses, so the
+        DHP-vs-DMP comparison is apples-to-apples)."""
+        if self._hammock_hints is None:
+            self._hammock_hints = find_simple_hammocks(
+                self.program,
+                profile=self.profile,
+                min_misprediction_rate=self.thresholds.min_misprediction_rate,
+            )
+        return self._hammock_hints
+
+    @property
+    def wish_hints(self) -> HintTable:
+        """The wish-branch table: if-convertible regions whose branches
+        are hard to predict (same rate floor as the other machines)."""
+        if self._wish_hints is None:
+            from repro.profiling.wish_selection import select_wish_branches
+
+            self._wish_hints, _ = select_wish_branches(
+                self.program,
+                profile=self.profile,
+                min_misprediction_rate=self.thresholds.min_misprediction_rate,
+            )
+        return self._wish_hints
+
+    # -- simulation ---------------------------------------------------------
+
+    def hints_for(self, config: MachineConfig) -> Optional[HintTable]:
+        if config.mode == "dmp":
+            return self.diverge_hints
+        if config.mode == "dhp":
+            return self.hammock_hints
+        if config.mode == "wish":
+            return self.wish_hints
+        return None
+
+    def simulate(self, config: MachineConfig) -> SimStats:
+        """Simulate under one configuration (memoized: the same config is
+        returned from cache, so figure drivers can share runs)."""
+        key = repr(config)
+        if key not in self._sim_cache:
+            self._sim_cache[key] = simulate(
+                self.program,
+                self.trace,
+                config,
+                hints=self.hints_for(config),
+                benchmark=self.name,
+                warm_words=sorted(self.workload.memory._words),
+            )
+        return self._sim_cache[key]
+
+
+#: The machine configurations of Figure 7 (basic DMP study).
+def figure7_configs() -> Dict[str, MachineConfig]:
+    return {
+        "base": MachineConfig.baseline(),
+        "DHP-jrs": MachineConfig.dhp(),
+        "DHP-perf-conf": MachineConfig.dhp(confidence_kind="perfect"),
+        "diverge-jrs": MachineConfig.dmp(),
+        "diverge-perf-conf": MachineConfig.dmp(confidence_kind="perfect"),
+        "dualpath": MachineConfig.dualpath(),
+        "perfect-cbp": MachineConfig.baseline(predictor_kind="perfect"),
+    }
+
+
+#: The cumulative-enhancement configurations of Figure 9.
+def figure9_configs() -> Dict[str, MachineConfig]:
+    return {
+        "base": MachineConfig.baseline(),
+        "basic-diverge": MachineConfig.dmp(),
+        "enhanced-mcfm": MachineConfig.dmp(multiple_cfm=True),
+        "enhanced-mcfm-eexit": MachineConfig.dmp(
+            multiple_cfm=True, early_exit=True
+        ),
+        "enhanced-mcfm-eexit-mdb": MachineConfig.dmp(enhanced=True),
+    }
+
+
+class SuiteResult:
+    """Results of sweeping configurations over benchmarks."""
+
+    def __init__(self) -> None:
+        #: ``{benchmark: {config_label: SimStats}}``
+        self.results: Dict[str, Dict[str, SimStats]] = {}
+
+    def add(self, benchmark: str, label: str, stats: SimStats) -> None:
+        self.results.setdefault(benchmark, {})[label] = stats
+
+    @property
+    def benchmarks(self) -> List[str]:
+        return list(self.results)
+
+    def stats(self, benchmark: str, label: str) -> SimStats:
+        return self.results[benchmark][label]
+
+    def ipc_improvements(self, label: str, base: str = "base") -> Dict[str, float]:
+        """Per-benchmark % IPC improvement of ``label`` over ``base``."""
+        out = {}
+        for benchmark, per_config in self.results.items():
+            base_ipc = per_config[base].ipc
+            out[benchmark] = 100.0 * (per_config[label].ipc / base_ipc - 1.0)
+        return out
+
+    def mean_improvement(self, label: str, base: str = "base") -> float:
+        values = list(self.ipc_improvements(label, base).values())
+        return sum(values) / len(values) if values else 0.0
+
+
+def run_suite(
+    configs: Dict[str, MachineConfig],
+    benchmarks: Iterable[str] = BENCHMARK_NAMES,
+    iterations: Optional[int] = None,
+    seed: int = 0,
+    contexts: Optional[Dict[str, BenchmarkContext]] = None,
+    verbose: bool = False,
+) -> SuiteResult:
+    """Run every configuration over every benchmark.
+
+    Pass ``contexts`` to reuse already-built benchmark artifacts across
+    several figures (the per-figure drivers all accept the same dict).
+    """
+    result = SuiteResult()
+    for name in benchmarks:
+        if contexts is not None:
+            context = contexts.setdefault(
+                name, BenchmarkContext(name, iterations, seed)
+            )
+        else:
+            context = BenchmarkContext(name, iterations, seed)
+        for label, config in configs.items():
+            stats = context.simulate(config)
+            result.add(name, label, stats)
+            if verbose:
+                print(
+                    f"  {name:8s} {label:24s} IPC={stats.ipc:.3f} "
+                    f"flushes={stats.pipeline_flushes}"
+                )
+    return result
+
+
+class MultiSeedResult:
+    """Per-seed suite results with mean/spread summaries.
+
+    Synthetic workloads are seeded; a conclusion that flips sign across
+    seeds is noise.  ``improvement_stats`` reports mean and spread of the
+    % IPC improvement so benches can assert *sign stability* rather than
+    point values.
+    """
+
+    def __init__(self) -> None:
+        #: ``{seed: SuiteResult}``
+        self.by_seed: Dict[int, SuiteResult] = {}
+
+    def add(self, seed: int, result: SuiteResult) -> None:
+        self.by_seed[seed] = result
+
+    def improvement_stats(
+        self, benchmark: str, label: str, base: str = "base"
+    ) -> Tuple[float, float, float]:
+        """(mean, min, max) % IPC improvement across seeds."""
+        values = [
+            result.ipc_improvements(label, base)[benchmark]
+            for result in self.by_seed.values()
+        ]
+        return (sum(values) / len(values), min(values), max(values))
+
+    def sign_stable(
+        self,
+        benchmark: str,
+        label: str,
+        base: str = "base",
+        tolerance: float = 1.0,
+    ) -> bool:
+        """True when the improvement has the same sign for every seed
+        (values within ±tolerance count as zero)."""
+        _, lo, hi = self.improvement_stats(benchmark, label, base)
+        return lo >= -tolerance or hi <= tolerance
+
+
+def run_multi_seed(
+    configs: Dict[str, MachineConfig],
+    benchmarks: Iterable[str],
+    seeds: Iterable[int],
+    iterations: Optional[int] = None,
+) -> MultiSeedResult:
+    """Run the suite once per seed (each seed regenerates every data
+    array, so traces and profiles differ while CFG shapes stay fixed)."""
+    out = MultiSeedResult()
+    benchmarks = list(benchmarks)
+    for seed in seeds:
+        out.add(
+            seed,
+            run_suite(configs, benchmarks, iterations=iterations, seed=seed),
+        )
+    return out

@@ -1,0 +1,41 @@
+"""Mini-ISA substrate.
+
+The paper evaluates DMP on Alpha binaries.  We define a small RISC-like
+instruction set that carries everything the diverge-merge machinery needs:
+architectural register identities (for renaming, select-uops and dependence
+tracking), loads/stores (for the store buffer and cache hierarchy), and a
+full complement of control-flow instructions (conditional branches,
+unconditional jumps, calls and returns).
+
+The compiler-to-microarchitecture hint channel (diverge-branch and CFM-point
+marking, Section 2.1 of the paper) is modelled by :class:`~repro.isa.encoding.HintTable`,
+a side table keyed by branch PC — the moral equivalent of the special
+instruction encodings the paper adds to the Alpha ISA.
+"""
+
+from repro.isa.registers import (
+    NUM_ARCH_REGS,
+    REG_ZERO,
+    RegisterFile,
+    reg_name,
+)
+from repro.isa.instructions import (
+    Opcode,
+    Condition,
+    Instruction,
+    INSTRUCTION_BYTES,
+)
+from repro.isa.encoding import DivergeHint, HintTable
+
+__all__ = [
+    "NUM_ARCH_REGS",
+    "REG_ZERO",
+    "RegisterFile",
+    "reg_name",
+    "Opcode",
+    "Condition",
+    "Instruction",
+    "INSTRUCTION_BYTES",
+    "DivergeHint",
+    "HintTable",
+]

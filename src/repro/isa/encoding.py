@@ -1,0 +1,148 @@
+"""The compiler-to-hardware hint channel.
+
+The paper conveys diverge branches and their CFM points "through
+modifications in the ISA" (Section 2.1): a special encoding on the branch
+plus the CFM point address(es).  We model that channel as a side table keyed
+by branch PC — exactly the information a marked binary would carry, without
+inventing bit-level instruction formats.
+
+A compact binary serialization (:meth:`HintTable.to_bytes` /
+:meth:`HintTable.from_bytes`) stands in for the marked sections of the
+binary; it is used by tests and by the example that dumps a "compiled"
+program to disk.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterator, Optional, Tuple
+
+
+class DivergeHint:
+    """Compiler marking for one diverge branch.
+
+    Attributes
+    ----------
+    cfm_pcs:
+        PCs of the control-flow merge points, most frequent first.  The
+        basic DMP mechanism uses only ``cfm_pcs[0]``; the enhanced
+        multiple-CFM mechanism (Section 2.7.1) loads all of them into the
+        CFM CAM.
+    early_exit_threshold:
+        Compiler-selected alternate-path instruction budget for the early
+        exit enhancement (Section 2.7.2).  ``None`` leaves the choice to the
+        hardware's static default.
+    is_loop:
+        Marks a diverge *loop* branch (future-work Section 2.7.4); the
+        backward-branch dynamic-predication engine keys off this.
+    """
+
+    __slots__ = ("cfm_pcs", "early_exit_threshold", "is_loop")
+
+    def __init__(
+        self,
+        cfm_pcs: Tuple[int, ...],
+        early_exit_threshold: Optional[int] = None,
+        is_loop: bool = False,
+    ) -> None:
+        if not cfm_pcs:
+            raise ValueError("a diverge hint needs at least one CFM point")
+        self.cfm_pcs = tuple(cfm_pcs)
+        self.early_exit_threshold = early_exit_threshold
+        self.is_loop = is_loop
+
+    @property
+    def primary_cfm(self) -> int:
+        """The single CFM point the basic mechanism uses."""
+        return self.cfm_pcs[0]
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, DivergeHint)
+            and self.cfm_pcs == other.cfm_pcs
+            and self.early_exit_threshold == other.early_exit_threshold
+            and self.is_loop == other.is_loop
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DivergeHint(cfm_pcs={self.cfm_pcs}, "
+            f"early_exit_threshold={self.early_exit_threshold}, "
+            f"is_loop={self.is_loop})"
+        )
+
+
+_HEADER = struct.Struct("<4sI")  # magic, entry count
+_ENTRY = struct.Struct("<QBBH")  # branch pc, n_cfm, flags, early-exit
+_MAGIC = b"DMPH"
+_FLAG_LOOP = 1
+_FLAG_HAS_THRESHOLD = 2
+
+
+class HintTable:
+    """All diverge-branch hints for one program binary."""
+
+    def __init__(self) -> None:
+        self._hints: Dict[int, DivergeHint] = {}
+
+    def add(self, branch_pc: int, hint: DivergeHint) -> None:
+        if branch_pc in self._hints:
+            raise ValueError(f"duplicate hint for branch pc {branch_pc:#x}")
+        self._hints[branch_pc] = hint
+
+    def get(self, branch_pc: int) -> Optional[DivergeHint]:
+        return self._hints.get(branch_pc)
+
+    def is_diverge_branch(self, branch_pc: int) -> bool:
+        return branch_pc in self._hints
+
+    def __len__(self) -> int:
+        return len(self._hints)
+
+    def __iter__(self) -> Iterator[Tuple[int, DivergeHint]]:
+        return iter(sorted(self._hints.items()))
+
+    def __contains__(self, branch_pc: int) -> bool:
+        return branch_pc in self._hints
+
+    # -- serialization ----------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the compact on-disk form."""
+        chunks = [_HEADER.pack(_MAGIC, len(self._hints))]
+        for pc, hint in sorted(self._hints.items()):
+            flags = 0
+            threshold = 0
+            if hint.is_loop:
+                flags |= _FLAG_LOOP
+            if hint.early_exit_threshold is not None:
+                flags |= _FLAG_HAS_THRESHOLD
+                threshold = hint.early_exit_threshold
+            chunks.append(_ENTRY.pack(pc, len(hint.cfm_pcs), flags, threshold))
+            chunks.append(struct.pack(f"<{len(hint.cfm_pcs)}Q", *hint.cfm_pcs))
+        return b"".join(chunks)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "HintTable":
+        """Deserialize a table produced by :meth:`to_bytes`."""
+        magic, count = _HEADER.unpack_from(data, 0)
+        if magic != _MAGIC:
+            raise ValueError("not a DMP hint table")
+        table = cls()
+        offset = _HEADER.size
+        for _ in range(count):
+            pc, n_cfm, flags, threshold = _ENTRY.unpack_from(data, offset)
+            offset += _ENTRY.size
+            cfm_pcs = struct.unpack_from(f"<{n_cfm}Q", data, offset)
+            offset += 8 * n_cfm
+            table.add(
+                pc,
+                DivergeHint(
+                    cfm_pcs,
+                    early_exit_threshold=(
+                        threshold if flags & _FLAG_HAS_THRESHOLD else None
+                    ),
+                    is_loop=bool(flags & _FLAG_LOOP),
+                ),
+            )
+        return table

@@ -1,0 +1,56 @@
+"""Architectural register namespace and an interpreter-side register file.
+
+The mini-ISA has 32 integer architectural registers, ``r0`` .. ``r31``.
+``r0`` is hardwired to zero (reads return 0, writes are dropped), which the
+workload generator uses freely as a null source/sink.
+"""
+
+from __future__ import annotations
+
+NUM_ARCH_REGS = 32
+REG_ZERO = 0
+
+_MASK = (1 << 64) - 1
+
+
+def reg_name(index: int) -> str:
+    """Return the assembly name for an architectural register index."""
+    if not 0 <= index < NUM_ARCH_REGS:
+        raise ValueError(f"register index out of range: {index}")
+    return f"r{index}"
+
+
+class RegisterFile:
+    """A 64-bit architectural register file with a hardwired zero register.
+
+    Values wrap modulo 2**64 the way real hardware registers do, so synthetic
+    workloads can run indefinitely without Python big-int growth.
+    """
+
+    __slots__ = ("_regs",)
+
+    def __init__(self) -> None:
+        self._regs = [0] * NUM_ARCH_REGS
+
+    def read(self, index: int) -> int:
+        return self._regs[index]
+
+    def write(self, index: int, value: int) -> None:
+        if index == REG_ZERO:
+            return
+        self._regs[index] = value & _MASK
+
+    def snapshot(self) -> tuple:
+        """Return an immutable copy of the register state (for tests)."""
+        return tuple(self._regs)
+
+    def load_snapshot(self, values) -> None:
+        """Restore state captured by :meth:`snapshot`."""
+        if len(values) != NUM_ARCH_REGS:
+            raise ValueError("snapshot has wrong register count")
+        self._regs = [v & _MASK for v in values]
+        self._regs[REG_ZERO] = 0
+
+    def __repr__(self) -> str:
+        live = {reg_name(i): v for i, v in enumerate(self._regs) if v}
+        return f"RegisterFile({live})"

@@ -1,0 +1,11 @@
+"""Memory-system substrate: set-associative caches and the DRAM model.
+
+Mirrors Table 2 of the paper: 64KB 2-way L1I (2-cycle), 64KB 4-way L1D
+(2-cycle), 1MB 8-way unified L2 (10-cycle), 64B lines, LRU everywhere, and
+a 300-cycle minimum-latency main memory.
+"""
+
+from repro.memsys.cache import Cache
+from repro.memsys.hierarchy import CacheHierarchy, MainMemory
+
+__all__ = ["Cache", "CacheHierarchy", "MainMemory"]

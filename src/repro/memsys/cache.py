@@ -1,0 +1,78 @@
+"""A set-associative cache with LRU replacement.
+
+Tracks tags only (the functional interpreter holds the actual data), which
+is all a timing model needs.  Addresses are word addresses; ``line_words``
+sets how many words share a line (Table 2's 64B lines over 8-byte words
+give the default of 8).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict
+
+
+class Cache:
+    def __init__(
+        self,
+        name: str,
+        size_words: int,
+        associativity: int,
+        line_words: int = 8,
+        latency: int = 1,
+    ) -> None:
+        num_lines = size_words // line_words
+        if num_lines <= 0 or num_lines % associativity:
+            raise ValueError(
+                f"{name}: {size_words} words / {line_words}-word lines do "
+                f"not divide into {associativity} ways"
+            )
+        self.name = name
+        self.line_words = line_words
+        self.associativity = associativity
+        self.num_sets = num_lines // associativity
+        self.latency = latency
+        self._sets: Dict[int, OrderedDict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, address: int):
+        line = address // self.line_words
+        return line % self.num_sets, line
+
+    def access(self, address: int) -> bool:
+        """Access a word; returns True on hit.  Misses allocate the line."""
+        set_index, line = self._locate(address)
+        entry_set = self._sets.setdefault(set_index, OrderedDict())
+        if line in entry_set:
+            entry_set.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(entry_set) >= self.associativity:
+            entry_set.popitem(last=False)
+        entry_set[line] = True
+        return False
+
+    def probe(self, address: int) -> bool:
+        """Check residency without touching LRU or counters."""
+        set_index, line = self._locate(address)
+        entry_set = self._sets.get(set_index)
+        return entry_set is not None and line in entry_set
+
+    def invalidate_all(self) -> None:
+        self._sets.clear()
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<Cache {self.name}: {self.num_sets}x{self.associativity} "
+            f"lines, {self.hit_rate:.1%} hits>"
+        )

@@ -1,0 +1,165 @@
+"""Hardware-style dynamic reconvergence prediction (Collins et al.).
+
+The paper's related work (Section 5.4) notes that Dynamic Reconvergence
+Prediction can identify control reconvergence points — "i.e., our CFM
+points" — **without compiler support**, and "can be combined with any of
+the mechanisms that exploit control-flow independence".  This module
+implements that combination: a hardware-plausible online structure that
+watches retired control flow and learns each branch's reconvergence PC,
+plus a driver that turns what it learned into the same
+:class:`~repro.isa.encoding.HintTable` the compiler would have produced —
+giving a *hint-free* diverge-merge processor.
+
+The predictor keeps, per static branch, a small candidate table of
+block-start PCs seen after both directions; a candidate's confidence rises
+when it appears (soon) after an instance and collapses when it doesn't.
+This mirrors the original proposal's spirit at the fidelity this
+repository needs: what matters downstream is *which* PC it converges to
+and how quickly it stabilizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.isa.encoding import DivergeHint, HintTable
+from repro.program.trace import Trace
+
+
+class _BranchEntry:
+    __slots__ = ("seen", "instances", "distance")
+
+    def __init__(self) -> None:
+        #: candidate pc -> [count_after_not_taken, count_after_taken]
+        self.seen: Dict[int, List[int]] = {}
+        self.instances = [0, 0]
+        self.distance: Dict[int, int] = {}
+
+
+class DynamicReconvergencePredictor:
+    """Online reconvergence-point learning over the retired stream."""
+
+    def __init__(
+        self,
+        max_candidates: int = 8,
+        window_instructions: int = 120,
+        min_instances: int = 16,
+        min_fraction: float = 0.7,
+    ) -> None:
+        self.max_candidates = max_candidates
+        self.window_instructions = window_instructions
+        self.min_instances = min_instances
+        self.min_fraction = min_fraction
+        self._entries: Dict[int, _BranchEntry] = {}
+        self._open: List[list] = []  # [entry, side, budget, seen_set, own_pc]
+
+    # -- the retired-stream interface ----------------------------------
+
+    def observe_block(self, block_pc: int, block_size: int) -> None:
+        """A basic block retired: feed every open observation window."""
+        if not self._open:
+            return
+        still_open = []
+        for window in self._open:
+            entry, side, budget, seen, own_pc, distance = window
+            if block_pc == own_pc:
+                self._close(entry, side, seen)
+                continue
+            if block_pc not in seen:
+                seen[block_pc] = distance
+            budget -= block_size
+            if budget <= 0:
+                self._close(entry, side, seen)
+                continue
+            window[2] = budget
+            window[5] = distance + block_size
+            still_open.append(window)
+        self._open = still_open
+
+    def observe_branch(
+        self, pc: int, taken: bool, block_pc: Optional[int] = None
+    ) -> None:
+        """A conditional branch retired: open its observation window.
+
+        ``block_pc`` is the start PC of the branch's basic block — the
+        marker whose re-execution closes the window (a reconvergence only
+        counts if it happens before the branch runs again).  It defaults
+        to the branch PC itself for callers without block context.
+        """
+        entry = self._entries.setdefault(pc, _BranchEntry())
+        own = block_pc if block_pc is not None else pc
+        self._open.append(
+            [entry, int(taken), self.window_instructions, {}, own, 0]
+        )
+
+    def _close(self, entry: _BranchEntry, side: int, seen: Dict[int, int]) -> None:
+        entry.instances[side] += 1
+        for pc, distance in seen.items():
+            counts = entry.seen.get(pc)
+            if counts is None:
+                if len(entry.seen) >= self.max_candidates:
+                    continue  # table full: drop late arrivals
+                counts = [0, 0]
+                entry.seen[pc] = counts
+                entry.distance[pc] = distance
+            counts[side] += 1
+
+    # -- queries -----------------------------------------------------------
+
+    def predict(self, pc: int) -> Optional[int]:
+        """The learned reconvergence PC for a branch, or None."""
+        entry = self._entries.get(pc)
+        if entry is None:
+            return None
+        if min(entry.instances) < self.min_instances:
+            return None
+        best = None
+        best_distance = None
+        for candidate, counts in entry.seen.items():
+            frac_nt = counts[0] / entry.instances[0]
+            frac_t = counts[1] / entry.instances[1]
+            if min(frac_nt, frac_t) < self.min_fraction:
+                continue
+            distance = entry.distance[candidate]
+            if best is None or distance < best_distance:
+                best = candidate
+                best_distance = distance
+        return best
+
+    def trained_branches(self) -> List[int]:
+        return sorted(
+            pc
+            for pc, entry in self._entries.items()
+            if min(entry.instances) >= self.min_instances
+        )
+
+
+def learn_hints_from_trace(
+    trace: Trace,
+    warmup_fraction: float = 0.25,
+    predictor: Optional[DynamicReconvergencePredictor] = None,
+) -> HintTable:
+    """Run the reconvergence predictor over the first part of a trace and
+    emit the hint table a compiler-free DMP would operate with.
+
+    ``warmup_fraction`` bounds how much of the run the hardware gets to
+    learn from before the hints are "deployed" (the rest of the trace is
+    what the timing simulation then measures — in real hardware learning
+    continues, so this is conservative).
+    """
+    predictor = predictor or DynamicReconvergencePredictor()
+    limit = int(len(trace.records) * warmup_fraction)
+    for record in trace.records[:limit]:
+        block = record.block
+        predictor.observe_block(block.first_pc, len(block.instructions))
+        if record.taken is not None:
+            predictor.observe_branch(
+                block.instructions[-1].pc, record.taken,
+                block_pc=block.first_pc,
+            )
+    table = HintTable()
+    for pc in predictor.trained_branches():
+        cfm = predictor.predict(pc)
+        if cfm is not None:
+            table.add(pc, DivergeHint((cfm,)))
+    return table

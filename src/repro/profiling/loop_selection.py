@@ -1,0 +1,124 @@
+"""Diverge *loop* branch selection (the Section 2.7.4 extension).
+
+The paper's mainline compiler only marks forward diverge branches and
+explicitly defers hard-to-predict **loop branches** to future work:
+
+    "The diverge-merge processor can distinguish between forward branches
+    and backward branches (loop branches) in order to implement the
+    dynamic predication of low-confidence loop iterations ... similarly
+    to the recently proposed wish loop instructions."
+
+This module implements that compiler side.  A *loop-exit branch* is a
+conditional branch with one successor that can re-reach the branch's own
+block (the loop side) and one that cannot (the exit side).  For such a
+branch the natural CFM point is the exit side's first block: the taken
+path reaches it immediately, and the not-taken path reaches it after
+iterating — a loop-carried reconvergence the ordinary profile run
+deliberately rejects.  Marking these branches with ``is_loop=True``
+lets the hardware (with ``MachineConfig.loop_predication``) predicate
+the trailing loop iterations instead of flushing on the exit
+misprediction, exactly like wish loops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.cfg.loops import loop_exit_branches
+from repro.isa.encoding import DivergeHint, HintTable
+from repro.profiling.diverge_selection import (
+    SelectionThresholds,
+    qualifying_cfm_points,
+)
+from repro.profiling.profiler import (
+    ProgramProfile,
+    collect_reconvergence,
+)
+from repro.program.program import Program
+from repro.program.trace import Trace
+
+
+def find_loop_exit_branches(
+    program: Program,
+) -> List[Tuple[str, str, int, str]]:
+    """Static loop-exit branch discovery.
+
+    Returns ``(function, block, branch_pc, exit_block)`` for every
+    conditional branch inside a natural loop with exactly one successor
+    outside its innermost loop (see :mod:`repro.cfg.loops`).
+    """
+    out = []
+    for cfg in program.functions():
+        for block_name, pc, exit_side in loop_exit_branches(cfg):
+            out.append((cfg.name, block_name, pc, exit_side))
+    return out
+
+
+def select_diverge_loop_branches(
+    program: Program,
+    trace: Trace,
+    profile: ProgramProfile,
+    thresholds: SelectionThresholds = SelectionThresholds(),
+) -> HintTable:
+    """Build the ``is_loop`` hint table for hard-to-predict loop exits.
+
+    Applies the same misprediction-rate/execution floors as the forward
+    selection, then validates the loop-carried CFM with a reconvergence
+    pass whose windows survive the branch's own re-execution.
+    """
+    loop_exits = find_loop_exit_branches(program)
+    candidates: Dict[int, int] = {}
+    for function, block, pc, exit_block in loop_exits:
+        stats = profile.branches.get(pc)
+        if stats is None:
+            continue
+        if stats.executions < thresholds.min_executions:
+            continue
+        if stats.misprediction_rate < thresholds.min_misprediction_rate:
+            continue
+        exit_pc = program.function(function).block(exit_block).first_pc
+        candidates[pc] = exit_pc
+    if not candidates:
+        return HintTable()
+    reconvergence = collect_reconvergence(
+        program,
+        trace,
+        candidates,
+        max_distance=thresholds.max_cfm_distance,
+        allow_loop_carried=True,
+    )
+    table = HintTable()
+    for pc, exit_pc in candidates.items():
+        recon = reconvergence.get(pc)
+        if recon is None:
+            continue
+        points = qualifying_cfm_points(recon, thresholds)
+        # The exit block must itself qualify as the merge point; other
+        # "common" PCs are loop-body blocks of subsequent iterations.
+        qualified = [c for c in points if c.pc == exit_pc]
+        if not qualified:
+            continue
+        cfm = qualified[0]
+        early_exit = int(
+            thresholds.early_exit_distance_factor * cfm.mean_distance
+        ) + 8
+        table.add(
+            pc,
+            DivergeHint(
+                (exit_pc,),
+                early_exit_threshold=max(early_exit, 8),
+                is_loop=True,
+            ),
+        )
+    return table
+
+
+def merge_hint_tables(*tables: HintTable) -> HintTable:
+    """Combine forward-diverge and loop-diverge hint tables (first writer
+    wins on PC collisions — forward marking takes priority)."""
+    merged = HintTable()
+    for table in tables:
+        for pc, hint in table:
+            if pc not in merged:
+                merged.add(pc, hint)
+    return merged

@@ -1,0 +1,89 @@
+"""Profile-free (static) diverge-branch selection.
+
+Section 2.3 of the paper notes that "frequently executed path information
+can be collected by profiling **or compiler heuristics**".  This module is
+the heuristics-only path: no trace, no second profile run — just static
+CFG analysis:
+
+* every conditional branch whose **immediate post-dominator** exists and
+  lies within the CFM distance cap (shortest-path dynamic instructions on
+  both sides) is marked, with the post-dominator as the single CFM point;
+* loop-exit branches are excluded (the mainline machine does not
+  predicate loop iterations).
+
+Static selection marks *more* branches than profiling (it cannot see
+which ones mispredict) and its CFM points are the conservative
+post-dominators rather than the nearer frequent-path merge points — the
+two costs the paper's profile-guided approach exists to avoid.  The
+``static-vs-profile`` ablation bench quantifies the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cfg.dominators import immediate_postdominators
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.loops import loop_exit_branches
+from repro.cfg.paths import reachable_within
+from repro.isa.encoding import DivergeHint, HintTable
+from repro.profiling.profiler import ProgramProfile
+from repro.program.program import Program
+
+
+def _static_distance(
+    cfg: ControlFlowGraph, source: str, target: str, cap: int
+) -> Optional[int]:
+    """Shortest dynamic-instruction distance from ``source``'s successors'
+    start to ``target``'s first instruction, or None beyond the cap."""
+    distances = reachable_within(cfg, source, cap)
+    value = distances.get(target)
+    if value is None:
+        return None
+    # reachable_within counts from source's first instruction; the branch
+    # sits at the end of the source block, so subtract its body.
+    return max(value - len(cfg.block(source)), 0)
+
+
+def select_diverge_branches_static(
+    program: Program,
+    max_cfm_distance: int = 120,
+    profile: Optional[ProgramProfile] = None,
+    min_misprediction_rate: float = 0.0,
+) -> HintTable:
+    """Mark every suitably-shaped branch with its post-dominator as CFM.
+
+    An optional profile restores the hard-to-predict filter (a hybrid
+    static-CFM / profiled-hotness mode); without it, selection is fully
+    static and the hardware's confidence estimator is the only filter.
+    """
+    table = HintTable()
+    for cfg in program.functions():
+        ipostdom = immediate_postdominators(cfg)
+        loop_exits = {block for block, _, _ in loop_exit_branches(cfg)}
+        for block_name, instr in cfg.conditional_branches():
+            if block_name in loop_exits:
+                continue
+            merge = ipostdom.get(block_name)
+            if merge is None:
+                continue  # paths never reconverge (e.g., one side returns)
+            distance = _static_distance(
+                cfg, block_name, merge, cap=max_cfm_distance * 2
+            )
+            if distance is None or distance > max_cfm_distance:
+                continue
+            if profile is not None:
+                stats = profile.branches.get(instr.pc)
+                if stats is None:
+                    continue
+                if stats.misprediction_rate < min_misprediction_rate:
+                    continue
+            merge_pc = cfg.block(merge).first_pc
+            table.add(
+                instr.pc,
+                DivergeHint(
+                    (merge_pc,),
+                    early_exit_threshold=max(2 * distance, 8),
+                ),
+            )
+    return table

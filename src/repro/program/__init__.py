@@ -1,0 +1,23 @@
+"""Program representation and functional (architectural) simulation.
+
+A :class:`~repro.program.program.Program` bundles one or more function CFGs,
+assigns PCs, and provides PC-indexed lookups.  The
+:class:`~repro.program.interpreter.Interpreter` executes a program
+architecturally — real register/memory semantics, no timing — producing the
+dynamic :class:`~repro.program.trace.Trace` that the profiler and the timing
+model consume.
+"""
+
+from repro.program.program import Program
+from repro.program.memory import Memory
+from repro.program.trace import BlockExec, Trace
+from repro.program.interpreter import Interpreter, ExecutionLimitExceeded
+
+__all__ = [
+    "Program",
+    "Memory",
+    "BlockExec",
+    "Trace",
+    "Interpreter",
+    "ExecutionLimitExceeded",
+]

@@ -1,0 +1,52 @@
+"""Architectural data memory for the functional interpreter.
+
+Word-granular (one 64-bit value per address), sparse, and deterministic:
+unwritten locations read as zero unless the workload pre-fills them.  The
+workload generator uses :meth:`Memory.fill_array` to lay down the seeded
+pseudo-random input data that makes its branches genuinely data-dependent.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable
+
+_MASK = (1 << 64) - 1
+
+
+class Memory:
+    """Sparse word-addressed memory."""
+
+    __slots__ = ("_words",)
+
+    def __init__(self) -> None:
+        self._words: Dict[int, int] = {}
+
+    def load(self, address: int) -> int:
+        return self._words.get(address, 0)
+
+    def store(self, address: int, value: int) -> None:
+        self._words[address] = value & _MASK
+
+    def fill_array(self, base: int, values: Iterable[int]) -> int:
+        """Store ``values`` at consecutive addresses from ``base``.
+
+        Returns the number of words written.
+        """
+        count = 0
+        for offset, value in enumerate(values):
+            self.store(base + offset, value)
+            count += 1
+        return count
+
+    def fill_random(self, base: int, length: int, seed: int, bound: int = 256) -> None:
+        """Fill ``length`` words with seeded uniform values in ``[0, bound)``."""
+        rng = random.Random(seed)
+        self.fill_array(base, (rng.randrange(bound) for _ in range(length)))
+
+    def footprint(self) -> int:
+        """Number of distinct words ever written."""
+        return len(self._words)
+
+    def __repr__(self) -> str:
+        return f"<Memory ({len(self._words)} words)>"

@@ -1,0 +1,163 @@
+"""Machine configuration, mirroring Table 2 of the paper.
+
+The defaults reproduce the baseline processor: 8-wide fetch ending at the
+first predicted-taken branch and at most 3 conditional branches per cycle,
+a 30-stage pipeline (minimum misprediction penalty), a 512-entry reorder
+buffer, perceptron direction prediction, a JRS confidence estimator, and
+the Table 2 cache hierarchy.  ``mode`` selects the front-end policy under
+evaluation (baseline / DMP / DHP / dual-path); the three ``enhanced-*``
+flags correspond to the cumulative enhancements of Figure 9.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+#: Valid front-end policies.
+MODES = ("baseline", "dmp", "dhp", "dualpath", "wish")
+
+
+@dataclasses.dataclass
+class MachineConfig:
+    # Front end (Table 2)
+    fetch_width: int = 8
+    max_branches_per_cycle: int = 3
+    fetch_stops_at_taken: bool = True
+    pipeline_depth: int = 30
+    # Execution core (Table 2)
+    rob_size: int = 512
+    retire_width: int = 8
+    store_buffer_size: int = 128
+    # Predictors
+    predictor_kind: str = "perceptron"
+    predictor_args: Dict = dataclasses.field(default_factory=dict)
+    confidence_kind: str = "jrs"
+    confidence_args: Dict = dataclasses.field(default_factory=dict)
+    btb_entries: int = 4096
+    ras_depth: int = 64
+    # Policy under evaluation
+    mode: str = "baseline"
+    # DMP enhancements (Section 2.7), cumulative in the paper's Figure 9
+    multiple_cfm: bool = False
+    early_exit: bool = False
+    multiple_diverge: bool = False
+    #: Static alternate-path instruction budget for early exit when the
+    #: compiler did not choose a per-branch threshold.
+    early_exit_default_threshold: int = 48
+    #: Hard bound on instructions fetched per dpred path (a real machine
+    #: bounds this by checkpoint/ROB resources).
+    dpred_path_limit: int = 256
+    #: Predicate hard-to-predict loop-exit branches marked ``is_loop``
+    #: (the Section 2.7.4 "diverge loop branches" extension, wish-loop
+    #: style).  Off by default: the paper's mainline machine skips them.
+    loop_predication: bool = False
+    #: How the multiple-diverge-branch enhancement handles a newer
+    #: low-confidence diverge branch on the predicted path:
+    #: ``"restart"`` (the paper's mainline Section 2.7.3 policy: exit and
+    #: re-enter) or ``"nested"`` (the Section 2.7.4 alternative: predicate
+    #: it too, with AND-ed predicates).
+    multiple_diverge_policy: str = "restart"
+    #: Maximum nesting depth under the "nested" policy.
+    max_nested_diverge: int = 2
+    #: Section 2.7.4's "selective branch predictor update policy": do not
+    #: train the direction predictor with dynamically-predicated diverge
+    #: branch instances (Klauser et al. found this removes destructive
+    #: interference).
+    selective_predictor_update: bool = False
+    #: Which path's final global history survives a normal dpred exit:
+    #: ``"predicted"`` or ``"alternate"``.  The paper chose the alternate
+    #: path's GHR "based on simulation results" (footnote 7); on our
+    #: synthetic workloads — whose branches are more history-correlated
+    #: than SPEC — the predicted path's GHR measures better, so that is
+    #: the default.  Both are equally implementable (both GHRs are
+    #: checkpointed during dynamic predication).
+    dpred_ghr_policy: str = "predicted"
+    # Memory
+    memory_latency: int = 300
+    #: Sequential-stream prefetch depth on L1D misses (0 disables); an
+    #: extension knob for the memory-system ablations.
+    prefetch_lines: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
+        if self.dpred_ghr_policy not in ("predicted", "alternate"):
+            raise ValueError(
+                "dpred_ghr_policy must be 'predicted' or 'alternate'"
+            )
+        if self.multiple_diverge_policy not in ("restart", "nested"):
+            raise ValueError(
+                "multiple_diverge_policy must be 'restart' or 'nested'"
+            )
+        if self.fetch_width <= 0 or self.rob_size <= 0:
+            raise ValueError("widths and sizes must be positive")
+
+    # -- named configurations ---------------------------------------------
+
+    @classmethod
+    def baseline(cls, **overrides) -> "MachineConfig":
+        """The Table 2 baseline processor."""
+        return cls(**overrides)
+
+    @classmethod
+    def dmp(cls, enhanced: bool = False, **overrides) -> "MachineConfig":
+        """Basic DMP, or the fully-enhanced DMP of Figure 9 when
+        ``enhanced`` is set."""
+        flags = dict(mode="dmp")
+        if enhanced:
+            flags.update(
+                multiple_cfm=True, early_exit=True, multiple_diverge=True
+            )
+        flags.update(overrides)
+        return cls(**flags)
+
+    @classmethod
+    def dhp(cls, **overrides) -> "MachineConfig":
+        """Dynamic Hammock Predication (Klauser et al.)."""
+        return cls(mode="dhp", **overrides)
+
+    @classmethod
+    def dualpath(cls, **overrides) -> "MachineConfig":
+        """Selective dual-path execution (Heil & Smith).
+
+        Forks only on fully-unconfident branches (saturated JRS
+        threshold): forking costs half the fetch bandwidth, so it needs a
+        much higher misprediction probability than dynamic predication to
+        pay off."""
+        overrides.setdefault("confidence_args", {"threshold": None})
+        return cls(mode="dualpath", **overrides)
+
+    def replace(self, **overrides) -> "MachineConfig":
+        """A copy with the given fields overridden."""
+        return dataclasses.replace(self, **overrides)
+
+    @classmethod
+    def wish(cls, **overrides) -> "MachineConfig":
+        """Wish branches (Kim et al.): compile-time if-converted regions
+        with a run-time choice between predicated execution and normal
+        branch prediction.  With ``confidence_kind="never"`` this machine
+        degenerates to classic always-on compile-time predication."""
+        return cls(mode="wish", **overrides)
+
+    @property
+    def is_predicating(self) -> bool:
+        return self.mode in ("dmp", "dhp", "wish")
+
+    def describe(self) -> str:
+        """Human-readable one-line summary (used by the harness tables)."""
+        extras = []
+        if self.mode == "dmp":
+            for flag, label in (
+                (self.multiple_cfm, "mcfm"),
+                (self.early_exit, "eexit"),
+                (self.multiple_diverge, "mdb"),
+            ):
+                if flag:
+                    extras.append(label)
+        suffix = f" +{'+'.join(extras)}" if extras else ""
+        return (
+            f"{self.mode}{suffix}: {self.fetch_width}-wide, "
+            f"{self.pipeline_depth}-stage, {self.rob_size}-entry ROB, "
+            f"{self.predictor_kind}/{self.confidence_kind}"
+        )

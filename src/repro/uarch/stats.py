@@ -1,0 +1,126 @@
+"""Simulation statistics: every counter the paper's figures need."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+
+@dataclasses.dataclass
+class SimStats:
+    """Counters collected by one :class:`~repro.uarch.timing.TimingSimulator`
+    run.  Figure/table mapping:
+
+    * Fig 1 — ``fetched_wrong_cd`` / ``fetched_wrong_ci`` vs ``fetched_total``
+    * Table 3 — ``ipc``, ``retired_instructions``, ``retired_branches``,
+      ``mispredictions``
+    * Figs 7/9/13 — ``ipc``
+    * Figs 8/10 — ``exit_cases``
+    * Fig 11 — ``pipeline_flushes``
+    * Fig 12 — ``fetched_total`` and ``executed_instructions`` +
+      ``extra_uops`` + ``select_uops``
+    """
+
+    benchmark: str = ""
+    config_description: str = ""
+
+    cycles: int = 0
+    retired_instructions: int = 0
+    retired_branches: int = 0
+    mispredictions: int = 0
+    #: Mispredictions that actually flushed the pipeline (DMP converts some
+    #: into predicated execution).
+    pipeline_flushes: int = 0
+
+    # Fetch accounting
+    fetched_correct: int = 0
+    #: Wrong-path instructions that are control-dependent on the
+    #: mispredicted branch (fetched before its reconvergence point).
+    fetched_wrong_cd: int = 0
+    #: Wrong-path instructions past the reconvergence point
+    #: (control-independent work the flush throws away).
+    fetched_wrong_ci: int = 0
+
+    # Execution accounting
+    executed_instructions: int = 0
+    predicated_false_instructions: int = 0
+    extra_uops: int = 0       # enter.pred.path / enter.alternate.path / exit.pred
+    select_uops: int = 0
+
+    # Dynamic predication accounting
+    dpred_entries: int = 0
+    exit_cases: Dict[int, int] = dataclasses.field(
+        default_factory=lambda: {case: 0 for case in range(1, 7)}
+    )
+    early_exits: int = 0
+    dpred_restarts: int = 0   # multiple-diverge-branch re-entries
+    #: Inner episodes under the "nested" multiple-diverge policy.
+    nested_episodes: int = 0
+    #: Loop-exit mispredictions absorbed by loop predication (the
+    #: iteration became predicated-FALSE work instead of a flush).
+    loop_iteration_saves: int = 0
+
+    # Dual-path accounting
+    dualpath_forks: int = 0
+
+    # Store buffer / memory
+    load_wait_on_predicate: int = 0
+
+    # -- derived ----------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        """Retired architectural instructions per cycle (predicated-FALSE
+        instructions and inserted uops do not count, per Section 3.1)."""
+        return self.retired_instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def fetched_total(self) -> int:
+        return self.fetched_correct + self.fetched_wrong_cd + self.fetched_wrong_ci
+
+    @property
+    def fetched_wrong(self) -> int:
+        return self.fetched_wrong_cd + self.fetched_wrong_ci
+
+    @property
+    def misprediction_rate(self) -> float:
+        if not self.retired_branches:
+            return 0.0
+        return self.mispredictions / self.retired_branches
+
+    @property
+    def mpki(self) -> float:
+        """Mispredictions per thousand retired instructions."""
+        if not self.retired_instructions:
+            return 0.0
+        return 1000.0 * self.mispredictions / self.retired_instructions
+
+    @property
+    def total_executed_with_uops(self) -> int:
+        return self.executed_instructions + self.extra_uops + self.select_uops
+
+    def record_exit_case(self, case: int) -> None:
+        if case not in self.exit_cases:
+            raise ValueError(f"exit case must be 1..6, got {case}")
+        self.exit_cases[case] += 1
+
+    def summary(self) -> str:
+        lines = [
+            f"benchmark={self.benchmark} [{self.config_description}]",
+            f"  cycles={self.cycles}  retired={self.retired_instructions}  "
+            f"IPC={self.ipc:.3f}",
+            f"  branches={self.retired_branches}  "
+            f"mispred={self.mispredictions} ({self.misprediction_rate:.2%})  "
+            f"flushes={self.pipeline_flushes}",
+            f"  fetched: correct={self.fetched_correct}  "
+            f"wrongCD={self.fetched_wrong_cd}  wrongCI={self.fetched_wrong_ci}",
+        ]
+        if self.dpred_entries:
+            cases = " ".join(
+                f"c{c}={n}" for c, n in sorted(self.exit_cases.items())
+            )
+            lines.append(
+                f"  dpred: entries={self.dpred_entries}  {cases}  "
+                f"select={self.select_uops}  extra={self.extra_uops}"
+            )
+        return "\n".join(lines)

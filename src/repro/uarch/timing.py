@@ -1,0 +1,611 @@
+"""One-pass trace-driven timing model of the baseline out-of-order machine.
+
+The simulator makes a single in-order pass over the functional trace,
+accounting cycles with the first-order structures the paper's evaluation
+depends on:
+
+* a fetch engine with the Table 2 rules (8-wide, at most 3 conditional
+  branches per cycle, fetch ends at the first predicted-taken branch,
+  I-cache misses stall fetch, BTB misses on taken transfers cost a bubble);
+* a dependence scoreboard: each instruction completes at
+  ``max(fetch + pipeline_depth, sources ready) + latency``, with load
+  latency from the cache hierarchy and the predicate-aware store buffer;
+* in-order retirement bounded by ``retire_width``, with a reorder-buffer
+  ring that stalls fetch when the window fills;
+* full misprediction modelling: on a mispredicted branch the front end
+  keeps fetching down the *wrong* path (a predictor-guided walk of the
+  static CFG) until the branch resolves, classifying wrong-path fetches as
+  control-dependent or control-independent against the branch's
+  reconvergence point (Figure 1), then flushes and refetches.
+
+Policies: this base class implements ``baseline`` and ``dualpath``
+(selective dual-path execution).  The dynamic-predication policies (DMP
+and DHP) live in :class:`repro.core.dpred.PredicationAwareSimulator`,
+which subclasses this and overrides :meth:`_maybe_enter_dpred`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.branch import make_predictor
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.perfect import PerfectPredictor
+from repro.branch.ras import ReturnAddressStack
+from repro.confidence import make_estimator
+from repro.confidence.perfect import PerfectConfidenceEstimator
+from repro.cfg.dominators import immediate_postdominators
+from repro.isa.encoding import HintTable
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import NUM_ARCH_REGS
+from repro.memsys.hierarchy import CacheHierarchy, MainMemory
+from repro.program.program import Program
+from repro.program.trace import Trace
+from repro.uarch.config import MachineConfig
+from repro.uarch.frontend import StaticWalker, TraceCursor
+from repro.uarch.rat import RegisterAliasTable
+from repro.uarch.stats import SimStats
+from repro.uarch.storebuffer import ForwardDecision, StoreBuffer
+
+
+class BranchContext:
+    """Everything known about an on-trace conditional branch at fetch."""
+
+    __slots__ = (
+        "instr",
+        "record",
+        "prediction",
+        "actual",
+        "resolution",
+        "history_snapshot",
+    )
+
+    def __init__(self, instr, record, prediction, actual, resolution,
+                 history_snapshot):
+        self.instr = instr
+        self.record = record
+        self.prediction = prediction
+        self.actual = actual
+        self.resolution = resolution
+        self.history_snapshot = history_snapshot
+
+    @property
+    def mispredicted(self) -> bool:
+        return self.prediction.taken != self.actual
+
+
+class TimingSimulator:
+    """Drives one benchmark trace through one machine configuration."""
+
+    def __init__(
+        self,
+        program: Program,
+        trace: Trace,
+        config: MachineConfig = None,
+        hints: Optional[HintTable] = None,
+        benchmark: str = "",
+        warm_words=None,
+    ) -> None:
+        self.program = program
+        self.trace = trace
+        self.config = config or MachineConfig()
+        self.hints = hints or HintTable()
+        self.stats = SimStats(
+            benchmark=benchmark or trace.program_name,
+            config_description=self.config.describe(),
+        )
+        # Predictors and estimators
+        self.predictor = make_predictor(
+            self.config.predictor_kind, **self.config.predictor_args
+        )
+        self.confidence = make_estimator(
+            self.config.confidence_kind, **self.config.confidence_args
+        )
+        self.btb = BranchTargetBuffer(self.config.btb_entries)
+        self.ras = ReturnAddressStack(self.config.ras_depth)
+        # Memory system
+        self.hierarchy = CacheHierarchy(
+            memory=MainMemory(latency=self.config.memory_latency),
+            prefetch_lines=self.config.prefetch_lines,
+        )
+        if warm_words is not None:
+            # Pre-load the benchmark's initialized data into the L2: SPEC
+            # working sets are largely cache-resident after warmup, and the
+            # paper's runs skip initialization.  Footprints larger than the
+            # L2 (the pointer-chasing benchmarks) still miss by capacity.
+            for address in warm_words:
+                self.hierarchy.l2.access(address)
+            self.hierarchy.l2.hits = 0
+            self.hierarchy.l2.misses = 0
+        # Renaming / dependence state
+        self.rat = RegisterAliasTable()
+        self.reg_ready: List[int] = [0] * NUM_ARCH_REGS
+        self.store_buffer = StoreBuffer(self.config.store_buffer_size)
+        # Fetch state
+        self.cycle = 0
+        self.slots = self.config.fetch_width
+        self.branches_left = self.config.max_branches_per_cycle
+        self.seq = 0  # dispatch sequence number (ROB allocation order)
+        # Retirement state
+        self.retire_ring = [0] * self.config.rob_size
+        self.last_retire_cycle = 0
+        self.retire_count = 0
+        # Dual-path state
+        self.dual_until = -1
+        # Architectural call context at the current fetch point: the
+        # static walkers seed their shadow return-address stacks from it so
+        # wrong paths can flow through RETs the way a real RAS allows.
+        self.call_context: List[Tuple[str, str]] = []
+        # Derived structures
+        self._ipostdom_pc: Dict[Tuple[str, str], Optional[int]] = {}
+        self._function_ipostdoms: Dict[str, Dict[str, Optional[str]]] = {}
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimStats:
+        cursor = TraceCursor(self.trace)
+        while not cursor.exhausted:
+            record = cursor.record
+            block = record.block
+            self._icache_fetch(block.first_pc)
+            terminator = block.terminator
+            if terminator is not None and terminator.opcode == Opcode.BR:
+                self._fetch_trace_block(record, skip_terminator=True)
+                self._handle_trace_branch(cursor, record)
+            else:
+                self._fetch_trace_block(record)
+                self._handle_nonbranch_transfer(block)
+                cursor.advance()
+        self.stats.cycles = max(self.last_retire_cycle, self.cycle)
+        self.stats.retired_instructions = self.trace.instruction_count
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Fetch engine
+    # ------------------------------------------------------------------
+
+    def _advance_fetch_cycle(self, to_cycle: Optional[int] = None) -> None:
+        if to_cycle is None:
+            self.cycle += 1
+        else:
+            self.cycle = max(self.cycle + 1, to_cycle)
+        width = self.config.fetch_width
+        if self.cycle <= self.dual_until:
+            width = max(1, width // 2)
+        self.slots = width
+        self.branches_left = self.config.max_branches_per_cycle
+
+    def _fetch_slot(self, is_cond_branch: bool, occupies_rob: bool = True) -> int:
+        """Allocate one fetch slot, advancing the fetch cycle as required.
+
+        Returns the fetch cycle.  ``occupies_rob`` gates the window-full
+        stall (wrong-path instructions are squashed before they can block
+        the window for long, so their walk skips the check)."""
+        if occupies_rob and self.seq >= self.config.rob_size:
+            oldest_retire = self.retire_ring[self.seq % self.config.rob_size]
+            if self.cycle < oldest_retire:
+                self._advance_fetch_cycle(oldest_retire)
+        if self.slots <= 0 or (is_cond_branch and self.branches_left <= 0):
+            self._advance_fetch_cycle()
+        self.slots -= 1
+        if is_cond_branch:
+            self.branches_left -= 1
+        return self.cycle
+
+    def _icache_fetch(self, pc: int) -> None:
+        latency = self.hierarchy.inst_access(pc // 8)
+        extra = latency - self.hierarchy.l1i.latency
+        if extra > 0:
+            self._advance_fetch_cycle(self.cycle + extra)
+
+    def _taken_redirect(self, pc: int, target_pc: int) -> None:
+        """A predicted-taken transfer ends the fetch cycle; a BTB miss adds
+        a bubble while the target is computed."""
+        if self.btb.lookup(pc) != target_pc:
+            self.btb.insert(pc, target_pc)
+            self._advance_fetch_cycle()  # bubble
+        if self.config.fetch_stops_at_taken:
+            self._advance_fetch_cycle()
+
+    # ------------------------------------------------------------------
+    # Execution / retirement accounting
+    # ------------------------------------------------------------------
+
+    def _sources_ready(self, instr: Instruction) -> int:
+        ready = 0
+        for src in instr.srcs:
+            if self.reg_ready[src] > ready:
+                ready = self.reg_ready[src]
+        return ready
+
+    def _retire(self, completion: int) -> int:
+        cycle = completion + 1
+        if cycle < self.last_retire_cycle:
+            cycle = self.last_retire_cycle
+        if cycle == self.last_retire_cycle:
+            if self.retire_count >= self.config.retire_width:
+                cycle += 1
+                self.retire_count = 0
+        else:
+            self.retire_count = 0
+        self.last_retire_cycle = cycle
+        self.retire_count += 1
+        self.retire_ring[self.seq % self.config.rob_size] = cycle
+        self.seq += 1
+        return cycle
+
+    def _dispatch_uop(self, sources_ready: int, latency: int = 1) -> int:
+        """Account one front-end-inserted uop.  Returns its completion.
+
+        Uops consume no fetch slot, and deliberately no reorder-buffer ring
+        slot either: dynamic-predication bookkeeping is checkpoint-based
+        and predicated-FALSE work frees its resources the moment the
+        predicate resolves (Section 2.5), while this trace-driven model
+        cannot credit the matching MLP *benefit* DMP gets from not
+        flushing in-flight control-independent loads (wrong-path loads
+        carry no addresses here).  Charging the occupancy without the
+        benefit would double-penalize predication — see DESIGN.md."""
+        completion = max(self.cycle + self.config.pipeline_depth,
+                         sources_ready) + latency
+        return completion
+
+    # ------------------------------------------------------------------
+    # On-trace block fetch
+    # ------------------------------------------------------------------
+
+    def _fetch_trace_block(
+        self,
+        record,
+        skip_terminator: bool = False,
+        predicate_id: Optional[int] = None,
+        predicate_is_false: bool = False,
+        predicate_ready: Optional[int] = None,
+    ) -> int:
+        """Fetch, execute and retire one on-trace block's instructions.
+
+        Returns the completion cycle of the last fetched instruction.
+        When ``skip_terminator`` is set the terminating branch is *not*
+        processed here (the caller predicts it first and then calls
+        :meth:`_fetch_branch_instruction`)."""
+        block = record.block
+        instructions = block.instructions
+        if skip_terminator:
+            instructions = instructions[:-1]
+        mem_iter = iter(record.mem_addrs)
+        last_completion = 0
+        depth = self.config.pipeline_depth
+        for instr in instructions:
+            fetch_cycle = self._fetch_slot(instr.is_cond_branch)
+            self.stats.fetched_correct += 1
+            base = max(fetch_cycle + depth, self._sources_ready(instr))
+            if instr.is_load:
+                completion = self._execute_load(
+                    instr, next(mem_iter), base, predicate_id
+                )
+            elif instr.is_store:
+                completion = base + 1
+                address = next(mem_iter)
+                self.store_buffer.insert(
+                    address,
+                    self.seq,
+                    completion,
+                    predicate_id=predicate_id,
+                    predicate_ready_cycle=predicate_ready,
+                    predicate_value=(
+                        None if predicate_id is None else not predicate_is_false
+                    ),
+                )
+            else:
+                completion = base + instr.latency
+            if instr.writes_register:
+                self.rat.rename_dest(instr.dest)
+                self.reg_ready[instr.dest] = completion
+            self._retire(completion)
+            self.stats.executed_instructions += 1
+            if predicate_is_false:
+                self.stats.predicated_false_instructions += 1
+            last_completion = completion
+        return last_completion
+
+    def _execute_load(
+        self,
+        instr: Instruction,
+        address: int,
+        base: int,
+        predicate_id: Optional[int],
+    ) -> int:
+        forward = self.store_buffer.lookup(
+            address, self.seq, predicate_id, current_cycle=base
+        )
+        if forward.decision == ForwardDecision.FORWARD:
+            return max(base, forward.entry.data_ready_cycle) + 1
+        if forward.decision == ForwardDecision.WAIT:
+            self.stats.load_wait_on_predicate += 1
+            return max(base, forward.wait_until) + self.hierarchy.l1d.latency
+        return base + self.hierarchy.data_access(address)
+
+    def _fetch_branch_instruction(self, instr: Instruction) -> Tuple[int, int]:
+        """Fetch the terminating conditional branch itself; returns
+        ``(fetch_cycle, completion)`` — completion is its resolution."""
+        fetch_cycle = self._fetch_slot(True)
+        self.stats.fetched_correct += 1
+        completion = (
+            max(fetch_cycle + self.config.pipeline_depth,
+                self._sources_ready(instr))
+            + instr.latency
+        )
+        self._retire(completion)
+        self.stats.executed_instructions += 1
+        return fetch_cycle, completion
+
+    # ------------------------------------------------------------------
+    # Control transfers
+    # ------------------------------------------------------------------
+
+    def _handle_nonbranch_transfer(self, block) -> None:
+        term = block.terminator
+        if term is None:
+            return
+        pc = term.pc
+        if term.opcode == Opcode.JMP:
+            target = self._block_pc(self._block_function(block), term.target)
+            self._taken_redirect(pc, target)
+        elif term.opcode == Opcode.CALL:
+            callee_pc = self.program.function(term.target).entry.first_pc
+            if block.fallthrough is not None:
+                function = self._block_function(block)
+                return_pc = self._block_pc(function, block.fallthrough)
+                self.ras.push(return_pc)
+                self.call_context.append((function, block.fallthrough))
+            self._taken_redirect(pc, callee_pc)
+        elif term.opcode == Opcode.RET:
+            if self.call_context:
+                self.call_context.pop()
+            predicted = self.ras.pop()
+            self._advance_fetch_cycle()  # returns end the fetch cycle
+            if predicted is None:
+                # RAS underflow: the target is unknown until the return
+                # executes — a full pipeline refill.
+                self._advance_fetch_cycle(
+                    self.cycle + self.config.pipeline_depth
+                )
+
+    def _handle_trace_branch(self, cursor: TraceCursor, record) -> None:
+        """Predict, possibly predicate, and account the block's branch."""
+        instr = record.block.instructions[-1]
+        actual = record.taken
+        if isinstance(self.predictor, PerfectPredictor):
+            self.predictor.set_oracle(actual)
+        history_snapshot = self.predictor.snapshot()
+        prediction = self.predictor.predict(instr.pc)
+        fetch_cycle, resolution = self._fetch_branch_instruction(instr)
+        context = BranchContext(
+            instr, record, prediction, actual, resolution, history_snapshot
+        )
+        self.stats.retired_branches += 1
+
+        if self._maybe_enter_dpred(cursor, context):
+            return
+
+        # Normal predicted branch.
+        self.predictor.spec_update(prediction.taken)
+        if isinstance(self.confidence, PerfectConfidenceEstimator):
+            self.confidence.set_oracle(not context.mispredicted)
+        low_confidence = not self.confidence.is_confident(
+            instr.pc, history_snapshot
+        )
+        self._train_branch(context)
+
+        if (
+            self.config.mode == "dualpath"
+            and low_confidence
+            and self.cycle > self.dual_until
+            and self._fork_worthwhile(context)
+        ):
+            self._fork_dual_path(cursor, context)
+            return
+
+        if context.mispredicted:
+            self.stats.mispredictions += 1
+            self._mispredict_flush(context, cursor)
+            self.predictor.repair(prediction, actual)
+        else:
+            if prediction.taken:
+                taken_target = self._branch_taken_pc(record.block, instr)
+                self._taken_redirect(instr.pc, taken_target)
+        cursor.advance()
+
+    def _train_branch(self, context: BranchContext) -> None:
+        self.predictor.train(context.prediction, context.actual)
+        self.confidence.update(
+            context.instr.pc,
+            context.history_snapshot,
+            was_correct=not context.mispredicted,
+        )
+
+    # Hook overridden by the dynamic-predication subclass.
+    def _maybe_enter_dpred(self, cursor: TraceCursor, context) -> bool:
+        return False
+
+    # ------------------------------------------------------------------
+    # Misprediction handling
+    # ------------------------------------------------------------------
+
+    def _mispredict_flush(
+        self, context: BranchContext, cursor: Optional[TraceCursor] = None
+    ) -> None:
+        """Fetch the wrong path until resolution, then flush and redirect."""
+        self.stats.pipeline_flushes += 1
+        self._walk_wrong_path(
+            context.record,
+            context.prediction.taken,
+            until_cycle=context.resolution,
+            cursor=cursor,
+        )
+        # Flush: fetch restarts at the correct target after resolution.
+        self._advance_fetch_cycle(context.resolution + 1)
+
+    _CI_LOOKAHEAD_BLOCKS = 32
+
+    def _upcoming_correct_pcs(self, cursor: Optional[TraceCursor]) -> frozenset:
+        """Block-start PCs the correct path visits soon after the branch —
+        the wrong path is control-independent once it rejoins them."""
+        if cursor is None:
+            return frozenset()
+        records = self.trace.records
+        stop = min(len(records), cursor.index + 1 + self._CI_LOOKAHEAD_BLOCKS)
+        return frozenset(
+            records[i].block.first_pc for i in range(cursor.index + 1, stop)
+        )
+
+    def _walk_wrong_path(
+        self,
+        record,
+        wrong_taken: bool,
+        until_cycle: int,
+        cursor: Optional[TraceCursor] = None,
+    ) -> int:
+        """Predictor-guided wrong-path fetch from the wrong target of the
+        branch ending ``record.block``.  Instructions are classified
+        control-dependent until the walk reaches a point the correct path
+        also goes through (the branch's reconvergence point, or any block
+        the correct path visits within the lookahead window — the dynamic
+        notion Figure 1 measures), control-independent after.  Returns
+        instructions fetched."""
+        function = record.function
+        block = record.block
+        start = self._wrong_target_block(function, block, wrong_taken)
+        if start is None:
+            return 0
+        reconv_pc = self._reconvergence_pc(function, block.name)
+        upcoming = self._upcoming_correct_pcs(cursor)
+        walker = StaticWalker(
+            self.program, function, start, call_stack=self.call_context
+        )
+        fetched = 0
+        reached_ci = False
+        guard = 0
+        while not walker.exhausted and self.cycle < until_cycle:
+            guard += 1
+            if guard > 10_000:
+                break
+            current = walker.block
+            if not reached_ci and (
+                current.first_pc == reconv_pc
+                or current.first_pc in upcoming
+            ):
+                reached_ci = True
+            for instr in current.instructions:
+                if self.cycle >= until_cycle:
+                    break
+                self._fetch_slot(instr.is_cond_branch, occupies_rob=False)
+                fetched += 1
+                if reached_ci:
+                    self.stats.fetched_wrong_ci += 1
+                else:
+                    self.stats.fetched_wrong_cd += 1
+            self._step_walker(walker)
+        return fetched
+
+    def _step_walker(self, walker: StaticWalker) -> None:
+        """Advance a static walker one block, predicting its branch."""
+        if walker.exhausted:
+            return
+        block = walker.block
+        if walker.predict_needed:
+            instr = block.instructions[-1]
+            prediction = self.predictor.predict(instr.pc)
+            self.predictor.spec_update(prediction.taken)
+            if prediction.taken:
+                self._advance_fetch_cycle()  # taken ends the fetch cycle
+            walker.step(prediction.taken)
+        else:
+            term = block.terminator
+            if term is not None:
+                self._advance_fetch_cycle()  # jmp/call/ret redirect
+            walker.step()
+
+    # ------------------------------------------------------------------
+    # Dual-path execution (Heil & Smith)
+    # ------------------------------------------------------------------
+
+    def _fork_worthwhile(self, context: BranchContext) -> bool:
+        """Forking halves fetch bandwidth for the whole resolution window,
+        so it only pays on near-coin-flip predictions.  With a perceptron
+        predictor the output magnitude is itself a confidence measure
+        (Jiménez & Lin): require a weak output on top of low JRS
+        confidence before forking."""
+        theta = getattr(self.predictor, "theta", None)
+        if theta is None:
+            return True
+        return abs(context.prediction.output) <= theta // 4
+
+    def _fork_dual_path(self, cursor: TraceCursor, context: BranchContext) -> None:
+        """Fetch both paths at half bandwidth until the branch resolves.
+
+        The correct path keeps streaming through the main loop (the
+        ``dual_until`` window halves its effective fetch width); the wrong
+        path's consumption is accounted by a cycle-neutral walk so the two
+        "concurrent" fetch streams are not serialized."""
+        self.stats.dualpath_forks += 1
+        self.dual_until = context.resolution
+        if context.mispredicted:
+            self.stats.mispredictions += 1
+            # The correct path is already in the pipeline: no flush.
+        saved = (self.cycle, self.slots, self.branches_left,
+                 self.predictor.snapshot())
+        self._walk_wrong_path(
+            context.record,
+            not context.actual,
+            until_cycle=context.resolution,
+        )
+        self.cycle, self.slots, self.branches_left = saved[:3]
+        self.predictor.restore(saved[3])
+        if context.mispredicted:
+            self.predictor.repair(context.prediction, context.actual)
+        elif context.prediction.taken:
+            taken_target = self._branch_taken_pc(context.record.block,
+                                                 context.instr)
+            self._taken_redirect(context.instr.pc, taken_target)
+        cursor.advance()
+
+    # ------------------------------------------------------------------
+    # CFG helpers
+    # ------------------------------------------------------------------
+
+    def _block_function(self, block) -> str:
+        function, _, _ = self.program.locate(block.first_pc)
+        return function
+
+    def _block_pc(self, function: str, block_name: str) -> int:
+        return self.program.function(function).block(block_name).first_pc
+
+    def _branch_taken_pc(self, block, instr: Instruction) -> int:
+        return self._block_pc(self._block_function(block), instr.target)
+
+    def _wrong_target_block(self, function: str, block, wrong_taken: bool):
+        """The block the wrong path starts at (None if it falls off)."""
+        cfg = self.program.function(function)
+        instr = block.instructions[-1]
+        if wrong_taken:
+            return cfg.block(instr.target)
+        if block.fallthrough is None:
+            return None
+        return cfg.block(block.fallthrough)
+
+    def _reconvergence_pc(self, function: str, block_name: str) -> Optional[int]:
+        key = (function, block_name)
+        if key not in self._ipostdom_pc:
+            if function not in self._function_ipostdoms:
+                self._function_ipostdoms[function] = immediate_postdominators(
+                    self.program.function(function)
+                )
+            ipd = self._function_ipostdoms[function].get(block_name)
+            self._ipostdom_pc[key] = (
+                None
+                if ipd is None
+                else self.program.function(function).block(ipd).first_pc
+            )
+        return self._ipostdom_pc[key]

@@ -1,0 +1,56 @@
+"""The uops the diverge-merge front end inserts (Section 2.2, Figure 4).
+
+* ``enter.pred.path`` — inserted when dynamic-predication mode begins; its
+  "execution" defines the predicate register p1 from the diverge branch's
+  condition and predicted direction.
+* ``enter.alternate.path`` — inserted when fetch switches to the alternate
+  path; defines p2 = !p1.
+* ``exit.pred`` — inserted when the alternate path reaches the CFM point;
+  triggers select-uop insertion.
+* ``select`` — the phi-like uop merging the two physical registers an
+  architectural register maps to at the end of each path (one per M-bit
+  difference between the two register alias tables).
+
+DHP's conditional-move uops are represented by the same ``select`` kind
+(the paper notes both mechanisms insert "cmov or select uops").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class UopKind(enum.Enum):
+    ENTER_PRED_PATH = "enter.pred.path"
+    ENTER_ALT_PATH = "enter.alternate.path"
+    EXIT_PRED = "exit.pred"
+    SELECT = "select-uop"
+
+
+class Uop:
+    """A dynamically inserted uop (never part of the static program)."""
+
+    __slots__ = ("kind", "dest_arch", "pred_tag", "alt_tag")
+
+    def __init__(
+        self,
+        kind: UopKind,
+        dest_arch: Optional[int] = None,
+        pred_tag: Optional[int] = None,
+        alt_tag: Optional[int] = None,
+    ) -> None:
+        if kind == UopKind.SELECT and dest_arch is None:
+            raise ValueError("select-uop needs a destination register")
+        self.kind = kind
+        self.dest_arch = dest_arch
+        self.pred_tag = pred_tag
+        self.alt_tag = alt_tag
+
+    def __repr__(self) -> str:
+        if self.kind == UopKind.SELECT:
+            return (
+                f"<select r{self.dest_arch} = p? t{self.pred_tag} "
+                f": t{self.alt_tag}>"
+            )
+        return f"<{self.kind.value}>"

@@ -1,0 +1,53 @@
+"""Synthetic SPEC-CPU2000-like workloads.
+
+The paper evaluates on 12 SPEC-int and 3 SPEC-fp benchmarks, which are not
+redistributable (and their Alpha binaries would need a full ISA
+front end anyway).  This package synthesizes one workload per paper
+benchmark: real mini-ISA programs whose control-flow *shapes* (simple
+hammocks, Figure 3-style complex diverge regions, non-merging branches,
+data-dependent loops, calls with early returns) and branch
+*predictability* (driven by seeded data arrays mixing periodic patterns
+with noise) are tuned per benchmark to echo the published Table 3
+characteristics — see DESIGN.md for the substitution argument.
+
+* :mod:`repro.workloads.behaviors` — deterministic data-array generators
+  that control how predictable each branch is;
+* :mod:`repro.workloads.generator` — the gadget-based program generator;
+* :mod:`repro.workloads.suite` — the 15 named benchmarks.
+"""
+
+from repro.workloads.behaviors import (
+    biased,
+    noisy_periodic,
+    pointer_chase_indices,
+    uniform,
+)
+from repro.workloads.generator import (
+    GadgetSpec,
+    WorkloadSpec,
+    Workload,
+    build_workload,
+)
+from repro.workloads.suite import (
+    BENCHMARK_NAMES,
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    benchmark_spec,
+    build_benchmark,
+)
+
+__all__ = [
+    "biased",
+    "noisy_periodic",
+    "pointer_chase_indices",
+    "uniform",
+    "GadgetSpec",
+    "WorkloadSpec",
+    "Workload",
+    "build_workload",
+    "BENCHMARK_NAMES",
+    "FP_BENCHMARKS",
+    "INT_BENCHMARKS",
+    "benchmark_spec",
+    "build_benchmark",
+]

@@ -1,0 +1,94 @@
+"""Deterministic data-array generators controlling branch predictability.
+
+Workload branches test *loaded data* against thresholds, so the entropy of
+these arrays is exactly the entropy of the branches.  All generators are
+seeded and pure, so a benchmark is bit-reproducible.
+
+The useful mental model, for an array of values in ``[0, bound)`` tested
+with ``value < bound/2``:
+
+* :func:`uniform` — a coin flip per instance: a hard branch no predictor
+  can beat;
+* :func:`noisy_periodic` — a repeating pattern with probability
+  ``1 - noise`` and a uniform draw with probability ``noise``: history
+  predictors learn the pattern and mispredict roughly ``noise/2`` of the
+  time, mimicking real hard-ish branches;
+* :func:`biased` — almost always on one side: the easy branches that
+  dominate real programs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+
+def uniform(length: int, seed: int, bound: int = 256) -> List[int]:
+    """Independent uniform values in ``[0, bound)``."""
+    rng = random.Random(seed)
+    return [rng.randrange(bound) for _ in range(length)]
+
+
+def biased(
+    length: int, seed: int, taken_fraction: float, bound: int = 256
+) -> List[int]:
+    """Values below ``bound/2`` with probability ``taken_fraction``.
+
+    Tested with ``value < bound/2`` this gives a branch taken with that
+    probability (and predictable to roughly ``max(p, 1-p)`` accuracy).
+    """
+    if not 0.0 <= taken_fraction <= 1.0:
+        raise ValueError("taken_fraction must be within [0, 1]")
+    rng = random.Random(seed)
+    half = bound // 2
+    return [
+        rng.randrange(half)
+        if rng.random() < taken_fraction
+        else half + rng.randrange(bound - half)
+        for _ in range(length)
+    ]
+
+
+def noisy_periodic(
+    length: int,
+    seed: int,
+    pattern: Sequence[int],
+    noise: float = 0.1,
+    bound: int = 256,
+) -> List[int]:
+    """A repeating pattern corrupted by uniform noise.
+
+    With ``noise=0`` the branch outcome sequence is exactly periodic and a
+    history predictor learns it perfectly; each extra point of noise adds
+    roughly half a point of misprediction.
+    """
+    if not pattern:
+        raise ValueError("pattern must be non-empty")
+    if not 0.0 <= noise <= 1.0:
+        raise ValueError("noise must be within [0, 1]")
+    rng = random.Random(seed)
+    out = []
+    for i in range(length):
+        if rng.random() < noise:
+            out.append(rng.randrange(bound))
+        else:
+            out.append(pattern[i % len(pattern)] % bound)
+    return out
+
+
+def pointer_chase_indices(
+    length: int, seed: int, footprint: int
+) -> List[int]:
+    """A random permutation walk over ``footprint`` slots.
+
+    Used as load indices to defeat caches (the mcf-like benchmarks): every
+    access lands on a pseudo-random slot of a working set much larger than
+    the L1/L2, giving the low-IPC, memory-bound behaviour of Table 3.
+    """
+    rng = random.Random(seed)
+    return [rng.randrange(footprint) for _ in range(length)]
+
+
+def strided_indices(length: int, stride: int, footprint: int) -> List[int]:
+    """Cache-friendly strided indices (the high-IPC benchmarks)."""
+    return [(i * stride) % footprint for i in range(length)]

@@ -1,0 +1,427 @@
+"""Gadget-based synthetic program generator.
+
+A workload is a ``main`` loop over ``iterations`` data elements; each
+iteration calls a ``body`` function assembled from *gadgets* — small CFG
+shapes with known diverge-merge properties:
+
+=============  =========================================================
+``split_merge`` a diverge branch whose two sides reconverge at one of TWO
+               merge points (chosen by a shared secondary value), with the
+               eventual common block pushed beyond the 120-instruction
+               CFM cap: the basic single-CFM machine merges only half the
+               time, the multiple-CFM machine (Section 2.7.1) always
+``if``         simple hammock (if): DHP- and DMP-predicable
+``ifelse``     simple hammock (if-else): DHP- and DMP-predicable
+``nested``     the paper's Figure 3 shape, with a rare early *return*
+               (so the CFM point is NOT the immediate post-dominator):
+               complex diverge branch, DMP-only
+``ifelse_call`` hammock with a function call inside one arm: complex
+               diverge branch, DMP-only
+``no_merge``   paths reconverge beyond the 120-instruction cap: a
+               mispredicting branch neither mechanism can help ("other")
+``loop``       data-dependent inner loop (1–4 trips)
+``mem``        dependent load/store into a configurable footprint
+``fp``         floating-point dependency chain (no branch)
+=============  =========================================================
+
+Every branching gadget draws its branch value from a private seeded data
+array (see :mod:`repro.workloads.behaviors`), so branch predictability is
+an explicit per-gadget knob.
+
+Register conventions: ``r3`` is the loop index, ``r2`` unused spare,
+``r4``–``r7`` per-gadget data values, ``r10``–``r15`` scratch,
+``r26``–``r28`` live accumulators (they carry cross-iteration
+dependencies, so predicated paths produce real data-flow merges).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cfg.builder import BlockHandle, CFGBuilder
+from repro.isa.instructions import Condition
+from repro.program.interpreter import Interpreter
+from repro.program.memory import Memory
+from repro.program.program import Program
+from repro.program.trace import Trace
+from repro.workloads import behaviors
+
+_DATA_BASE = 1_000_000
+_HEAP_BASE = 50_000_000
+
+_GADGET_KINDS = (
+    "if",
+    "ifelse",
+    "nested",
+    "ifelse_call",
+    "no_merge",
+    "split_merge",
+    "loop",
+    "mem",
+    "fp",
+)
+
+
+@dataclasses.dataclass
+class GadgetSpec:
+    """One gadget instance within a workload body."""
+
+    kind: str
+    #: Behaviour of the primary branch-value array:
+    #: ("uniform",) | ("biased", p) | ("periodic", pattern, noise)
+    data: Tuple = ("uniform",)
+    threshold: int = 128
+    #: Filler ALU instructions per arm.
+    work: int = 3
+    #: Early-return probability for the ``nested`` gadget.
+    rare_fraction: float = 0.03
+    #: Behaviour of the ``nested`` gadget's *inner* branch (block B); the
+    #: default keeps it just below the diverge-selection rate floor.
+    inner_data: Tuple = ("periodic", (40, 200, 90, 180), 0.08)
+    #: Instructions on the long arm of ``no_merge`` (must exceed the
+    #: 120-instruction CFM cap for the gadget to stay un-predicable).
+    long_work: int = 140
+    #: Word footprint of the ``mem`` gadget.
+    footprint: int = 1 << 15
+    #: Access pattern for ``mem``: "chase" (random) or "stride".
+    access: str = "chase"
+
+    def __post_init__(self) -> None:
+        if self.kind not in _GADGET_KINDS:
+            raise ValueError(f"unknown gadget kind {self.kind!r}")
+
+
+@dataclasses.dataclass
+class WorkloadSpec:
+    """A complete synthetic benchmark definition."""
+
+    name: str
+    iterations: int
+    gadgets: List[GadgetSpec]
+    seed: int = 0
+    #: Work instructions in the shared helper called by ``ifelse_call``.
+    helper_work: int = 6
+
+    def scaled(self, iterations: int) -> "WorkloadSpec":
+        """The same workload at a different trace length (for tests)."""
+        return dataclasses.replace(self, iterations=iterations)
+
+
+class Workload:
+    """A built workload: sealed program + initialized memory."""
+
+    def __init__(self, spec: WorkloadSpec, program: Program, memory: Memory):
+        self.spec = spec
+        self.program = program
+        self.memory = memory
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def run(self, max_instructions: int = 50_000_000) -> Trace:
+        """Execute functionally and return the dynamic trace.
+
+        Memory is copied first so a workload can be run repeatedly."""
+        memory = Memory()
+        memory._words = dict(self.memory._words)
+        interp = Interpreter(
+            self.program, memory=memory, max_instructions=max_instructions
+        )
+        return interp.run()
+
+
+class _ArrayAllocator:
+    """Lays the per-gadget data arrays into memory."""
+
+    def __init__(self, memory: Memory, base: int = _DATA_BASE) -> None:
+        self.memory = memory
+        self.next_base = base
+
+    def allocate(self, values: Sequence[int]) -> int:
+        base = self.next_base
+        self.memory.fill_array(base, values)
+        self.next_base = base + len(values) + 64  # pad between arrays
+        return base
+
+
+def _materialize(
+    data: Tuple, length: int, seed: int
+) -> List[int]:
+    kind = data[0]
+    if kind == "uniform":
+        return behaviors.uniform(length, seed)
+    if kind == "biased":
+        return behaviors.biased(length, seed, taken_fraction=data[1])
+    if kind == "periodic":
+        noise = data[2] if len(data) > 2 else 0.1
+        return behaviors.noisy_periodic(length, seed, data[1], noise=noise)
+    raise ValueError(f"unknown data behaviour {data!r}")
+
+
+def _emit_work(block: BlockHandle, count: int, salt: int) -> None:
+    """Filler ALU work: four independent short chains over r13..r16
+    (ILP ≈ 4), restarted from the data value at each call so dependence
+    chains stay *local* to the emitting block — real code's dataflow is
+    flat, and a globally threaded accumulator would put every dynamic
+    predication data-merge on the program's critical path.
+
+    Uses only r13–r16 scratch so gadget control registers (r10/r11 for
+    loop bounds, r4–r7 for branch values) are never clobbered."""
+    chains = (13, 14, 15, 16)
+    started = set()
+    for i in range(count):
+        step = salt + i
+        reg = chains[step % 4]
+        if reg not in started:
+            started.add(reg)
+            block.addi(reg, 4, (step * 7 + 3) & 0xFF)  # fresh chain head
+        elif step % 2 == 0:
+            block.addi(reg, reg, (step * 7 + 3) & 0xFF)
+        else:
+            block.xor(reg, reg, 4)
+
+
+class _WorkloadBuilder:
+    def __init__(self, spec: WorkloadSpec) -> None:
+        self.spec = spec
+        self.memory = Memory()
+        self.arrays = _ArrayAllocator(self.memory)
+        self.body = CFGBuilder("body")
+        self._gadget_index = 0
+        self._needs_helper = False
+
+    # -- data -------------------------------------------------------------
+
+    def _seed(self, *salt) -> int:
+        tag = ":".join(str(part) for part in
+                       (self.spec.seed, self.spec.name) + salt)
+        return zlib.crc32(tag.encode())
+
+    def _array_for(self, data: Tuple, salt: int) -> int:
+        return self.arrays.allocate(
+            _materialize(data, self.spec.iterations, self._seed(salt))
+        )
+
+    # -- gadget emitters ------------------------------------------------------
+
+    def emit_gadget(self, gadget: GadgetSpec) -> None:
+        index = self._gadget_index
+        self._gadget_index += 1
+        emitter = getattr(self, f"_emit_{gadget.kind}")
+        emitter(gadget, f"g{index}", index)
+
+    def _load_value(
+        self, block: BlockHandle, reg: int, data: Tuple, salt: int
+    ) -> None:
+        base = self._array_for(data, salt)
+        block.load(reg, 3, offset=base)
+
+    def _emit_if(self, g: GadgetSpec, p: str, index: int) -> None:
+        entry = self.body.block(f"{p}_A")
+        self._load_value(entry, 4, g.data, index * 16)
+        entry.br(Condition.GE, 4, imm=g.threshold, taken=f"{p}_M")
+        body = self.body.block(f"{p}_B")
+        _emit_work(body, g.work, index)
+        merge = self.body.block(f"{p}_M")
+        merge.add(27, 13, 14)
+
+    def _emit_ifelse(self, g: GadgetSpec, p: str, index: int) -> None:
+        entry = self.body.block(f"{p}_A")
+        self._load_value(entry, 4, g.data, index * 16)
+        entry.br(Condition.GE, 4, imm=g.threshold, taken=f"{p}_E")
+        then = self.body.block(f"{p}_T")
+        _emit_work(then, g.work, index)
+        then.addi(28, 26, 1)
+        then.jmp(f"{p}_M")
+        els = self.body.block(f"{p}_E")
+        _emit_work(els, g.work, index + 1)
+        els.addi(28, 26, 2)
+        merge = self.body.block(f"{p}_M")
+        merge.add(27, 28, 14)
+
+    def _emit_nested(self, g: GadgetSpec, p: str, index: int) -> None:
+        """The paper's Figure 3 control-flow graph (with early return)."""
+        a = self.body.block(f"{p}_A")
+        self._load_value(a, 4, g.data, index * 16)
+        self._load_value(a, 5, g.inner_data, index * 16 + 1)
+        self._load_value(a, 6, ("periodic", (220, 30, 170, 60, 110), 0.06),
+                         index * 16 + 2)
+        self._load_value(a, 7, ("biased", g.rare_fraction), index * 16 + 3)
+        a.br(Condition.LT, 4, imm=g.threshold, taken=f"{p}_C")
+        b = self.body.block(f"{p}_B")
+        _emit_work(b, g.work, index)
+        b.br(Condition.LT, 5, imm=128, taken=f"{p}_E")
+        d = self.body.block(f"{p}_D")
+        _emit_work(d, g.work, index + 1)
+        d.br(Condition.LT, 6, imm=128, taken=f"{p}_E")
+        f = self.body.block(f"{p}_F")
+        _emit_work(f, g.work, index + 2)
+        f.addi(28, 26, 3)
+        f.jmp(f"{p}_G")
+        r = self.body.block(f"{p}_R")  # rare early return
+        r.addi(27, 28, 7)
+        r.ret()
+        e = self.body.block(f"{p}_E")
+        _emit_work(e, g.work, index + 3)
+        e.addi(28, 26, 4)
+        e.jmp(f"{p}_H")
+        c = self.body.block(f"{p}_C")
+        _emit_work(c, g.work, index + 4)
+        c.addi(28, 26, 5)
+        c.br(Condition.LT, 7, imm=128, taken=f"{p}_R")
+        ch = self.body.block(f"{p}_CH")
+        ch.jmp(f"{p}_H")
+        gblk = self.body.block(f"{p}_G")
+        _emit_work(gblk, g.work, index + 5)
+        h = self.body.block(f"{p}_H")  # the CFM point
+        h.add(27, 28, 13)
+
+    def _emit_ifelse_call(self, g: GadgetSpec, p: str, index: int) -> None:
+        self._needs_helper = True
+        entry = self.body.block(f"{p}_A")
+        self._load_value(entry, 4, g.data, index * 16)
+        entry.br(Condition.GE, 4, imm=g.threshold, taken=f"{p}_E")
+        then = self.body.block(f"{p}_T")
+        _emit_work(then, g.work, index)
+        then.call("helper")
+        tc = self.body.block(f"{p}_TC")
+        tc.jmp(f"{p}_M")
+        els = self.body.block(f"{p}_E")
+        _emit_work(els, g.work, index + 1)
+        els.addi(28, 26, 2)
+        merge = self.body.block(f"{p}_M")
+        merge.add(27, 28, 13)
+
+    def _emit_no_merge(self, g: GadgetSpec, p: str, index: int) -> None:
+        entry = self.body.block(f"{p}_A")
+        self._load_value(entry, 4, g.data, index * 16)
+        entry.br(Condition.LT, 4, imm=g.threshold, taken=f"{p}_LONG")
+        short = self.body.block(f"{p}_SHORT", fallthrough=f"{p}_M")
+        _emit_work(short, g.work, index)
+        long_side = self.body.block(f"{p}_LONG")
+        _emit_work(long_side, g.long_work, index + 1)
+        long_side.jmp(f"{p}_M")
+        merge = self.body.block(f"{p}_M")
+        merge.add(27, 13, 14)
+
+    def _emit_split_merge(self, g: GadgetSpec, p: str, index: int) -> None:
+        """Diverge branch with two alternative merge points.
+
+        Both sides of the branch re-branch on the *same* secondary value
+        r5, so each dynamic instance reconverges at M1 or at M2 — but
+        never predictably at one of them.  The common continuation AFTER
+        sits past the CFM distance cap (``long_work`` filler in M1/M2), so
+        the profiler emits M1 and M2 as the only usable CFM points."""
+        a = self.body.block(f"{p}_A")
+        self._load_value(a, 4, g.data, index * 16)
+        self._load_value(a, 5, g.inner_data, index * 16 + 1)
+        a.br(Condition.LT, 4, imm=g.threshold, taken=f"{p}_C")
+        b = self.body.block(f"{p}_B")
+        _emit_work(b, g.work, index)
+        b.br(Condition.LT, 5, imm=128, taken=f"{p}_M2")
+        bj = self.body.block(f"{p}_BJ")
+        bj.jmp(f"{p}_M1")
+        c = self.body.block(f"{p}_C")
+        _emit_work(c, g.work, index + 1)
+        c.br(Condition.LT, 5, imm=128, taken=f"{p}_M2")
+        cj = self.body.block(f"{p}_CJ")
+        cj.jmp(f"{p}_M1")
+        m1 = self.body.block(f"{p}_M1")
+        _emit_work(m1, g.long_work, index + 2)
+        m1.jmp(f"{p}_AFTER")
+        m2 = self.body.block(f"{p}_M2")
+        _emit_work(m2, g.long_work, index + 3)
+        after = self.body.block(f"{p}_AFTER")
+        after.add(27, 13, 14)
+
+    def _emit_loop(self, g: GadgetSpec, p: str, index: int) -> None:
+        entry = self.body.block(f"{p}_A")
+        self._load_value(entry, 4, g.data, index * 16)
+        entry.andi(10, 4, 3)
+        entry.addi(10, 10, 1)  # 1..4 trips
+        entry.movi(11, 0)
+        head = self.body.block(f"{p}_H")
+        head.br(Condition.GE, 11, 10, taken=f"{p}_X")
+        body = self.body.block(f"{p}_B")
+        _emit_work(body, g.work, index)
+        body.addi(11, 11, 1)
+        body.jmp(f"{p}_H")
+        exit_block = self.body.block(f"{p}_X")
+        exit_block.add(27, 13, 14)
+
+    def _emit_mem(self, g: GadgetSpec, p: str, index: int) -> None:
+        seed = self._seed("mem", index)
+        if g.access == "chase":
+            indices = behaviors.pointer_chase_indices(
+                self.spec.iterations, seed, g.footprint
+            )
+        else:
+            indices = behaviors.strided_indices(
+                self.spec.iterations, stride=3, footprint=g.footprint
+            )
+        index_base = self.arrays.allocate(indices)
+        block = self.body.block(f"{p}_A")
+        block.load(12, 3, offset=index_base)  # idx = indices[i]
+        block.load(15, 12, offset=_HEAP_BASE)  # value = heap[idx]
+        block.add(27, 15, 3)
+        _emit_work(block, g.work, index)
+        block.store(27, 12, offset=_HEAP_BASE)
+
+    def _emit_fp(self, g: GadgetSpec, p: str, index: int) -> None:
+        block = self.body.block(f"{p}_A")
+        self._load_value(block, 4, g.data, index * 16)
+        block.fadd(20, 26, 4)
+        block.fmul(21, 20, 4)
+        block.fdiv(22, 21, 4)
+        block.add(27, 22, 4)
+        _emit_work(block, g.work, index)
+
+    # -- assembly ----------------------------------------------------------
+
+    def build(self) -> Workload:
+        spec = self.spec
+        for gadget in spec.gadgets:
+            self.emit_gadget(gadget)
+        end = self.body.block("body_end")
+        end.add(28, 27, 13)
+        end.ret()
+
+        main = CFGBuilder("main")
+        init = main.block("init")
+        init.movi(3, 0)
+        init.movi(26, 1)
+        init.movi(27, 0)
+        init.movi(28, 0)
+        head = main.block("head")
+        head.br(Condition.GE, 3, imm=spec.iterations, taken="exit")
+        call = main.block("call_body")
+        call.call("body")
+        step = main.block("step")
+        step.addi(3, 3, 1)
+        step.jmp("head")
+        main.block("exit").halt()
+
+        program = Program(spec.name)
+        program.add_function(main.build())
+        program.add_function(self.body.build())
+        if self._needs_helper:
+            helper = CFGBuilder("helper")
+            h = helper.block("h_entry")
+            _emit_work(h, spec.helper_work, 99)
+            h.add(27, 13, 14)
+            h.ret()
+            program.add_function(helper.build())
+        program.seal()
+        return Workload(spec, program, self.memory)
+
+
+def build_workload(spec: WorkloadSpec) -> Workload:
+    """Build (program + memory) for a workload specification."""
+    if not spec.gadgets:
+        raise ValueError("workload needs at least one gadget")
+    if spec.iterations <= 0:
+        raise ValueError("iterations must be positive")
+    return _WorkloadBuilder(spec).build()

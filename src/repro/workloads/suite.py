@@ -1,0 +1,215 @@
+"""The 15 named synthetic benchmarks.
+
+One workload per benchmark the paper evaluates (12 SPEC-int, 3 SPEC-fp).
+Each recipe composes gadgets so that the benchmark's *relevant* published
+characteristics carry over:
+
+* which benchmarks are misprediction-bound and which are not (Table 3);
+* whether the mispredicting branches are simple hammocks, complex diverge
+  branches, or un-predicable "other" branches (Figure 6) — e.g. ``mcf``
+  is hammock-heavy, ``gcc``'s mispredictions mostly come from control
+  flow with no usable CFM point, ``parser``/``vpr``/``twolf``/``bzip2``
+  are complex-diverge-heavy;
+* whether the benchmark is memory-bound (``mcf``, ``ammp``) or
+  fetch/compute-bound.
+
+Absolute instruction counts are scaled down (the paper runs hundreds of
+millions of instructions; we default to a few hundred thousand) — the
+harness treats iteration count as a free parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.workloads.generator import (
+    GadgetSpec,
+    Workload,
+    WorkloadSpec,
+    build_workload,
+)
+
+INT_BENCHMARKS: Tuple[str, ...] = (
+    "bzip2",
+    "crafty",
+    "eon",
+    "gap",
+    "gcc",
+    "gzip",
+    "mcf",
+    "parser",
+    "perlbmk",
+    "twolf",
+    "vortex",
+    "vpr",
+)
+
+FP_BENCHMARKS: Tuple[str, ...] = ("mesa", "ammp", "fma3d")
+
+BENCHMARK_NAMES: Tuple[str, ...] = INT_BENCHMARKS + FP_BENCHMARKS
+
+_DEFAULT_ITERATIONS = 4000
+
+# Shorthand data behaviours.  "Hard" branches mix a learnable pattern with
+# heavy noise: history predictors reach ~75-85%% accuracy on them, like the
+# hard branches of real integer codes; pure ("uniform",) coin flips are
+# reserved for the worst offenders.
+_COIN = ("uniform",)
+_HARD = ("periodic", (30, 200, 70, 190, 110, 240, 20, 160), 0.28)
+_MED = ("periodic", (30, 200, 70, 190, 110, 240), 0.15)
+_SOFT = ("periodic", (60, 160, 220, 40), 0.06)
+_EASY = ("biased", 0.97)
+_MOSTLY = ("biased", 0.9)
+_PAT_A = _MED
+_PAT_B = ("periodic", (60, 160, 220, 40), 0.18)
+_PAT_EASY = ("periodic", (20, 30, 25, 220), 0.02)
+#: Skewed-but-hard outer branch paired with a very hard inner branch:
+#: the multiple-diverge-branch scenario of Section 2.7.3.
+_SKEW = ("biased", 0.15)
+_INNER_HARD = ("periodic", (200, 40, 170, 90), 0.45)
+
+#: Easy, instruction-dense gadgets appended to every benchmark: real codes
+#: are mostly well-predicted straight-ish code, which dilutes the hard
+#: branches to realistic MPKI levels.
+_DILUTION = (
+    GadgetSpec("if", data=_EASY, work=24),
+    GadgetSpec("ifelse", data=_PAT_EASY, work=20),
+    GadgetSpec("if", data=("biased", 0.99), work=18),
+)
+
+
+def _gadgets_for(name: str) -> Tuple[GadgetSpec, ...]:
+    recipes: Dict[str, Tuple[GadgetSpec, ...]] = {
+        # High-misprediction, complex-diverge-heavy (the big DMP winners).
+        "bzip2": (
+            GadgetSpec("split_merge", data=_COIN, work=8, long_work=130,
+                       inner_data=("periodic", (30, 220), 0.02)),
+            GadgetSpec("nested", data=_COIN, work=10),
+            GadgetSpec("nested", data=_SKEW, work=10,
+                       inner_data=_INNER_HARD),
+            GadgetSpec("ifelse", data=_HARD, work=8),
+            GadgetSpec("loop", data=_PAT_B, work=4),
+            GadgetSpec("mem", access="stride", work=4),
+        ),
+        "parser": (
+            GadgetSpec("nested", data=_COIN, work=10),
+            GadgetSpec("nested", data=_SKEW, work=10,
+                       inner_data=_INNER_HARD),
+            GadgetSpec("ifelse", data=_HARD, work=6),
+            GadgetSpec("ifelse_call", data=_PAT_B, work=6),
+            GadgetSpec("loop", data=_PAT_B, work=4),
+        ),
+        "twolf": (
+            GadgetSpec("split_merge", data=_HARD, work=8, long_work=130,
+                       inner_data=("periodic", (220, 30, 30, 220), 0.02)),
+            GadgetSpec("nested", data=_COIN, work=10),
+            GadgetSpec("nested", data=_SKEW, work=10,
+                       inner_data=_INNER_HARD),
+            GadgetSpec("ifelse", data=_PAT_A, work=6),
+            GadgetSpec("loop", data=_PAT_B, work=4),
+        ),
+        "vpr": (
+            GadgetSpec("nested", data=_SKEW, work=8,
+                       inner_data=_INNER_HARD),
+            GadgetSpec("if", data=_HARD, work=8),
+            GadgetSpec("ifelse", data=_HARD, work=6),
+            GadgetSpec("loop", data=_PAT_B, work=4),
+        ),
+        # Moderate mispredictions.
+        "crafty": (
+            GadgetSpec("nested", data=_MED, work=8),
+            GadgetSpec("ifelse", data=_MOSTLY, work=10),
+            GadgetSpec("if", data=_EASY, work=8),
+            GadgetSpec("ifelse_call", data=_PAT_EASY, work=6),
+            GadgetSpec("loop", data=_PAT_B, work=4),
+        ),
+        "gzip": (
+            GadgetSpec("ifelse", data=_HARD, work=8),
+            GadgetSpec("nested", data=_MED, work=8),
+            GadgetSpec("loop", data=_PAT_B, work=4),
+            GadgetSpec("mem", access="stride", work=4),
+        ),
+        # gcc: mispredictions dominated by branches with no usable CFM.
+        "gcc": (
+            GadgetSpec("no_merge", data=_COIN, work=6, long_work=150),
+            GadgetSpec("no_merge", data=_HARD, work=6, long_work=160),
+            GadgetSpec("nested", data=_PAT_A, work=6, rare_fraction=0.45),
+            GadgetSpec("ifelse", data=_EASY, work=8),
+        ),
+        # gap: diverge regions that often fail to merge (case-3 trouble).
+        "gap": (
+            GadgetSpec("nested", data=("periodic", (60, 160, 220, 40), 0.03),
+                       inner_data=("periodic", (40, 200, 90, 180), 0.04),
+                       work=8, rare_fraction=0.20),
+            GadgetSpec("ifelse", data=_EASY, work=16),
+            GadgetSpec("if", data=_EASY, work=16),
+            GadgetSpec("mem", access="stride", work=4),
+        ),
+        # mcf: hammock-heavy and memory-bound.
+        "mcf": (
+            GadgetSpec("if", data=_COIN, work=6),
+            GadgetSpec("ifelse", data=_COIN, work=6),
+            GadgetSpec("mem", access="chase", footprint=1 << 18, work=4),
+            GadgetSpec("loop", data=_PAT_B, work=4),
+        ),
+        # Well-predicted benchmarks.
+        "eon": (
+            GadgetSpec("if", data=_EASY, work=10),
+            GadgetSpec("ifelse", data=_EASY, work=10),
+            GadgetSpec("ifelse_call", data=_PAT_EASY, work=8),
+            GadgetSpec("mem", access="stride", work=6),
+        ),
+        "perlbmk": (
+            GadgetSpec("if", data=("biased", 0.99), work=16),
+            GadgetSpec("ifelse", data=_PAT_EASY, work=12),
+            GadgetSpec("mem", access="stride", work=6),
+        ),
+        "vortex": (
+            GadgetSpec("if", data=_EASY, work=10),
+            GadgetSpec("ifelse_call", data=_EASY, work=8),
+            GadgetSpec("ifelse", data=_PAT_EASY, work=10),
+            GadgetSpec("mem", access="stride", work=6),
+        ),
+        # Floating point.
+        "mesa": (
+            GadgetSpec("fp", data=_PAT_EASY, work=10),
+            GadgetSpec("nested", data=_SOFT, work=8),
+            GadgetSpec("if", data=_EASY, work=10),
+        ),
+        "ammp": (
+            GadgetSpec("fp", data=_PAT_EASY, work=10),
+            GadgetSpec("mem", access="chase", footprint=1 << 17, work=6),
+            GadgetSpec("if", data=("biased", 0.99), work=12),
+        ),
+        "fma3d": (
+            GadgetSpec("fp", data=_PAT_EASY, work=10),
+            GadgetSpec("split_merge", data=_MED, work=8, long_work=130,
+                       inner_data=("periodic", (30, 220, 220), 0.02)),
+            GadgetSpec("nested", data=_MED, work=10),
+            GadgetSpec("ifelse", data=_SOFT, work=8),
+        ),
+    }
+    return recipes[name] + _DILUTION
+
+
+def benchmark_spec(
+    name: str, iterations: Optional[int] = None, seed: int = 0
+) -> WorkloadSpec:
+    """The workload specification for one named benchmark."""
+    if name not in BENCHMARK_NAMES:
+        raise ValueError(
+            f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}"
+        )
+    return WorkloadSpec(
+        name=name,
+        iterations=iterations or _DEFAULT_ITERATIONS,
+        gadgets=list(_gadgets_for(name)),
+        seed=seed,
+    )
+
+
+def build_benchmark(
+    name: str, iterations: Optional[int] = None, seed: int = 0
+) -> Workload:
+    """Build (program + data memory) for one named benchmark."""
+    return build_workload(benchmark_spec(name, iterations, seed))

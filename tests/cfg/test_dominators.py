@@ -1,0 +1,113 @@
+"""Unit tests for dominator / post-dominator analysis."""
+
+from repro.cfg.builder import CFGBuilder
+from repro.cfg.dominators import (
+    compute_dominators,
+    immediate_postdominators,
+    reconvergence_point,
+)
+from repro.isa.instructions import Condition
+
+
+def hammock():
+    """A -> {B, C} -> D."""
+    b = CFGBuilder("f")
+    a = b.block("A")
+    a.br(Condition.EQ, 1, imm=0, taken="C")
+    b.block("B").jmp("D")
+    b.block("C").nop()
+    b.block("D").halt()
+    return b.build()
+
+
+def nested():
+    """The paper's Figure 3 CFG shape (without the early-return block).
+
+    A -> {B, C}; B -> {D, E}; D -> {E, F}; F -> G;
+    C -> {G, H}; E -> H; G -> H.
+    """
+    b = CFGBuilder("f")
+    b.block("A").br(Condition.EQ, 1, imm=0, taken="C")
+    b.block("B").br(Condition.EQ, 2, imm=0, taken="D")
+    b.block("E", fallthrough="H").nop()
+    b.block("D").br(Condition.EQ, 3, imm=0, taken="E")
+    b.block("F").jmp("G")
+    b.block("C").br(Condition.EQ, 4, imm=0, taken="G")
+    b.block("H").halt()
+    b.block("G").jmp("H")
+    return b.build()
+
+
+def loop():
+    """Entry -> Head; Head -> {Body, Exit}; Body -> Head."""
+    b = CFGBuilder("f")
+    b.block("Entry").nop()
+    b.block("Head").br(Condition.GE, 1, imm=10, taken="Exit")
+    b.block("Body").addi(1, 1, 1).jmp("Head")
+    b.block("Exit").halt()
+    return b.build()
+
+
+class TestDominators:
+    def test_hammock_dominators(self):
+        idom = compute_dominators(hammock())
+        assert idom["A"] is None
+        assert idom["B"] == "A"
+        assert idom["C"] == "A"
+        assert idom["D"] == "A"
+
+    def test_loop_dominators(self):
+        idom = compute_dominators(loop())
+        assert idom["Head"] == "Entry"
+        assert idom["Body"] == "Head"
+        assert idom["Exit"] == "Head"
+
+    def test_nested_dominators(self):
+        idom = compute_dominators(nested())
+        assert idom["H"] == "A"
+        assert idom["G"] == "A"  # reachable from both C and F
+        assert idom["E"] == "B"
+
+
+class TestPostdominators:
+    def test_hammock_merge_point(self):
+        ipdom = immediate_postdominators(hammock())
+        assert ipdom["A"] == "D"
+        assert ipdom["B"] == "D"
+        assert ipdom["C"] == "D"
+        assert ipdom["D"] is None
+
+    def test_nested_postdominators(self):
+        ipdom = immediate_postdominators(nested())
+        # All paths from A eventually reach H.
+        assert ipdom["A"] == "H"
+        assert ipdom["B"] == "H"  # B reaches H via E or via F->G
+        assert ipdom["G"] == "H"
+
+    def test_loop_postdominators(self):
+        ipdom = immediate_postdominators(loop())
+        assert ipdom["Head"] == "Exit"
+        assert ipdom["Body"] == "Head"
+
+    def test_reconvergence_point_is_branch_ipostdom(self):
+        assert reconvergence_point(hammock(), "A") == "D"
+        assert reconvergence_point(nested(), "B") == "H"
+
+
+class TestIrregularShapes:
+    def test_multiple_exits(self):
+        b = CFGBuilder("f")
+        b.block("A").br(Condition.EQ, 1, imm=0, taken="Cexit")
+        b.block("B").halt()
+        b.block("Cexit").ret()
+        cfg = b.build()
+        ipdom = immediate_postdominators(cfg)
+        # A's paths never merge: no real post-dominator.
+        assert ipdom["A"] is None
+
+    def test_single_block(self):
+        b = CFGBuilder("f")
+        b.block("only").halt()
+        cfg = b.build()
+        assert compute_dominators(cfg) == {"only": None}
+        assert immediate_postdominators(cfg) == {"only": None}

@@ -1,0 +1,90 @@
+"""Unit tests for the confidence estimators."""
+
+import pytest
+
+from repro.confidence import make_estimator
+from repro.confidence.jrs import JRSConfidenceEstimator
+from repro.confidence.perfect import (
+    AlwaysConfident,
+    NeverConfident,
+    PerfectConfidenceEstimator,
+)
+
+
+class TestJRS:
+    def test_starts_unconfident(self):
+        jrs = JRSConfidenceEstimator(table_size=64, counter_bits=4)
+        assert not jrs.is_confident(0x1000, 0)
+
+    def test_becomes_confident_after_streak(self):
+        jrs = JRSConfidenceEstimator(table_size=64, counter_bits=4)
+        for _ in range(15):
+            jrs.update(0x1000, 0, was_correct=True)
+        assert jrs.is_confident(0x1000, 0)
+
+    def test_misprediction_resets(self):
+        jrs = JRSConfidenceEstimator(table_size=64, counter_bits=4)
+        for _ in range(15):
+            jrs.update(0x1000, 0, was_correct=True)
+        jrs.update(0x1000, 0, was_correct=False)
+        assert not jrs.is_confident(0x1000, 0)
+
+    def test_history_contexts_are_separate(self):
+        jrs = JRSConfidenceEstimator(
+            table_size=64, history_bits=6, counter_bits=2
+        )
+        for _ in range(3):
+            jrs.update(0x1000, 0b101010, was_correct=True)
+        assert jrs.is_confident(0x1000, 0b101010)
+        assert not jrs.is_confident(0x1000, 0b010101)
+
+    def test_custom_threshold(self):
+        jrs = JRSConfidenceEstimator(
+            table_size=64, counter_bits=4, threshold=2
+        )
+        jrs.update(0x1000, 0, True)
+        assert not jrs.is_confident(0x1000, 0)
+        jrs.update(0x1000, 0, True)
+        assert jrs.is_confident(0x1000, 0)
+
+    def test_counter_saturates(self):
+        jrs = JRSConfidenceEstimator(table_size=64, counter_bits=2)
+        for _ in range(100):
+            jrs.update(0x1000, 0, True)
+        index = jrs._index(0x1000, 0)
+        assert jrs._counters[index] == 3
+
+    def test_power_of_two_table(self):
+        with pytest.raises(ValueError):
+            JRSConfidenceEstimator(table_size=100)
+
+
+class TestOracles:
+    def test_perfect_tracks_oracle(self):
+        est = PerfectConfidenceEstimator()
+        est.set_oracle(prediction_will_be_correct=False)
+        assert not est.is_confident(0x1000, 0)
+        est.set_oracle(prediction_will_be_correct=True)
+        assert est.is_confident(0x1000, 0)
+
+    def test_always(self):
+        est = AlwaysConfident()
+        assert est.is_confident(0, 0)
+        est.update(0, 0, False)
+        assert est.is_confident(0, 0)
+
+    def test_never(self):
+        est = NeverConfident()
+        assert not est.is_confident(0, 0)
+        est.update(0, 0, True)
+        assert not est.is_confident(0, 0)
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_estimator("jrs"), JRSConfidenceEstimator)
+        assert isinstance(make_estimator("always"), AlwaysConfident)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_estimator("magic")

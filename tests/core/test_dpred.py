@@ -1,0 +1,394 @@
+"""Directed tests for the dynamic-predication engine: every Table 1 exit
+case is forced with a purpose-built mini-program and checked end to end."""
+
+import random
+
+import pytest
+
+from repro.cfg.builder import CFGBuilder
+from repro.isa.encoding import DivergeHint, HintTable
+from repro.isa.instructions import Condition
+from repro.program.interpreter import Interpreter
+from repro.program.memory import Memory
+from repro.program.program import Program
+from repro.core.dpred import PredicationAwareSimulator
+from repro.core.modes import ExitCase
+from repro.uarch.config import MachineConfig
+from repro.uarch.timing import TimingSimulator
+
+
+def build_program(*cfgs):
+    program = Program("t")
+    for cfg in cfgs:
+        program.add_function(cfg)
+    return program.seal()
+
+
+def hammock_loop(values, long_alternate=False, far_cfm=False):
+    """A loop with one diverge branch per iteration.
+
+    Branch taken iff data value >= 1.  ``long_alternate`` pads the taken
+    side far beyond any reasonable resolution window.  ``far_cfm`` moves
+    the merge point past hundreds of instructions on both sides.
+    """
+    memory = Memory()
+    memory.fill_array(1000, values)
+    b = CFGBuilder("main")
+    b.block("init").movi(1, 0)
+    b.block("head").br(Condition.GE, 1, imm=len(values), taken="exit")
+    body = b.block("body")
+    body.load(4, 1, offset=1000)
+    body.br(Condition.GE, 4, imm=1, taken="tk")
+    nt = b.block("nt")
+    nt.addi(20, 20, 1)
+    if far_cfm:
+        nt.nop(400)
+    nt.jmp("merge")
+    tk = b.block("tk")
+    tk.addi(21, 21, 1)
+    if long_alternate or far_cfm:
+        tk.nop(400)
+    b.block("merge").addi(22, 20, 5)
+    b.block("step").addi(1, 1, 1).jmp("head")
+    b.block("exit").halt()
+    program = build_program(b.build())
+    return program, memory
+
+
+_WARM = range(1000, 1500)
+
+
+def run_with_hints(program, memory, hint_cfm_block="merge", config=None,
+                   extra_cfms=()):
+    interp = Interpreter(program, memory=memory)
+    trace = interp.run()
+    cfg = program.entry_function
+    branch_pc = cfg.block("body").instructions[-1].pc
+    hints = HintTable()
+    cfm_pcs = (cfg.block(hint_cfm_block).first_pc,) + tuple(
+        cfg.block(name).first_pc for name in extra_cfms
+    )
+    hints.add(branch_pc, DivergeHint(cfm_pcs))
+    config = config or MachineConfig.dmp(confidence_kind="never")
+    sim = PredicationAwareSimulator(
+        program, trace, config, hints=hints, warm_words=_WARM
+    )
+    return sim.run(), trace
+
+
+def baseline_stats(program, memory):
+    interp = Interpreter(program, memory=memory)
+    trace = interp.run()
+    return TimingSimulator(
+        program, trace, MachineConfig(), warm_words=_WARM
+    ).run()
+
+
+class TestCase1NormalCorrect:
+    def test_correct_prediction_both_paths_merge(self):
+        # All-zero data: branch always not-taken, trivially predicted.
+        program, memory = hammock_loop([0] * 100)
+        stats, _ = run_with_hints(program, memory)
+        assert stats.exit_cases[ExitCase.NORMAL_CORRECT] > 80
+        assert stats.exit_cases[ExitCase.FLUSH] == 0
+
+    def test_select_uops_inserted(self):
+        program, memory = hammock_loop([0] * 50)
+        stats, _ = run_with_hints(program, memory)
+        # Each episode merges register state written on the two sides.
+        assert stats.select_uops >= stats.exit_cases[ExitCase.NORMAL_CORRECT]
+
+    def test_three_bookkeeping_uops_per_normal_episode(self):
+        program, memory = hammock_loop([0] * 50)
+        stats, _ = run_with_hints(program, memory)
+        normal = (
+            stats.exit_cases[ExitCase.NORMAL_CORRECT]
+            + stats.exit_cases[ExitCase.NORMAL_MISPREDICTED]
+        )
+        # enter.pred.path + enter.alternate.path + exit.pred
+        assert stats.extra_uops == pytest.approx(3 * normal, abs=2 * 50)
+        assert stats.extra_uops >= 3 * normal
+
+    def test_case1_costs_cycles_but_not_flushes(self):
+        # With a perfect predictor every episode is pure case-1 overhead:
+        # the machine must never be faster than not predicating at all.
+        program, memory = hammock_loop([0] * 100)
+        interp = Interpreter(program, memory=memory)
+        trace = interp.run()
+        base = TimingSimulator(
+            program, trace, MachineConfig(predictor_kind="perfect"),
+            warm_words=_WARM,
+        ).run()
+        cfg = program.entry_function
+        hints = HintTable()
+        hints.add(
+            cfg.block("body").instructions[-1].pc,
+            DivergeHint((cfg.block("merge").first_pc,)),
+        )
+        stats = PredicationAwareSimulator(
+            program,
+            trace,
+            MachineConfig.dmp(
+                predictor_kind="perfect", confidence_kind="never"
+            ),
+            hints=hints,
+            warm_words=_WARM,
+        ).run()
+        assert stats.pipeline_flushes == 0
+        assert stats.exit_cases[ExitCase.NORMAL_CORRECT] > 90
+        assert stats.cycles >= base.cycles  # pure predication overhead
+
+
+class TestCase2NormalMispredicted:
+    def test_random_branch_saves_flushes(self):
+        rng = random.Random(7)
+        values = [rng.randrange(2) for _ in range(300)]
+        program, memory = hammock_loop(values)
+        memory2 = Memory()
+        memory2.fill_array(1000, values)
+        base = baseline_stats(program, memory2)
+        stats, _ = run_with_hints(program, memory)
+        assert stats.exit_cases[ExitCase.NORMAL_MISPREDICTED] > 50
+        assert stats.pipeline_flushes < base.pipeline_flushes / 2
+
+    def test_case2_faster_than_baseline(self):
+        rng = random.Random(7)
+        values = [rng.randrange(2) for _ in range(300)]
+        program, memory = hammock_loop(values)
+        memory2 = Memory()
+        memory2.fill_array(1000, values)
+        base = baseline_stats(program, memory2)
+        stats, _ = run_with_hints(program, memory)
+        assert stats.cycles < base.cycles
+
+    def test_eliminated_mispredictions_still_counted(self):
+        rng = random.Random(7)
+        values = [rng.randrange(2) for _ in range(300)]
+        program, memory = hammock_loop(values)
+        stats, _ = run_with_hints(program, memory)
+        assert stats.mispredictions >= stats.exit_cases[
+            ExitCase.NORMAL_MISPREDICTED
+        ]
+
+
+class TestCase3RedirectToCfm:
+    def test_correct_prediction_alternate_never_merges(self):
+        # Branch almost always not-taken; the taken side is 400+ NOPs, so
+        # the alternate path cannot reach the CFM before resolution.
+        program, memory = hammock_loop([0] * 200, long_alternate=True)
+        stats, _ = run_with_hints(program, memory)
+        assert stats.exit_cases[ExitCase.REDIRECT_TO_CFM] > 100
+        # Predictor warmup may yield a stray mispredicted episode.
+        assert stats.exit_cases[ExitCase.FLUSH] <= 3
+
+    def test_no_select_uops_on_case3(self):
+        program, memory = hammock_loop([0] * 200, long_alternate=True)
+        stats, _ = run_with_hints(program, memory)
+        # Only the predicted path completed: no data-flow merge happens
+        # on case-3 exits (selects may still come from warmup episodes).
+        normal = (
+            stats.exit_cases[ExitCase.NORMAL_CORRECT]
+            + stats.exit_cases[ExitCase.NORMAL_MISPREDICTED]
+        )
+        assert stats.select_uops <= 4 * max(normal, 1)
+
+
+class TestCase4ContinueAlternate:
+    def test_mispredicted_alternate_is_correct_path(self):
+        # Mostly not-taken so the predictor predicts not-taken, with
+        # occasional taken outcomes; the taken (actual) side is long, so
+        # on mispredictions the alternate path is still being fetched at
+        # resolution: case 4, no flush.
+        rng = random.Random(11)
+        values = [1 if rng.random() < 0.12 else 0 for _ in range(400)]
+        program, memory = hammock_loop(values, long_alternate=True)
+        stats, _ = run_with_hints(program, memory)
+        assert stats.exit_cases[ExitCase.CONTINUE_ALTERNATE] > 10
+
+    def test_case4_saves_the_flush(self):
+        rng = random.Random(11)
+        values = [1 if rng.random() < 0.12 else 0 for _ in range(400)]
+        program, memory = hammock_loop(values, long_alternate=True)
+        memory2 = Memory()
+        memory2.fill_array(1000, values)
+        base = baseline_stats(program, memory2)
+        stats, _ = run_with_hints(program, memory)
+        assert stats.pipeline_flushes < base.pipeline_flushes
+
+
+class TestCases5And6NoPredictedCfm:
+    def test_case5_correct_prediction(self):
+        # CFM unreachable within the resolution window on both sides.
+        program, memory = hammock_loop([0] * 150, far_cfm=True)
+        stats, _ = run_with_hints(program, memory)
+        assert stats.exit_cases[ExitCase.CONTINUE_PREDICTED] > 100
+        assert stats.exit_cases[ExitCase.FLUSH] <= 5
+
+    def test_case6_mispredicted_flushes(self):
+        rng = random.Random(5)
+        values = [rng.randrange(2) for _ in range(300)]
+        program, memory = hammock_loop(values, far_cfm=True)
+        stats, _ = run_with_hints(program, memory)
+        assert stats.exit_cases[ExitCase.FLUSH] > 30
+        # A case-6 flush is a real pipeline flush.
+        assert stats.pipeline_flushes >= stats.exit_cases[ExitCase.FLUSH]
+
+    def test_case6_no_worse_than_baseline_by_much(self):
+        rng = random.Random(5)
+        values = [rng.randrange(2) for _ in range(300)]
+        program, memory = hammock_loop(values, far_cfm=True)
+        memory2 = Memory()
+        memory2.fill_array(1000, values)
+        base = baseline_stats(program, memory2)
+        stats, _ = run_with_hints(program, memory)
+        # Table 1: cases 5/6 perform "same" as branch prediction (modulo
+        # bookkeeping overhead).
+        assert stats.cycles <= base.cycles * 1.35
+
+
+class TestArchitecturalInvariants:
+    def test_retired_instructions_identical_across_modes(self):
+        rng = random.Random(7)
+        values = [rng.randrange(2) for _ in range(200)]
+        program, memory = hammock_loop(values)
+        memory2 = Memory()
+        memory2.fill_array(1000, values)
+        base = baseline_stats(program, memory2)
+        stats, trace = run_with_hints(program, memory)
+        assert stats.retired_instructions == base.retired_instructions
+        assert stats.retired_instructions == trace.instruction_count
+
+    def test_exit_cases_account_for_all_entries(self):
+        rng = random.Random(7)
+        values = [rng.randrange(2) for _ in range(200)]
+        program, memory = hammock_loop(values)
+        stats, _ = run_with_hints(program, memory)
+        assert sum(stats.exit_cases.values()) == (
+            stats.dpred_entries - stats.dpred_restarts
+        )
+
+    def test_confident_estimator_disables_predication(self):
+        rng = random.Random(7)
+        values = [rng.randrange(2) for _ in range(200)]
+        program, memory = hammock_loop(values)
+        stats, _ = run_with_hints(
+            program,
+            memory,
+            config=MachineConfig.dmp(confidence_kind="always"),
+        )
+        assert stats.dpred_entries == 0
+        assert stats.select_uops == 0
+
+    def test_perfect_confidence_only_enters_on_mispredictions(self):
+        rng = random.Random(7)
+        values = [rng.randrange(2) for _ in range(200)]
+        program, memory = hammock_loop(values)
+        stats, _ = run_with_hints(
+            program,
+            memory,
+            config=MachineConfig.dmp(confidence_kind="perfect"),
+        )
+        assert stats.dpred_entries > 0
+        # Every entry corresponds to an actual misprediction: no case 1.
+        assert stats.exit_cases[ExitCase.NORMAL_CORRECT] == 0
+        assert stats.exit_cases[ExitCase.REDIRECT_TO_CFM] == 0
+
+
+class TestMultipleCfm:
+    def test_cam_locks_first_seen_point(self):
+        # Hint carries both "merge" and "step" as CFM points; the predicted
+        # path reaches "merge" first and the episode must lock onto it.
+        program, memory = hammock_loop([0] * 100)
+        stats, _ = run_with_hints(
+            program,
+            memory,
+            config=MachineConfig.dmp(
+                confidence_kind="never", multiple_cfm=True
+            ),
+            extra_cfms=("step",),
+        )
+        assert stats.exit_cases[ExitCase.NORMAL_CORRECT] > 80
+
+    def test_basic_machine_ignores_extra_cfms(self):
+        program, memory = hammock_loop([0] * 100)
+        basic, _ = run_with_hints(
+            program, memory, extra_cfms=("step",),
+        )
+        assert basic.exit_cases[ExitCase.NORMAL_CORRECT] > 80
+
+
+class TestEarlyExit:
+    def test_early_exit_reduces_case3_stall(self):
+        program, memory = hammock_loop([0] * 200, long_alternate=True)
+        interp = Interpreter(program, memory=memory)
+        trace = interp.run()
+        cfg = program.entry_function
+        branch_pc = cfg.block("body").instructions[-1].pc
+        hints = HintTable()
+        hints.add(
+            branch_pc,
+            DivergeHint(
+                (cfg.block("merge").first_pc,), early_exit_threshold=12
+            ),
+        )
+        config = MachineConfig.dmp(
+            confidence_kind="never", early_exit=True
+        )
+        sim = PredicationAwareSimulator(program, trace, config, hints=hints)
+        stats = sim.run()
+        assert stats.early_exits > 100
+        assert stats.exit_cases[ExitCase.REDIRECT_TO_CFM] > 100
+
+
+class TestGhrPolicy:
+    def test_policies_differ_only_in_history(self):
+        rng = random.Random(7)
+        values = [rng.randrange(2) for _ in range(200)]
+        program, memory = hammock_loop(values)
+        predicted, _ = run_with_hints(
+            program, memory,
+            config=MachineConfig.dmp(
+                confidence_kind="never", dpred_ghr_policy="predicted"
+            ),
+        )
+        memory2 = Memory()
+        memory2.fill_array(1000, values)
+        alternate, _ = run_with_hints(
+            program, memory2,
+            config=MachineConfig.dmp(
+                confidence_kind="never", dpred_ghr_policy="alternate"
+            ),
+        )
+        # Same architectural work either way.
+        assert predicted.retired_instructions == alternate.retired_instructions
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig.dmp(dpred_ghr_policy="bogus")
+
+
+class TestDhpMode:
+    def test_dhp_requires_hints(self):
+        from repro.core.processors import simulate
+
+        program, memory = hammock_loop([0] * 20)
+        interp = Interpreter(program, memory=memory)
+        trace = interp.run()
+        with pytest.raises(ValueError):
+            simulate(program, trace, MachineConfig.dhp())
+
+    def test_dhp_predicates_hammock(self):
+        rng = random.Random(7)
+        values = [rng.randrange(2) for _ in range(200)]
+        program, memory = hammock_loop(values)
+        interp = Interpreter(program, memory=memory)
+        trace = interp.run()
+        from repro.profiling.hammock import find_simple_hammocks
+
+        hints = find_simple_hammocks(program)
+        assert len(hints) >= 1
+        config = MachineConfig.dhp(confidence_kind="never")
+        sim = PredicationAwareSimulator(program, trace, config, hints=hints)
+        stats = sim.run()
+        assert stats.dpred_entries > 0
+        assert stats.exit_cases[ExitCase.NORMAL_MISPREDICTED] > 0

@@ -1,0 +1,86 @@
+"""Unit tests for exit-case classification (Table 1) and the CFM CAM."""
+
+import pytest
+
+from repro.core.cfm import CfmCam
+from repro.core.modes import ExitCase, classify_exit
+
+
+class TestClassifyExit:
+    """Each row of Table 1."""
+
+    def test_case1(self):
+        assert classify_exit(True, True, mispredicted=False) == (
+            ExitCase.NORMAL_CORRECT
+        )
+
+    def test_case2(self):
+        assert classify_exit(True, True, mispredicted=True) == (
+            ExitCase.NORMAL_MISPREDICTED
+        )
+
+    def test_case3(self):
+        assert classify_exit(True, False, mispredicted=False) == (
+            ExitCase.REDIRECT_TO_CFM
+        )
+
+    def test_case4(self):
+        assert classify_exit(True, False, mispredicted=True) == (
+            ExitCase.CONTINUE_ALTERNATE
+        )
+
+    def test_case5(self):
+        assert classify_exit(False, False, mispredicted=False) == (
+            ExitCase.CONTINUE_PREDICTED
+        )
+
+    def test_case6(self):
+        assert classify_exit(False, False, mispredicted=True) == (
+            ExitCase.FLUSH
+        )
+
+    def test_only_case6_flushes(self):
+        flushing = [case for case in ExitCase if case.flushes_pipeline]
+        assert flushing == [ExitCase.FLUSH]
+
+    def test_saved_mispredictions(self):
+        saving = [case for case in ExitCase if case.saves_misprediction]
+        assert saving == [
+            ExitCase.NORMAL_MISPREDICTED,
+            ExitCase.CONTINUE_ALTERNATE,
+        ]
+
+
+class TestCfmCam:
+    def test_single_entry(self):
+        cam = CfmCam((0x2000,))
+        assert cam.matches(0x2000)
+        assert not cam.matches(0x2004)
+
+    def test_multiple_entries(self):
+        cam = CfmCam((0x2000, 0x3000))
+        assert cam.matches(0x2000)
+        assert cam.matches(0x3000)
+
+    def test_lock_restricts_to_first_seen(self):
+        cam = CfmCam((0x2000, 0x3000))
+        cam.lock(0x3000)
+        assert cam.matches(0x3000)
+        assert not cam.matches(0x2000)
+        assert cam.locked_pc == 0x3000
+        assert cam.entries == (0x3000,)
+
+    def test_lock_requires_live_entry(self):
+        cam = CfmCam((0x2000,))
+        with pytest.raises(ValueError):
+            cam.lock(0x9999)
+
+    def test_capacity_drops_extras(self):
+        cam = CfmCam(range(100), capacity=4)
+        assert len(cam.entries) == 4
+        assert cam.matches(3)
+        assert not cam.matches(99)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CfmCam(())

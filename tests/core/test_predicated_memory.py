@@ -1,0 +1,126 @@
+"""End-to-end tests of predicated memory semantics (Section 2.5).
+
+Directed programs where both sides of a dynamically predicated hammock
+store to the same address and a load after the CFM point consumes it —
+the exact store-load forwarding situation the paper's rules govern.
+"""
+
+import random
+
+from repro.cfg.builder import CFGBuilder
+from repro.core.dpred import PredicationAwareSimulator
+from repro.isa.encoding import DivergeHint, HintTable
+from repro.isa.instructions import Condition
+from repro.program.interpreter import Interpreter
+from repro.program.memory import Memory
+from repro.program.program import Program
+from repro.uarch.config import MachineConfig
+
+SLOT = 5000  # the contended memory word
+
+
+def build_program(cfg):
+    program = Program("t")
+    program.add_function(cfg)
+    return program.seal()
+
+
+def store_hammock(values):
+    """Both hammock sides store to SLOT; the merge block loads it."""
+    memory = Memory()
+    memory.fill_array(1000, values)
+    b = CFGBuilder("main")
+    b.block("init").movi(1, 0)
+    b.block("head").br(Condition.GE, 1, imm=len(values), taken="exit")
+    body = b.block("body")
+    body.load(4, 1, offset=1000)
+    body.br(Condition.GE, 4, imm=1, taken="tk")
+    nt = b.block("nt")
+    nt.addi(20, 4, 10)
+    nt.store(20, 0, offset=SLOT)        # predicated store, path A
+    nt.jmp("merge")
+    tk = b.block("tk")
+    tk.addi(21, 4, 99)
+    tk.store(21, 0, offset=SLOT)        # predicated store, path B
+    merge = b.block("merge")
+    merge.load(22, 0, offset=SLOT)      # load after the CFM point
+    merge.add(23, 22, 4)
+    b.block("step").addi(1, 1, 1).jmp("head")
+    b.block("exit").halt()
+    return build_program(b.build()), memory
+
+
+def run_dmp(program, memory, **config_kwargs):
+    trace = Interpreter(program, memory=memory).run()
+    cfg = program.entry_function
+    hints = HintTable()
+    hints.add(
+        cfg.block("body").instructions[-1].pc,
+        DivergeHint((cfg.block("merge").first_pc,)),
+    )
+    config_kwargs.setdefault("confidence_kind", "never")
+    config = MachineConfig.dmp(**config_kwargs)
+    sim = PredicationAwareSimulator(
+        program, trace, config, hints=hints, warm_words=range(1000, 1500)
+    )
+    return sim.run(), trace
+
+
+class TestFunctionalCorrectness:
+    def test_interpreter_memory_values(self):
+        """Architecturally, the merge load sees the taken-path value on
+        taken instances and the fall-through value otherwise."""
+        program, memory = store_hammock([1, 0, 1])
+        interp = Interpreter(program, memory=memory)
+        interp.run()
+        # Last iteration is taken (value 1): slot holds r4 + 99 = 100.
+        assert interp.memory.load(SLOT) == 1 + 99
+
+
+class TestPredicatedForwardingTiming:
+    def test_load_after_cfm_waits_on_unresolved_predicated_store(self):
+        """Rule 3 fallout: the post-CFM load carries no predicate id, so
+        it must WAIT for the predicated stores' predicate values."""
+        rng = random.Random(3)
+        values = [rng.randrange(2) for _ in range(200)]
+        program, memory = store_hammock(values)
+        stats, _ = run_dmp(program, memory)
+        assert stats.dpred_entries > 100
+        assert stats.load_wait_on_predicate > 50
+
+    def test_no_episodes_no_waits(self):
+        """With a fully-confident estimator nothing is ever predicated,
+        so no load can block on a predicate."""
+        rng = random.Random(3)
+        values = [rng.randrange(2) for _ in range(200)]
+        program, memory = store_hammock(values)
+        predicated, _ = run_dmp(program, memory)
+        memory2 = Memory()
+        memory2.fill_array(1000, values)
+        unpredicated, _ = run_dmp(program, memory2, confidence_kind="always")
+        assert unpredicated.dpred_entries == 0
+        assert unpredicated.load_wait_on_predicate == 0
+        assert predicated.load_wait_on_predicate > 0
+
+    def test_architectural_results_identical(self):
+        rng = random.Random(3)
+        values = [rng.randrange(2) for _ in range(200)]
+        program, memory = store_hammock(values)
+        stats, trace = run_dmp(program, memory)
+        assert stats.retired_instructions == trace.instruction_count
+
+
+class TestUnpredicatedStoresUnaffected:
+    def test_plain_store_forwarding_has_no_waits(self):
+        """The same program without predication never waits on predicates."""
+        from repro.uarch.timing import TimingSimulator
+
+        rng = random.Random(3)
+        values = [rng.randrange(2) for _ in range(200)]
+        program, memory = store_hammock(values)
+        trace = Interpreter(program, memory=memory).run()
+        stats = TimingSimulator(
+            program, trace, MachineConfig(), warm_words=range(1000, 1500)
+        ).run()
+        assert stats.load_wait_on_predicate == 0
+        assert stats.retired_instructions == trace.instruction_count

@@ -1,0 +1,68 @@
+"""Tests for the multi-seed statistical harness."""
+
+import pytest
+
+from repro.harness.experiment import (
+    MultiSeedResult,
+    SuiteResult,
+    run_multi_seed,
+)
+from repro.uarch.config import MachineConfig
+from repro.uarch.stats import SimStats
+
+
+def fake_suite(base_ipc, dmp_ipc):
+    result = SuiteResult()
+    base = SimStats(benchmark="x")
+    base.cycles = 1000
+    base.retired_instructions = int(1000 * base_ipc)
+    dmp = SimStats(benchmark="x")
+    dmp.cycles = 1000
+    dmp.retired_instructions = int(1000 * dmp_ipc)
+    result.add("x", "base", base)
+    result.add("x", "dmp", dmp)
+    return result
+
+
+class TestMultiSeedResult:
+    def test_improvement_stats(self):
+        multi = MultiSeedResult()
+        multi.add(0, fake_suite(1.0, 1.1))
+        multi.add(1, fake_suite(1.0, 1.3))
+        mean, lo, hi = multi.improvement_stats("x", "dmp")
+        assert lo == pytest.approx(10.0)
+        assert hi == pytest.approx(30.0)
+        assert mean == pytest.approx(20.0)
+
+    def test_sign_stable_positive(self):
+        multi = MultiSeedResult()
+        multi.add(0, fake_suite(1.0, 1.1))
+        multi.add(1, fake_suite(1.0, 1.2))
+        assert multi.sign_stable("x", "dmp")
+
+    def test_sign_unstable(self):
+        multi = MultiSeedResult()
+        multi.add(0, fake_suite(1.0, 1.2))
+        multi.add(1, fake_suite(1.0, 0.8))
+        assert not multi.sign_stable("x", "dmp")
+
+    def test_near_zero_counts_as_stable(self):
+        multi = MultiSeedResult()
+        multi.add(0, fake_suite(1.0, 1.005))
+        multi.add(1, fake_suite(1.0, 0.999))
+        assert multi.sign_stable("x", "dmp", tolerance=1.0)
+
+
+class TestRunMultiSeed:
+    def test_two_seeds_differ(self):
+        configs = {"base": MachineConfig.baseline()}
+        results = run_multi_seed(
+            configs, benchmarks=("gzip",), seeds=(0, 1), iterations=80
+        )
+        assert set(results.by_seed) == {0, 1}
+        cycles = {
+            seed: result.stats("gzip", "base").cycles
+            for seed, result in results.by_seed.items()
+        }
+        # Different seeds generate different data, hence different timing.
+        assert cycles[0] != cycles[1]

@@ -1,0 +1,82 @@
+"""Unit and property tests for the diverge-hint side table."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import DivergeHint, HintTable
+
+
+class TestDivergeHint:
+    def test_requires_cfm_point(self):
+        with pytest.raises(ValueError):
+            DivergeHint(())
+
+    def test_primary_cfm(self):
+        hint = DivergeHint((0x2000, 0x3000))
+        assert hint.primary_cfm == 0x2000
+
+    def test_equality(self):
+        assert DivergeHint((1,), 8, False) == DivergeHint((1,), 8, False)
+        assert DivergeHint((1,)) != DivergeHint((2,))
+
+
+class TestHintTable:
+    def test_add_and_lookup(self):
+        table = HintTable()
+        table.add(0x1000, DivergeHint((0x2000,)))
+        assert table.is_diverge_branch(0x1000)
+        assert not table.is_diverge_branch(0x1004)
+        assert table.get(0x1000).primary_cfm == 0x2000
+        assert table.get(0x9999) is None
+
+    def test_duplicate_rejected(self):
+        table = HintTable()
+        table.add(0x1000, DivergeHint((0x2000,)))
+        with pytest.raises(ValueError):
+            table.add(0x1000, DivergeHint((0x3000,)))
+
+    def test_iteration_sorted_by_pc(self):
+        table = HintTable()
+        table.add(0x3000, DivergeHint((1,)))
+        table.add(0x1000, DivergeHint((2,)))
+        assert [pc for pc, _ in table] == [0x1000, 0x3000]
+
+    def test_serialization_roundtrip(self):
+        table = HintTable()
+        table.add(0x1000, DivergeHint((0x2000, 0x2100), 16, False))
+        table.add(0x4000, DivergeHint((0x5000,), None, True))
+        restored = HintTable.from_bytes(table.to_bytes())
+        assert len(restored) == 2
+        assert restored.get(0x1000) == table.get(0x1000)
+        assert restored.get(0x4000) == table.get(0x4000)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            HintTable.from_bytes(b"XXXX\x00\x00\x00\x00")
+
+
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=2**40),
+        st.tuples(
+            st.lists(
+                st.integers(min_value=0, max_value=2**40),
+                min_size=1,
+                max_size=5,
+                unique=True,
+            ),
+            st.one_of(st.none(), st.integers(min_value=0, max_value=500)),
+            st.booleans(),
+        ),
+        max_size=20,
+    )
+)
+def test_serialization_roundtrip_property(entries):
+    """to_bytes/from_bytes is lossless for arbitrary hint tables."""
+    table = HintTable()
+    for pc, (cfms, threshold, is_loop) in entries.items():
+        table.add(pc, DivergeHint(tuple(cfms), threshold, is_loop))
+    restored = HintTable.from_bytes(table.to_bytes())
+    assert len(restored) == len(table)
+    for pc, hint in table:
+        assert restored.get(pc) == hint

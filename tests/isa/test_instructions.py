@@ -1,0 +1,95 @@
+"""Unit tests for the mini-ISA instruction definitions."""
+
+import pytest
+
+from repro.isa.instructions import (
+    Condition,
+    Instruction,
+    Opcode,
+    evaluate_condition,
+)
+
+
+class TestInstructionValidation:
+    def test_branch_requires_condition(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BR, srcs=(1,), target="B")
+
+    def test_branch_requires_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BR, srcs=(1,), cond=Condition.EQ)
+
+    def test_branch_source_arity(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BR, srcs=(), cond=Condition.EQ, target="B")
+        with pytest.raises(ValueError):
+            Instruction(
+                Opcode.BR, srcs=(1, 2, 3), cond=Condition.EQ, target="B"
+            )
+
+    def test_jump_requires_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.JMP)
+
+    def test_load_shape(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LOAD, dest=None, srcs=(1,))
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LOAD, dest=2, srcs=(1, 3))
+        instr = Instruction(Opcode.LOAD, dest=2, srcs=(1,), imm=8)
+        assert instr.is_load
+
+    def test_store_shape(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.STORE, srcs=(1,))
+        instr = Instruction(Opcode.STORE, srcs=(1, 2))
+        assert instr.is_store
+
+
+class TestInstructionClassification:
+    def test_control_flags(self):
+        br = Instruction(Opcode.BR, srcs=(1,), cond=Condition.NE, target="B")
+        assert br.is_control
+        assert br.is_cond_branch
+        jmp = Instruction(Opcode.JMP, target="B")
+        assert jmp.is_control
+        assert not jmp.is_cond_branch
+        add = Instruction(Opcode.ADD, dest=1, srcs=(2, 3))
+        assert not add.is_control
+
+    def test_fp_classification(self):
+        assert Instruction(Opcode.FMUL, dest=1, srcs=(2, 3)).is_fp
+        assert not Instruction(Opcode.MUL, dest=1, srcs=(2, 3)).is_fp
+
+    def test_writes_register(self):
+        assert Instruction(Opcode.MOVI, dest=4, imm=1).writes_register
+        assert not Instruction(Opcode.STORE, srcs=(1, 2)).writes_register
+
+    def test_latencies(self):
+        assert Instruction(Opcode.ADD, dest=1, srcs=(2, 3)).latency == 1
+        assert Instruction(Opcode.MUL, dest=1, srcs=(2, 3)).latency == 3
+        assert Instruction(Opcode.FDIV, dest=1, srcs=(2, 3)).latency == 12
+        # loads defer to the cache hierarchy
+        assert Instruction(Opcode.LOAD, dest=1, srcs=(2,)).latency == 0
+
+
+class TestConditionEvaluation:
+    @pytest.mark.parametrize(
+        "cond,lhs,rhs,expected",
+        [
+            (Condition.EQ, 5, 5, True),
+            (Condition.EQ, 5, 6, False),
+            (Condition.NE, 5, 6, True),
+            (Condition.LT, -1 & ((1 << 64) - 1), 0, True),  # signed compare
+            (Condition.GE, 0, 0, True),
+            (Condition.LE, 3, 2, False),
+            (Condition.GT, 3, 2, True),
+        ],
+    )
+    def test_conditions(self, cond, lhs, rhs, expected):
+        assert evaluate_condition(cond, lhs, rhs) is expected
+
+    def test_signed_wraparound(self):
+        big = (1 << 63)  # most negative value in two's complement
+        assert evaluate_condition(Condition.LT, big, 0)
+        assert evaluate_condition(Condition.GT, (1 << 63) - 1, 0)

@@ -1,0 +1,51 @@
+"""Unit tests for the register file."""
+
+import pytest
+
+from repro.isa.registers import NUM_ARCH_REGS, REG_ZERO, RegisterFile, reg_name
+
+
+class TestRegisterFile:
+    def test_initially_zero(self):
+        rf = RegisterFile()
+        assert all(rf.read(i) == 0 for i in range(NUM_ARCH_REGS))
+
+    def test_write_read(self):
+        rf = RegisterFile()
+        rf.write(5, 42)
+        assert rf.read(5) == 42
+
+    def test_zero_register_is_hardwired(self):
+        rf = RegisterFile()
+        rf.write(REG_ZERO, 99)
+        assert rf.read(REG_ZERO) == 0
+
+    def test_values_wrap_at_64_bits(self):
+        rf = RegisterFile()
+        rf.write(1, (1 << 64) + 7)
+        assert rf.read(1) == 7
+
+    def test_snapshot_roundtrip(self):
+        rf = RegisterFile()
+        rf.write(3, 10)
+        snap = rf.snapshot()
+        rf.write(3, 20)
+        rf.load_snapshot(snap)
+        assert rf.read(3) == 10
+
+    def test_snapshot_wrong_size_rejected(self):
+        rf = RegisterFile()
+        with pytest.raises(ValueError):
+            rf.load_snapshot([0, 1, 2])
+
+
+class TestRegName:
+    def test_names(self):
+        assert reg_name(0) == "r0"
+        assert reg_name(31) == "r31"
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            reg_name(NUM_ARCH_REGS)
+        with pytest.raises(ValueError):
+            reg_name(-1)

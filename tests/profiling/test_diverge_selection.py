@@ -1,0 +1,168 @@
+"""Unit tests for the Section 3.2 diverge-branch selection heuristics."""
+
+import random
+
+import pytest
+
+from repro.cfg.builder import CFGBuilder
+from repro.isa.instructions import Condition
+from repro.profiling.diverge_selection import (
+    SelectionThresholds,
+    build_hint_table,
+    candidate_branch_pcs,
+    select_diverge_branches,
+)
+from repro.profiling.profiler import collect_reconvergence, profile_trace
+from repro.program.interpreter import Interpreter
+from repro.program.memory import Memory
+from repro.program.program import Program
+
+
+def build_and_trace(builder_fn, values):
+    memory = Memory()
+    memory.fill_array(1000, values)
+    program = Program("t")
+    program.add_function(builder_fn(len(values)))
+    program.seal()
+    interp = Interpreter(program, memory=memory)
+    return program, interp.run()
+
+
+def hammock_builder(n):
+    b = CFGBuilder("main")
+    b.block("init").movi(1, 0)
+    b.block("head").br(Condition.GE, 1, imm=n, taken="exit")
+    body = b.block("body")
+    body.load(4, 1, offset=1000)
+    body.br(Condition.GE, 4, imm=1, taken="tk")
+    b.block("nt").addi(20, 20, 1).jmp("merge")
+    b.block("tk").addi(21, 21, 1)
+    b.block("merge").addi(22, 20, 5)
+    b.block("step").addi(1, 1, 1).jmp("head")
+    b.block("exit").halt()
+    return b.build()
+
+
+def no_merge_builder(n):
+    """The taken side is 200 instructions long: no CFM within the cap."""
+    b = CFGBuilder("main")
+    b.block("init").movi(1, 0)
+    b.block("head").br(Condition.GE, 1, imm=n, taken="exit")
+    body = b.block("body")
+    body.load(4, 1, offset=1000)
+    body.br(Condition.GE, 4, imm=1, taken="tk")
+    b.block("nt", fallthrough="merge").addi(20, 20, 1)
+    b.block("tk").nop(200).jmp("merge")
+    b.block("merge").addi(22, 20, 5)
+    b.block("step").addi(1, 1, 1).jmp("head")
+    b.block("exit").halt()
+    return b.build()
+
+
+def full_selection(program, trace, thresholds=SelectionThresholds()):
+    profile = profile_trace(program, trace)
+    candidates = candidate_branch_pcs(profile, thresholds)
+    recon = collect_reconvergence(
+        program, trace, candidates,
+        max_distance=thresholds.max_cfm_distance,
+    )
+    return profile, select_diverge_branches(profile, recon, thresholds)
+
+
+class TestCandidateFilter:
+    def test_hard_branch_is_candidate(self):
+        rng = random.Random(1)
+        values = [rng.randrange(2) for _ in range(400)]
+        program, trace = build_and_trace(hammock_builder, values)
+        profile = profile_trace(program, trace)
+        candidates = candidate_branch_pcs(profile)
+        branch_pc = program.entry_function.block("body").instructions[-1].pc
+        assert branch_pc in candidates
+
+    def test_easy_branch_excluded_by_rate_floor(self):
+        program, trace = build_and_trace(hammock_builder, [0] * 400)
+        profile = profile_trace(program, trace)
+        assert candidate_branch_pcs(profile) == ()
+
+    def test_no_mispredictions_no_candidates(self):
+        program, trace = build_and_trace(hammock_builder, [0] * 5)
+        profile = profile_trace(program, trace)
+        profile.total_mispredictions = 0
+        assert candidate_branch_pcs(profile) == ()
+
+    def test_execution_floor(self):
+        rng = random.Random(1)
+        values = [rng.randrange(2) for _ in range(20)]
+        program, trace = build_and_trace(hammock_builder, values)
+        profile = profile_trace(program, trace)
+        thresholds = SelectionThresholds(min_executions=100)
+        assert candidate_branch_pcs(profile, thresholds) == ()
+
+
+class TestCfmSelection:
+    def test_hammock_merge_selected(self):
+        rng = random.Random(1)
+        values = [rng.randrange(2) for _ in range(400)]
+        program, trace = build_and_trace(hammock_builder, values)
+        _, selections = full_selection(program, trace)
+        assert len(selections) == 1
+        merge_pc = program.entry_function.block("merge").first_pc
+        assert selections[0].primary.pc == merge_pc
+
+    def test_primary_is_nearest_perfect_merge(self):
+        rng = random.Random(1)
+        values = [rng.randrange(2) for _ in range(400)]
+        program, trace = build_and_trace(hammock_builder, values)
+        _, selections = full_selection(program, trace)
+        primary = selections[0].primary
+        assert primary.score == pytest.approx(1.0, abs=0.02)
+        for candidate in selections[0].cfm_points[1:]:
+            assert (
+                candidate.mean_distance >= primary.mean_distance
+                or candidate.score < primary.score
+            )
+
+    def test_no_merge_branch_dropped(self):
+        rng = random.Random(1)
+        values = [rng.randrange(2) for _ in range(400)]
+        program, trace = build_and_trace(no_merge_builder, values)
+        _, selections = full_selection(program, trace)
+        assert selections == []
+
+    def test_distance_cap_enforced(self):
+        rng = random.Random(1)
+        values = [rng.randrange(2) for _ in range(400)]
+        program, trace = build_and_trace(hammock_builder, values)
+        thresholds = SelectionThresholds(max_cfm_distance=1)
+        _, selections = full_selection(program, trace, thresholds)
+        assert selections == []
+
+
+class TestHintTableBuild:
+    def _selections(self):
+        rng = random.Random(1)
+        values = [rng.randrange(2) for _ in range(400)]
+        program, trace = build_and_trace(hammock_builder, values)
+        _, selections = full_selection(program, trace)
+        return program, selections
+
+    def test_multiple_cfm_table(self):
+        program, selections = self._selections()
+        table = build_hint_table(selections, multiple_cfm=True)
+        hint = table.get(selections[0].pc)
+        assert len(hint.cfm_pcs) == len(selections[0].cfm_points)
+
+    def test_single_cfm_table(self):
+        program, selections = self._selections()
+        table = build_hint_table(selections, multiple_cfm=False)
+        hint = table.get(selections[0].pc)
+        assert len(hint.cfm_pcs) == 1
+        assert hint.primary_cfm == selections[0].primary.pc
+
+    def test_early_exit_threshold_scales_with_distance(self):
+        program, selections = self._selections()
+        thresholds = SelectionThresholds(early_exit_distance_factor=1.5)
+        table = build_hint_table(selections, thresholds)
+        hint = table.get(selections[0].pc)
+        expected = int(1.5 * selections[0].primary.mean_distance) + 8
+        assert hint.early_exit_threshold == max(expected, 8)

@@ -1,0 +1,161 @@
+"""Unit tests for the trace profiler (profile runs 1 and 2)."""
+
+import random
+
+from repro.cfg.builder import CFGBuilder
+from repro.isa.instructions import Condition
+from repro.program.interpreter import Interpreter
+from repro.program.memory import Memory
+from repro.program.program import Program
+from repro.profiling.profiler import (
+    collect_reconvergence,
+    profile_trace,
+)
+
+
+def build_program(*cfgs):
+    program = Program("t")
+    for cfg in cfgs:
+        program.add_function(cfg)
+    return program.seal()
+
+
+def hammock_program(values):
+    memory = Memory()
+    memory.fill_array(1000, values)
+    b = CFGBuilder("main")
+    b.block("init").movi(1, 0)
+    b.block("head").br(Condition.GE, 1, imm=len(values), taken="exit")
+    body = b.block("body")
+    body.load(4, 1, offset=1000)
+    body.br(Condition.GE, 4, imm=1, taken="tk")
+    b.block("nt").addi(20, 20, 1).jmp("merge")
+    b.block("tk").addi(21, 21, 1)
+    b.block("merge").addi(22, 20, 5)
+    b.block("step").addi(1, 1, 1).jmp("head")
+    b.block("exit").halt()
+    program = build_program(b.build())
+    interp = Interpreter(program, memory=memory)
+    return program, interp.run()
+
+
+class TestProfileRunOne:
+    def test_edge_counts_match_trace(self):
+        program, trace = hammock_program([0, 1, 0, 1, 0])
+        profile = profile_trace(program, trace)
+        edges = profile.edge_profile("main")
+        assert edges.edge_count("body", "tk") == 2
+        assert edges.edge_count("body", "nt") == 3
+        assert edges.edge_count("nt", "merge") == 3
+        assert edges.edge_count("head", "exit") == 1
+
+    def test_branch_statistics(self):
+        program, trace = hammock_program([1, 1, 0, 0, 0, 0])
+        profile = profile_trace(program, trace)
+        branch_pc = program.entry_function.block("body").instructions[-1].pc
+        stats = profile.branches[branch_pc]
+        assert stats.executions == 6
+        assert stats.taken == 2
+        assert stats.taken_rate == 2 / 6
+
+    def test_mispredictions_counted_for_random_branch(self):
+        rng = random.Random(1)
+        values = [rng.randrange(2) for _ in range(400)]
+        program, trace = hammock_program(values)
+        profile = profile_trace(program, trace)
+        branch_pc = program.entry_function.block("body").instructions[-1].pc
+        stats = profile.branches[branch_pc]
+        # ~50% branch: a predictor should get roughly half wrong.
+        assert stats.misprediction_rate > 0.25
+        assert profile.total_mispredictions >= stats.mispredictions
+
+    def test_biased_branch_low_mispredictions(self):
+        program, trace = hammock_program([0] * 400)
+        profile = profile_trace(program, trace)
+        branch_pc = program.entry_function.block("body").instructions[-1].pc
+        assert profile.branches[branch_pc].misprediction_rate < 0.05
+
+    def test_mispredicting_branches_sorted(self):
+        rng = random.Random(1)
+        values = [rng.randrange(2) for _ in range(200)]
+        program, trace = hammock_program(values)
+        profile = profile_trace(program, trace)
+        ordered = profile.mispredicting_branches()
+        counts = [b.mispredictions for b in ordered]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_total_instructions_recorded(self):
+        program, trace = hammock_program([0] * 10)
+        profile = profile_trace(program, trace)
+        assert profile.total_instructions == trace.instruction_count
+
+
+class TestProfileRunTwo:
+    def test_merge_block_seen_on_both_sides(self):
+        rng = random.Random(1)
+        values = [rng.randrange(2) for _ in range(300)]
+        program, trace = hammock_program(values)
+        cfg = program.entry_function
+        branch_pc = cfg.block("body").instructions[-1].pc
+        recon = collect_reconvergence(program, trace, [branch_pc])[branch_pc]
+        merge_pc = cfg.block("merge").first_pc
+        assert recon.fraction(True, merge_pc) > 0.95
+        assert recon.fraction(False, merge_pc) > 0.95
+
+    def test_side_blocks_seen_on_one_side_only(self):
+        rng = random.Random(1)
+        values = [rng.randrange(2) for _ in range(300)]
+        program, trace = hammock_program(values)
+        cfg = program.entry_function
+        branch_pc = cfg.block("body").instructions[-1].pc
+        recon = collect_reconvergence(program, trace, [branch_pc])[branch_pc]
+        tk_pc = cfg.block("tk").first_pc
+        nt_pc = cfg.block("nt").first_pc
+        assert recon.fraction(True, tk_pc) > 0.95
+        assert recon.fraction(False, tk_pc) == 0.0
+        assert recon.fraction(False, nt_pc) > 0.95
+
+    def test_distances_reasonable(self):
+        rng = random.Random(1)
+        values = [rng.randrange(2) for _ in range(300)]
+        program, trace = hammock_program(values)
+        cfg = program.entry_function
+        branch_pc = cfg.block("body").instructions[-1].pc
+        recon = collect_reconvergence(program, trace, [branch_pc])[branch_pc]
+        merge_pc = cfg.block("merge").first_pc
+        # merge is 2-3 dynamic instructions past the branch on either side.
+        assert recon.mean_distance(True, merge_pc) < 10
+        assert recon.mean_distance(False, merge_pc) < 10
+
+    def test_window_stops_at_branch_reexecution(self):
+        """A loop-head-style branch must not see a loop-carried 'merge':
+        the window closes when the branch's own block re-executes."""
+        rng = random.Random(1)
+        values = [rng.randrange(2) for _ in range(300)]
+        program, trace = hammock_program(values)
+        cfg = program.entry_function
+        # The 'head' branch re-executes every iteration; nothing past one
+        # iteration may be recorded for it.
+        head_pc = cfg.block("head").instructions[-1].pc
+        recon = collect_reconvergence(program, trace, [head_pc])[head_pc]
+        # 'head' is only ever followed by at most one iteration's blocks on
+        # the not-taken side; the taken side goes straight to exit.
+        exit_pc = cfg.block("exit").first_pc
+        assert recon.fraction(True, exit_pc) > 0.0
+        # The not-taken side never reaches 'exit' before head re-executes.
+        assert recon.fraction(False, exit_pc) == 0.0
+
+    def test_sampling_cap_respected(self):
+        rng = random.Random(1)
+        values = [rng.randrange(2) for _ in range(300)]
+        program, trace = hammock_program(values)
+        branch_pc = program.entry_function.block("body").instructions[-1].pc
+        recon = collect_reconvergence(
+            program, trace, [branch_pc], max_instances_per_branch=50
+        )[branch_pc]
+        assert sum(recon.instances) <= 50
+
+    def test_uncandidated_branches_ignored(self):
+        program, trace = hammock_program([0] * 20)
+        result = collect_reconvergence(program, trace, [])
+        assert result == {}

@@ -1,0 +1,85 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import CONFIG_FACTORIES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_suite_defaults(self):
+        args = build_parser().parse_args(["suite"])
+        assert args.configs == "base,dhp,dmp,dmp-enhanced"
+        assert args.iterations == 800
+
+    def test_figure_args(self):
+        args = build_parser().parse_args(
+            ["figure", "fig7", "--benchmarks", "mcf", "--iterations", "100"]
+        )
+        assert args.name == "fig7"
+        assert args.iterations == 100
+
+
+class TestConfigFactories:
+    def test_all_factories_build(self):
+        for name, factory in CONFIG_FACTORIES.items():
+            config = factory()
+            assert config.describe(), name
+
+    def test_enhanced_flags(self):
+        config = CONFIG_FACTORIES["dmp-enhanced"]()
+        assert config.multiple_cfm and config.early_exit
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "bzip2" in out
+        assert "dmp-enhanced" in out
+        assert "fig7" in out
+
+    def test_suite_small(self, capsys):
+        assert main([
+            "suite", "--benchmarks", "eon", "--configs", "base,dmp",
+            "--iterations", "60",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "eon" in out
+
+    def test_suite_relative(self, capsys):
+        assert main([
+            "suite", "--benchmarks", "eon", "--configs", "base,dmp",
+            "--iterations", "60", "--relative",
+        ]) == 0
+        assert "%" in capsys.readouterr().out
+
+    def test_figure_table(self, capsys):
+        assert main(["figure", "table2"]) == 0
+        assert "perceptron" in capsys.readouterr().out
+
+    def test_figure_dynamic(self, capsys):
+        assert main([
+            "figure", "fig1", "--benchmarks", "eon", "--iterations", "60",
+        ]) == 0
+        assert "wrong" in capsys.readouterr().out
+
+    def test_inspect(self, capsys):
+        assert main(["inspect", "gzip", "--iterations", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "diverge branches" in out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["suite", "--benchmarks", "soplex", "--iterations", "60"])
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["suite", "--configs", "warp", "--iterations", "60"])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])

@@ -1,0 +1,134 @@
+"""End-to-end integration tests: workload → trace → profiles → hints →
+all four machine policies, with cross-mode invariants."""
+
+import pytest
+
+from repro.core.modes import ExitCase
+from repro.harness.experiment import BenchmarkContext
+from repro.uarch.config import MachineConfig
+
+ITER = 250
+
+
+@pytest.fixture(scope="module")
+def contexts():
+    return {
+        name: BenchmarkContext(name, iterations=ITER)
+        for name in ("parser", "mcf", "eon", "gcc")
+    }
+
+
+class TestCrossModeInvariants:
+    @pytest.mark.parametrize("name", ["parser", "mcf", "eon", "gcc"])
+    def test_all_modes_retire_identical_work(self, contexts, name):
+        context = contexts[name]
+        reference = context.trace.instruction_count
+        for config in (
+            MachineConfig.baseline(),
+            MachineConfig.dmp(),
+            MachineConfig.dmp(enhanced=True),
+            MachineConfig.dhp(),
+            MachineConfig.dualpath(),
+        ):
+            stats = context.simulate(config)
+            assert stats.retired_instructions == reference, config.mode
+
+    @pytest.mark.parametrize("name", ["parser", "mcf", "eon", "gcc"])
+    def test_dmp_never_flushes_more_than_baseline(self, contexts, name):
+        context = contexts[name]
+        base = context.simulate(MachineConfig.baseline())
+        dmp = context.simulate(MachineConfig.dmp(enhanced=True))
+        assert dmp.pipeline_flushes <= base.pipeline_flushes * 1.05 + 5
+
+    @pytest.mark.parametrize("name", ["parser", "mcf"])
+    def test_exit_case_accounting(self, contexts, name):
+        stats = contexts[name].simulate(MachineConfig.dmp(enhanced=True))
+        assert sum(stats.exit_cases.values()) == (
+            stats.dpred_entries - stats.dpred_restarts
+        )
+        assert stats.dpred_entries > 0
+
+    def test_parser_shows_dmp_win(self, contexts):
+        context = contexts["parser"]
+        base = context.simulate(MachineConfig.baseline())
+        dmp = context.simulate(MachineConfig.dmp(enhanced=True))
+        dhp = context.simulate(MachineConfig.dhp())
+        assert dmp.ipc > base.ipc * 1.05
+        assert dmp.ipc > dhp.ipc  # complex diverge beats simple hammocks
+
+    def test_eon_unaffected(self, contexts):
+        """Well-predicted code has no diverge branches: DMP == baseline."""
+        context = contexts["eon"]
+        assert len(context.diverge_hints) == 0
+        base = context.simulate(MachineConfig.baseline())
+        dmp = context.simulate(MachineConfig.dmp())
+        assert dmp.cycles == base.cycles
+
+    def test_gcc_dominated_by_other_branches(self, contexts):
+        """gcc's mispredictions mostly come from branches the compiler
+        cannot find CFM points for (the paper's Figure 6 story)."""
+        from repro.analysis.classify import classify_mispredictions
+
+        context = contexts["gcc"]
+        result = classify_mispredictions(
+            "gcc",
+            context.profile,
+            context.diverge_hints,
+            context.hammock_hints,
+        )
+        assert result.other > result.simple_hammock_diverge
+        assert result.diverge_share < 0.6
+
+    def test_mcf_hammock_heavy(self, contexts):
+        """mcf's diverge branches are dominated by simple hammocks, so
+        DHP and DMP behave nearly identically (Figure 7's mcf bars)."""
+        context = contexts["mcf"]
+        dhp = context.simulate(MachineConfig.dhp())
+        dmp = context.simulate(MachineConfig.dmp())
+        assert abs(dhp.cycles - dmp.cycles) < 0.05 * dhp.cycles
+
+    def test_perfect_confidence_dominates_jrs(self, contexts):
+        """Oracle confidence never does worse than JRS (fewer wasted
+        episodes) on predication-heavy benchmarks."""
+        context = contexts["parser"]
+        jrs = context.simulate(MachineConfig.dmp())
+        perf = context.simulate(MachineConfig.dmp(confidence_kind="perfect"))
+        assert perf.ipc >= jrs.ipc
+
+    def test_perfect_cbp_is_upper_bound(self, contexts):
+        for name in ("parser", "mcf"):
+            context = contexts[name]
+            base = context.simulate(MachineConfig.baseline())
+            dmp = context.simulate(MachineConfig.dmp(enhanced=True))
+            perfect = context.simulate(
+                MachineConfig.baseline(predictor_kind="perfect")
+            )
+            assert perfect.ipc >= base.ipc
+            assert perfect.ipc >= dmp.ipc * 0.98
+
+
+class TestExitCaseSemantics:
+    def test_case2_instances_do_not_flush(self, contexts):
+        """Each case-2 exit is an eliminated misprediction: total flushes
+        must be at most (baseline mispredictions - case-2 - case-4 +
+        predictor-perturbation slack)."""
+        context = contexts["parser"]
+        dmp = context.simulate(MachineConfig.dmp())
+        saved = (
+            dmp.exit_cases[ExitCase.NORMAL_MISPREDICTED]
+            + dmp.exit_cases[ExitCase.CONTINUE_ALTERNATE]
+        )
+        assert dmp.pipeline_flushes <= dmp.mispredictions - saved + 5
+
+
+class TestSerializationRoundtrip:
+    def test_hint_table_survives_binary_roundtrip(self, contexts):
+        """The 'compiled binary' hint channel is lossless end to end."""
+        from repro.isa.encoding import HintTable
+
+        context = contexts["parser"]
+        original = context.diverge_hints
+        restored = HintTable.from_bytes(original.to_bytes())
+        assert len(restored) == len(original)
+        for pc, hint in original:
+            assert restored.get(pc) == hint

@@ -1,0 +1,79 @@
+"""Unit tests for MachineConfig and the uop definitions."""
+
+import pytest
+
+from repro.uarch.config import MachineConfig
+from repro.uarch.uops import Uop, UopKind
+
+
+class TestMachineConfig:
+    def test_table2_defaults(self):
+        config = MachineConfig()
+        assert config.fetch_width == 8
+        assert config.max_branches_per_cycle == 3
+        assert config.pipeline_depth == 30
+        assert config.rob_size == 512
+        assert config.predictor_kind == "perceptron"
+        assert config.confidence_kind == "jrs"
+        assert config.btb_entries == 4096
+        assert config.ras_depth == 64
+        assert config.memory_latency == 300
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(mode="warp")
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(fetch_width=0)
+
+    def test_dmp_factory_basic(self):
+        config = MachineConfig.dmp()
+        assert config.mode == "dmp"
+        assert not config.multiple_cfm
+
+    def test_dmp_factory_enhanced(self):
+        config = MachineConfig.dmp(enhanced=True)
+        assert config.multiple_cfm
+        assert config.early_exit
+        assert config.multiple_diverge
+
+    def test_dhp_factory_disables_enhancements(self):
+        config = MachineConfig.dhp()
+        assert config.mode == "dhp"
+        assert not config.multiple_cfm
+
+    def test_replace(self):
+        config = MachineConfig().replace(rob_size=128)
+        assert config.rob_size == 128
+        assert config.fetch_width == 8
+
+    def test_is_predicating(self):
+        assert MachineConfig.dmp().is_predicating
+        assert MachineConfig.dhp().is_predicating
+        assert not MachineConfig.baseline().is_predicating
+        assert not MachineConfig.dualpath().is_predicating
+
+    def test_describe_mentions_enhancements(self):
+        text = MachineConfig.dmp(enhanced=True).describe()
+        assert "mcfm" in text and "eexit" in text and "mdb" in text
+
+    def test_dualpath_uses_saturated_confidence(self):
+        config = MachineConfig.dualpath()
+        assert config.confidence_args.get("threshold", "missing") is None
+
+
+class TestUops:
+    def test_kinds_named_like_paper(self):
+        assert UopKind.ENTER_PRED_PATH.value == "enter.pred.path"
+        assert UopKind.ENTER_ALT_PATH.value == "enter.alternate.path"
+        assert UopKind.EXIT_PRED.value == "exit.pred"
+
+    def test_select_requires_destination(self):
+        with pytest.raises(ValueError):
+            Uop(UopKind.SELECT)
+        uop = Uop(UopKind.SELECT, dest_arch=3, pred_tag=10, alt_tag=20)
+        assert "r3" in repr(uop)
+
+    def test_marker_uops(self):
+        assert "enter.pred.path" in repr(Uop(UopKind.ENTER_PRED_PATH))

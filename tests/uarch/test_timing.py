@@ -1,0 +1,242 @@
+"""Unit tests for the baseline timing model."""
+
+import pytest
+
+from repro.cfg.builder import CFGBuilder
+from repro.isa.instructions import Condition
+from repro.program.interpreter import Interpreter
+from repro.program.memory import Memory
+from repro.program.program import Program
+from repro.uarch.config import MachineConfig
+from repro.uarch.timing import TimingSimulator
+
+
+def build_program(*cfgs):
+    program = Program("t")
+    for cfg in cfgs:
+        program.add_function(cfg)
+    return program.seal()
+
+
+def run_workload(program, memory=None, config=None):
+    interp = Interpreter(program, memory=memory)
+    trace = interp.run()
+    sim = TimingSimulator(program, trace, config or MachineConfig())
+    return sim.run(), trace
+
+
+def straightline_program(n_blocks=10, block_size=16):
+    b = CFGBuilder("main")
+    for i in range(n_blocks):
+        blk = b.block(f"b{i}")
+        for j in range(block_size):
+            blk.addi(10 + (j % 4), 0, j)
+    b.block("end").halt()
+    return build_program(b.build())
+
+
+def loop_program(iterations, data_values, memory):
+    """A loop with one data-dependent branch per iteration."""
+    memory.fill_array(1000, data_values)
+    b = CFGBuilder("main")
+    b.block("init").movi(1, 0)
+    b.block("head").br(Condition.GE, 1, imm=len(data_values), taken="exit")
+    body = b.block("body")
+    body.load(4, 1, offset=1000)
+    body.br(Condition.GE, 4, imm=1, taken="taken_side")
+    b.block("nt_side").addi(20, 20, 1).jmp("step")
+    b.block("taken_side").addi(21, 21, 1)
+    b.block("step").addi(1, 1, 1).jmp("head")
+    b.block("exit").halt()
+    return build_program(b.build())
+
+
+class TestBasicAccounting:
+    def test_cycles_positive_and_retired_matches_trace(self):
+        program = straightline_program()
+        stats, trace = run_workload(program)
+        assert stats.cycles > 0
+        assert stats.retired_instructions == trace.instruction_count
+
+    def test_fetch_width_lower_bound(self):
+        """Cycles can never beat perfect fetch bandwidth."""
+        program = straightline_program(n_blocks=50)
+        config = MachineConfig()
+        stats, trace = run_workload(program, config=config)
+        assert stats.cycles >= trace.instruction_count / config.fetch_width
+
+    def test_deterministic(self):
+        program = straightline_program()
+        s1, _ = run_workload(program)
+        s2, _ = run_workload(program)
+        assert s1.cycles == s2.cycles
+
+    def test_ipc_definition(self):
+        program = straightline_program()
+        stats, _ = run_workload(program)
+        assert stats.ipc == pytest.approx(
+            stats.retired_instructions / stats.cycles
+        )
+
+
+class TestBranchHandling:
+    def test_predictable_branch_no_flushes(self):
+        memory = Memory()
+        program = loop_program(200, [0] * 200, memory)
+        stats, _ = run_workload(program, memory=Memory() or memory)
+        # Rebuild memory since run_workload used a fresh one.
+        memory = Memory()
+        memory.fill_array(1000, [0] * 200)
+        interp = Interpreter(program, memory=memory)
+        trace = interp.run()
+        sim = TimingSimulator(program, trace, MachineConfig())
+        stats = sim.run()
+        # All-not-taken branch: a couple of warmup mispredictions at most.
+        assert stats.mispredictions <= 5
+        assert stats.pipeline_flushes == stats.mispredictions
+
+    def test_random_branch_causes_flushes(self):
+        import random
+
+        rng = random.Random(3)
+        values = [rng.randrange(2) for _ in range(300)]
+        memory = Memory()
+        program = loop_program(300, values, memory)
+        interp = Interpreter(program, memory=memory)
+        trace = interp.run()
+        stats = TimingSimulator(program, trace, MachineConfig()).run()
+        assert stats.mispredictions > 30
+        assert stats.pipeline_flushes == stats.mispredictions
+        assert stats.fetched_wrong > 0
+
+    def test_mispredictions_cost_cycles(self):
+        import random
+
+        rng = random.Random(3)
+        hard = [rng.randrange(2) for _ in range(300)]
+        easy = [0] * 300
+
+        def cycles_for(values):
+            memory = Memory()
+            program = loop_program(300, values, memory)
+            interp = Interpreter(program, memory=memory)
+            trace = interp.run()
+            return TimingSimulator(program, trace, MachineConfig()).run()
+
+        hard_stats = cycles_for(hard)
+        easy_stats = cycles_for(easy)
+        assert hard_stats.cycles > easy_stats.cycles * 1.5
+
+    def test_perfect_predictor_never_mispredicts(self):
+        import random
+
+        rng = random.Random(3)
+        values = [rng.randrange(2) for _ in range(300)]
+        memory = Memory()
+        program = loop_program(300, values, memory)
+        interp = Interpreter(program, memory=memory)
+        trace = interp.run()
+        config = MachineConfig(predictor_kind="perfect")
+        stats = TimingSimulator(program, trace, config).run()
+        assert stats.mispredictions == 0
+        assert stats.pipeline_flushes == 0
+        assert stats.fetched_wrong == 0
+
+    def test_deeper_pipeline_hurts_mispredict_heavy_code(self):
+        import random
+
+        rng = random.Random(3)
+        values = [rng.randrange(2) for _ in range(300)]
+
+        def cycles_at_depth(depth):
+            memory = Memory()
+            program = loop_program(300, values, memory)
+            interp = Interpreter(program, memory=memory)
+            trace = interp.run()
+            config = MachineConfig(pipeline_depth=depth)
+            return TimingSimulator(program, trace, config).run().cycles
+
+        assert cycles_at_depth(30) > cycles_at_depth(10)
+
+
+class TestWindowEffects:
+    def test_tiny_rob_slows_execution(self):
+        program = straightline_program(n_blocks=40)
+        interp = Interpreter(program)
+        trace = interp.run()
+        big = TimingSimulator(
+            program, trace, MachineConfig(rob_size=512)
+        ).run()
+        interp = Interpreter(program)
+        trace = interp.run()
+        small = TimingSimulator(
+            program, trace, MachineConfig(rob_size=32)
+        ).run()
+        assert small.cycles >= big.cycles
+
+
+class TestDualPath:
+    def test_forks_on_low_confidence(self):
+        import random
+
+        rng = random.Random(3)
+        values = [rng.randrange(2) for _ in range(400)]
+        memory = Memory()
+        program = loop_program(400, values, memory)
+        interp = Interpreter(program, memory=memory)
+        trace = interp.run()
+        stats = TimingSimulator(
+            program, trace, MachineConfig.dualpath()
+        ).run()
+        assert stats.dualpath_forks > 0
+        # Forked mispredictions do not flush.
+        assert stats.pipeline_flushes < stats.mispredictions
+
+    def test_dualpath_beats_baseline_on_coinflips(self):
+        import random
+
+        rng = random.Random(3)
+        values = [rng.randrange(2) for _ in range(400)]
+
+        def run_mode(config):
+            memory = Memory()
+            program = loop_program(400, values, memory)
+            interp = Interpreter(program, memory=memory)
+            trace = interp.run()
+            return TimingSimulator(program, trace, config).run()
+
+        base = run_mode(MachineConfig())
+        dual = run_mode(MachineConfig.dualpath())
+        assert dual.cycles < base.cycles
+
+
+class TestWrongPathClassification:
+    def test_hammock_wrong_path_reaches_ci(self):
+        """The wrong path of a hammock reconverges: some fetched wrong-path
+        instructions must be classified control-independent."""
+        import random
+
+        rng = random.Random(9)
+        values = [rng.randrange(2) for _ in range(400)]
+        memory = Memory()
+        program = loop_program(400, values, memory)
+        interp = Interpreter(program, memory=memory)
+        trace = interp.run()
+        stats = TimingSimulator(program, trace, MachineConfig()).run()
+        assert stats.fetched_wrong_ci > 0
+        assert stats.fetched_wrong_cd > 0
+
+
+class TestCacheWarming:
+    def test_warmed_run_is_faster(self):
+        memory = Memory()
+        values = [0] * 400
+        program = loop_program(400, values, memory)
+        interp = Interpreter(program, memory=memory)
+        trace = interp.run()
+        cold = TimingSimulator(program, trace, MachineConfig()).run()
+        warm = TimingSimulator(
+            program, trace, MachineConfig(),
+            warm_words=range(1000, 1400),
+        ).run()
+        assert warm.cycles <= cold.cycles

@@ -1,0 +1,164 @@
+"""Unit tests for the workload generator and its gadgets."""
+
+import pytest
+
+from repro.profiling.hammock import classify_hammock
+from repro.program.interpreter import Interpreter
+from repro.workloads.generator import (
+    GadgetSpec,
+    WorkloadSpec,
+    build_workload,
+)
+
+
+def spec_with(*gadgets, iterations=50, name="test"):
+    return WorkloadSpec(name=name, iterations=iterations, gadgets=list(gadgets))
+
+
+def run(workload):
+    return workload.run()
+
+
+class TestGadgetConstruction:
+    @pytest.mark.parametrize(
+        "kind",
+        ["if", "ifelse", "nested", "ifelse_call", "no_merge", "split_merge",
+         "loop", "mem", "fp"],
+    )
+    def test_each_gadget_builds_and_runs(self, kind):
+        workload = build_workload(spec_with(GadgetSpec(kind)))
+        trace = run(workload)
+        assert trace.instruction_count > 0
+
+    def test_unknown_gadget_rejected(self):
+        with pytest.raises(ValueError):
+            GadgetSpec("quantum")
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload(spec_with())
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload(spec_with(GadgetSpec("if"), iterations=0))
+
+
+class TestDeterminism:
+    def test_same_spec_same_trace(self):
+        spec = spec_with(GadgetSpec("nested"), GadgetSpec("loop"))
+        t1 = run(build_workload(spec))
+        t2 = run(build_workload(spec))
+        assert t1.instruction_count == t2.instruction_count
+        assert t1.branch_outcomes() == t2.branch_outcomes()
+
+    def test_different_seed_different_outcomes(self):
+        base = spec_with(GadgetSpec("ifelse"))
+        other = WorkloadSpec(
+            name="test", iterations=50,
+            gadgets=[GadgetSpec("ifelse")], seed=99,
+        )
+        t1 = run(build_workload(base))
+        t2 = run(build_workload(other))
+        assert t1.branch_outcomes() != t2.branch_outcomes()
+
+    def test_workload_rerunnable(self):
+        workload = build_workload(spec_with(GadgetSpec("mem")))
+        t1 = run(workload)
+        t2 = run(workload)
+        assert t1.instruction_count == t2.instruction_count
+
+
+class TestGadgetShapes:
+    def test_if_gadget_is_simple_hammock(self):
+        workload = build_workload(spec_with(GadgetSpec("if")))
+        body = workload.program.function("body")
+        assert classify_hammock(body, "g0_A") is not None
+
+    def test_ifelse_gadget_is_simple_hammock(self):
+        workload = build_workload(spec_with(GadgetSpec("ifelse")))
+        body = workload.program.function("body")
+        assert classify_hammock(body, "g0_A") is not None
+
+    def test_nested_gadget_is_not_simple_hammock(self):
+        workload = build_workload(spec_with(GadgetSpec("nested")))
+        body = workload.program.function("body")
+        assert classify_hammock(body, "g0_A") is None
+
+    def test_ifelse_call_is_not_simple_hammock(self):
+        workload = build_workload(spec_with(GadgetSpec("ifelse_call")))
+        body = workload.program.function("body")
+        assert classify_hammock(body, "g0_A") is None
+
+    def test_ifelse_call_creates_helper(self):
+        workload = build_workload(spec_with(GadgetSpec("ifelse_call")))
+        assert "helper" in workload.program
+
+    def test_loop_gadget_iterates(self):
+        workload = build_workload(spec_with(GadgetSpec("loop")))
+        trace = run(workload)
+        # Inner loop blocks appear more than once per iteration on average.
+        heads = sum(
+            1 for r in trace if r.block.name == "g0_H"
+        )
+        assert heads > workload.spec.iterations
+
+    def test_no_merge_long_arm_exceeds_cap(self):
+        gadget = GadgetSpec("no_merge", long_work=140)
+        workload = build_workload(spec_with(gadget))
+        body = workload.program.function("body")
+        assert len(body.block("g0_LONG")) > 120
+
+    def test_split_merge_has_two_merge_points(self):
+        workload = build_workload(spec_with(GadgetSpec("split_merge")))
+        body = workload.program.function("body")
+        assert "g0_M1" in body
+        assert "g0_M2" in body
+        # Both merge blocks reach the common continuation.
+        assert body.block("g0_M1").successors() == ("g0_AFTER",)
+        assert body.block("g0_M2").successors() == ("g0_AFTER",)
+
+
+class TestBranchBehaviourControl:
+    def test_biased_data_gives_biased_branch(self):
+        gadget = GadgetSpec("if", data=("biased", 0.9))
+        workload = build_workload(spec_with(gadget, iterations=300))
+        trace = run(workload)
+        outcomes = [
+            r.taken for r in trace if r.block.name == "g0_A"
+        ]
+        taken_rate = 1 - (sum(outcomes) / len(outcomes))
+        # 'if' branch: taken means SKIP (value >= threshold); the data is
+        # biased so ~90% of values are below the threshold.
+        assert taken_rate > 0.75
+
+    def test_uniform_data_gives_coinflip_branch(self):
+        gadget = GadgetSpec("ifelse", data=("uniform",))
+        workload = build_workload(spec_with(gadget, iterations=400))
+        trace = run(workload)
+        outcomes = [r.taken for r in trace if r.block.name == "g0_A"]
+        rate = sum(outcomes) / len(outcomes)
+        assert 0.35 < rate < 0.65
+
+    def test_scaled_spec_changes_length_only(self):
+        spec = spec_with(GadgetSpec("if"), iterations=50)
+        small = run(build_workload(spec))
+        big = run(build_workload(spec.scaled(100)))
+        assert big.instruction_count > small.instruction_count
+
+
+class TestRegisterDiscipline:
+    def test_loop_counter_never_clobbered(self):
+        """The main loop must execute exactly `iterations` times even with
+        every gadget kind active (regression test: work filler once
+        clobbered the inner-loop registers)."""
+        spec = spec_with(
+            GadgetSpec("if"), GadgetSpec("ifelse"), GadgetSpec("nested"),
+            GadgetSpec("ifelse_call"), GadgetSpec("no_merge"),
+            GadgetSpec("split_merge"), GadgetSpec("loop"),
+            GadgetSpec("mem"), GadgetSpec("fp"),
+            iterations=30,
+        )
+        workload = build_workload(spec)
+        trace = run(workload)
+        heads = [r for r in trace if r.block.name == "head"]
+        assert len(heads) == 31  # 30 not-taken + 1 exit

@@ -1,0 +1,123 @@
+"""Unit tests for the 15-benchmark suite."""
+
+import pytest
+
+from repro.workloads.behaviors import (
+    biased,
+    noisy_periodic,
+    pointer_chase_indices,
+    strided_indices,
+    uniform,
+)
+from repro.workloads.suite import (
+    BENCHMARK_NAMES,
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    benchmark_spec,
+    build_benchmark,
+)
+
+
+class TestSuiteStructure:
+    def test_fifteen_benchmarks(self):
+        assert len(BENCHMARK_NAMES) == 15
+        assert len(INT_BENCHMARKS) == 12
+        assert len(FP_BENCHMARKS) == 3
+
+    def test_paper_names_present(self):
+        for name in ("bzip2", "gcc", "mcf", "parser", "mesa", "fma3d"):
+            assert name in BENCHMARK_NAMES
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            benchmark_spec("soplex")
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_every_benchmark_builds_and_runs(self, name):
+        workload = build_benchmark(name, iterations=20)
+        trace = workload.run()
+        assert trace.instruction_count > 20 * 10
+        assert trace.branch_count > 20
+
+    def test_iterations_override(self):
+        spec = benchmark_spec("gzip", iterations=123)
+        assert spec.iterations == 123
+
+
+class TestCharacterDifferences:
+    def test_fp_benchmarks_have_fp_instructions(self):
+        workload = build_benchmark("mesa", iterations=10)
+        from repro.isa.instructions import Opcode
+
+        ops = {
+            instr.opcode
+            for cfg in workload.program.functions()
+            for block in cfg
+            for instr in block.instructions
+        }
+        assert Opcode.FDIV in ops
+
+    def test_int_benchmarks_have_no_fp(self):
+        workload = build_benchmark("gcc", iterations=10)
+        from repro.isa.instructions import Opcode
+
+        ops = {
+            instr.opcode
+            for cfg in workload.program.functions()
+            for block in cfg
+            for instr in block.instructions
+        }
+        assert Opcode.FDIV not in ops
+
+    def test_mcf_has_large_footprint(self):
+        mcf = benchmark_spec("mcf")
+        chase = [g for g in mcf.gadgets if g.kind == "mem"]
+        assert chase and chase[0].access == "chase"
+        assert chase[0].footprint > 1 << 17
+
+    def test_gcc_has_no_merge_gadgets(self):
+        gcc = benchmark_spec("gcc")
+        assert any(g.kind == "no_merge" for g in gcc.gadgets)
+
+    def test_hard_benchmarks_have_nested_gadgets(self):
+        for name in ("bzip2", "parser", "twolf", "vpr"):
+            spec = benchmark_spec(name)
+            assert any(g.kind == "nested" for g in spec.gadgets), name
+
+
+class TestBehaviours:
+    def test_uniform_range(self):
+        values = uniform(500, seed=1, bound=256)
+        assert all(0 <= v < 256 for v in values)
+
+    def test_uniform_deterministic(self):
+        assert uniform(50, seed=1) == uniform(50, seed=1)
+        assert uniform(50, seed=1) != uniform(50, seed=2)
+
+    def test_biased_fraction(self):
+        values = biased(2000, seed=1, taken_fraction=0.9)
+        below = sum(1 for v in values if v < 128)
+        assert 0.85 < below / len(values) < 0.95
+
+    def test_biased_bounds_validated(self):
+        with pytest.raises(ValueError):
+            biased(10, seed=1, taken_fraction=1.5)
+
+    def test_periodic_zero_noise_is_exact(self):
+        pattern = (10, 20, 30)
+        values = noisy_periodic(9, seed=1, pattern=pattern, noise=0.0)
+        assert values == [10, 20, 30] * 3
+
+    def test_periodic_validations(self):
+        with pytest.raises(ValueError):
+            noisy_periodic(10, seed=1, pattern=())
+        with pytest.raises(ValueError):
+            noisy_periodic(10, seed=1, pattern=(1,), noise=2.0)
+
+    def test_pointer_chase_within_footprint(self):
+        idx = pointer_chase_indices(100, seed=1, footprint=64)
+        assert all(0 <= i < 64 for i in idx)
+
+    def test_strided_indices(self):
+        idx = strided_indices(10, stride=3, footprint=16)
+        assert idx == [(i * 3) % 16 for i in range(10)]
