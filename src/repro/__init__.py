@@ -25,12 +25,19 @@ Package map (see README.md / DESIGN.md for detail):
 """
 
 from repro.core.processors import simulate
+from repro.errors import (
+    HintValidationError,
+    OracleMismatchError,
+    ReproError,
+    SimulationError,
+    SimulationHangError,
+)
 from repro.harness.experiment import BenchmarkContext
 from repro.uarch.config import MachineConfig
 from repro.uarch.stats import SimStats
 from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "simulate",
@@ -39,5 +46,10 @@ __all__ = [
     "SimStats",
     "BENCHMARK_NAMES",
     "build_benchmark",
+    "ReproError",
+    "SimulationError",
+    "SimulationHangError",
+    "OracleMismatchError",
+    "HintValidationError",
     "__version__",
 ]

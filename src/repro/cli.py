@@ -2,12 +2,18 @@
 
 Commands
 --------
-``suite``    run benchmarks through the machine configurations and print a
-             comparison table
-``figure``   regenerate one paper exhibit (fig1..fig13, table1..table3)
-``inspect``  show one benchmark's compiler-side artifacts (profile,
-             diverge branches, CFM points)
-``list``     list available benchmarks and machine configurations
+``suite``     run benchmarks through the machine configurations and print
+              a comparison table
+``figure``    regenerate one paper exhibit (fig1..fig13, table1..table3)
+``inspect``   show one benchmark's compiler-side artifacts (profile,
+              diverge branches, CFM points)
+``validate``  oracle-checked validation of hint tables and simulator
+              runs; ``--inject`` drives the adversarial fault-injection
+              suite (docs/robustness.md)
+``list``      list available benchmarks and machine configurations
+
+``suite`` and ``figure`` accept ``--paranoid``: every simulation then
+runs with the oracle cross-checker and watchdog armed.
 """
 
 from __future__ import annotations
@@ -16,9 +22,12 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.errors import ReproError
 from repro.harness import figures
 from repro.harness.experiment import BenchmarkContext
 from repro.uarch.config import MachineConfig
+from repro.validation import faults as fault_injection
+from repro.validation.runtime import paranoid, paranoid_enabled
 from repro.workloads.suite import BENCHMARK_NAMES
 
 #: Named machine configurations selectable from the command line.
@@ -66,19 +75,22 @@ def cmd_suite(args) -> int:
     )
     print(header)
     print("-" * len(header))
-    for name in benchmarks:
-        context = BenchmarkContext(name, iterations=args.iterations)
-        cells = []
-        base_ipc: Optional[float] = None
-        for config_name in config_names:
-            stats = context.simulate(CONFIG_FACTORIES[config_name]())
-            if args.relative and config_name != config_names[0]:
-                cells.append(f"{100 * (stats.ipc / base_ipc - 1):+13.1f}%")
-            else:
-                cells.append(f"{stats.ipc:14.3f}")
-                if base_ipc is None:
-                    base_ipc = stats.ipc
-        print(f"{name:10s}" + "".join(cells))
+    with paranoid(args.paranoid or paranoid_enabled()):
+        for name in benchmarks:
+            context = BenchmarkContext(
+                name, iterations=args.iterations, seed=args.seed
+            )
+            cells = []
+            base_ipc: Optional[float] = None
+            for config_name in config_names:
+                stats = context.simulate(CONFIG_FACTORIES[config_name]())
+                if args.relative and config_name != config_names[0]:
+                    cells.append(f"{100 * (stats.ipc / base_ipc - 1):+13.1f}%")
+                else:
+                    cells.append(f"{stats.ipc:14.3f}")
+                    if base_ipc is None:
+                        base_ipc = stats.ipc
+            print(f"{name:10s}" + "".join(cells))
     return 0
 
 
@@ -89,19 +101,22 @@ def cmd_figure(args) -> int:
             f"unknown exhibit {args.name!r}; "
             f"choose from: {' '.join(figures.ALL_DRIVERS)}"
         )
-    if args.name in ("table1", "table2"):
-        result = driver()
-    else:
-        result = driver(
-            benchmarks=_parse_benchmarks(args.benchmarks),
-            iterations=args.iterations,
-        )
+    with paranoid(args.paranoid or paranoid_enabled()):
+        if args.name in ("table1", "table2"):
+            result = driver()
+        else:
+            result = driver(
+                benchmarks=_parse_benchmarks(args.benchmarks),
+                iterations=args.iterations,
+            )
     print(result.format())
     return 0
 
 
 def cmd_inspect(args) -> int:
-    context = BenchmarkContext(args.benchmark, iterations=args.iterations)
+    context = BenchmarkContext(
+        args.benchmark, iterations=args.iterations, seed=args.seed
+    )
     trace = context.trace
     print(f"benchmark {args.benchmark}: {trace.instruction_count} insts, "
           f"{trace.branch_count} branches")
@@ -121,6 +136,74 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def cmd_validate(args) -> int:
+    """Oracle-checked validation, optionally with injected hint faults.
+
+    Exit codes: 0 — clean hints, every check passed; 1 — the robustness
+    contract was violated (crash, hang, oracle mismatch, IPC below the
+    bound, or missing exit-case coverage); 2 — injected faults were
+    detected (the expected outcome of ``--inject``).  ``--expect-faults``
+    flips the convention for CI: exit 0 iff faults were both survived
+    AND detected.
+    """
+    benchmarks = (
+        _parse_benchmarks(args.benchmarks)
+        if args.benchmarks
+        else list(fault_injection.DEFAULT_BENCHMARKS)
+    )
+    if args.inject:
+        if args.inject == "all":
+            fault_names = list(fault_injection.FAULT_NAMES)
+        else:
+            fault_names = [f.strip() for f in args.inject.split(",") if f.strip()]
+            unknown = [
+                f for f in fault_names if f not in fault_injection.FAULT_NAMES
+            ]
+            if unknown:
+                raise SystemExit(
+                    f"unknown fault classes: {', '.join(unknown)}; "
+                    f"choose from: {', '.join(fault_injection.FAULT_NAMES)}"
+                )
+        report = fault_injection.run_fault_suite(
+            benchmarks=benchmarks,
+            iterations=args.iterations,
+            seed=args.seed,
+            fault_names=fault_names,
+            ipc_margin=args.margin,
+        )
+        print(report.format())
+        robust = report.ok
+        #: every injected fault class detected on at least one benchmark
+        detected_classes = {r.fault for r in report.detections}
+        all_detected = all(name in detected_classes for name in fault_names)
+        if args.expect_faults:
+            return 0 if (robust and all_detected) else 1
+        if not robust:
+            return 1
+        return 2 if detected_classes else 0
+
+    # Clean validation: hint tables are validated on build, then a
+    # hardened (oracle + watchdog) run must complete for every benchmark.
+    failures = 0
+    for name in benchmarks:
+        context = BenchmarkContext(
+            name, iterations=args.iterations, seed=args.seed
+        )
+        try:
+            hints = context.diverge_hints  # validates on build
+            stats = context.simulate(MachineConfig.dmp(enhanced=True).hardened())
+            print(
+                f"{name:10s} ok: {len(hints)} hints valid, "
+                f"IPC={stats.ipc:.3f}, "
+                f"oracle checks={stats.oracle_checks}, "
+                f"dpred entries={stats.dpred_entries}"
+            )
+        except ReproError as exc:
+            failures += 1
+            print(f"{name:10s} FAIL: {exc}")
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -136,14 +219,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated benchmark subset")
     p_suite.add_argument("--configs", default="base,dhp,dmp,dmp-enhanced")
     p_suite.add_argument("--iterations", type=int, default=800)
+    p_suite.add_argument("--seed", type=int, default=0,
+                         help="workload generation seed")
     p_suite.add_argument("--relative", action="store_true",
                          help="print %% improvement over the first config")
+    p_suite.add_argument("--paranoid", action="store_true",
+                         help="arm the oracle cross-checker and watchdog "
+                              "on every simulation")
     p_suite.set_defaults(func=cmd_suite)
 
     p_fig = sub.add_parser("figure", help="regenerate one paper exhibit")
     p_fig.add_argument("name", help="fig1..fig13 or table1..table3")
     p_fig.add_argument("--benchmarks", default="")
     p_fig.add_argument("--iterations", type=int, default=800)
+    p_fig.add_argument("--paranoid", action="store_true",
+                       help="arm the oracle cross-checker and watchdog "
+                            "on every simulation")
     p_fig.set_defaults(func=cmd_figure)
 
     p_inspect = sub.add_parser(
@@ -151,7 +242,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_inspect.add_argument("benchmark")
     p_inspect.add_argument("--iterations", type=int, default=800)
+    p_inspect.add_argument("--seed", type=int, default=0,
+                           help="workload generation seed")
     p_inspect.set_defaults(func=cmd_inspect)
+
+    p_val = sub.add_parser(
+        "validate",
+        help="oracle-checked validation / adversarial hint fault injection",
+    )
+    p_val.add_argument("--benchmarks", default="",
+                       help="comma-separated benchmark subset "
+                            "(default: the fault-suite trio)")
+    p_val.add_argument("--iterations", type=int, default=400)
+    p_val.add_argument("--seed", type=int, default=0)
+    p_val.add_argument("--inject", default="",
+                       help="comma-separated fault classes to inject, "
+                            "or 'all'")
+    p_val.add_argument("--margin", type=float,
+                       default=fault_injection.DEFAULT_IPC_MARGIN,
+                       help="allowed fractional IPC drop below baseline "
+                            "under corrupted hints")
+    p_val.add_argument("--expect-faults", action="store_true",
+                       help="CI mode: exit 0 iff injected faults were "
+                            "both survived and detected")
+    p_val.set_defaults(func=cmd_validate)
 
     return parser
 
@@ -161,6 +275,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except ReproError as exc:
+        # Structured failure (oracle mismatch, watchdog trip, bad hint
+        # table): report it cleanly instead of a traceback.
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
         try:

@@ -132,6 +132,10 @@ class PredicationAwareSimulator(TimingSimulator):
             end = self._dpred_once(diverge_pos, context, hint, depth=0)
             if end.restart is not None:
                 self.stats.dpred_restarts += 1
+                if self.watchdog is not None:
+                    self.watchdog.check(
+                        self, where="dpred-restart", pc=context.instr.pc
+                    )
                 diverge_pos, context, hint = end.restart
                 continue
             cursor.restore(end.continuation)
@@ -163,6 +167,26 @@ class PredicationAwareSimulator(TimingSimulator):
         return p1, p1 + 1
 
     def _dpred_once(
+        self, diverge_pos: int, context, hint, depth: int = 0
+    ) -> _EpisodeEnd:
+        """One episode, wrapped with the robustness instrumentation: the
+        oracle tracks episode entry/exit balance (predicate state must be
+        released) and episodes that end in a Section 2.7.3 restart (which
+        record no Table 1 exit case)."""
+        self._dpred_depth += 1
+        if self.oracle is not None:
+            self.oracle.note_dpred_enter()
+        try:
+            end = self._dpred_once_impl(diverge_pos, context, hint, depth)
+        finally:
+            self._dpred_depth -= 1
+            if self.oracle is not None:
+                self.oracle.note_dpred_exit()
+        if end.restart is not None and self.oracle is not None:
+            self.oracle.note_restarted_episode()
+        return end
+
+    def _dpred_once_impl(
         self, diverge_pos: int, context, hint, depth: int = 0
     ) -> _EpisodeEnd:
         stats = self.stats
@@ -370,6 +394,8 @@ class PredicationAwareSimulator(TimingSimulator):
             stats.extra_uops += 1  # exit.pred
             self._dispatch_uop(0)
             selects = self.rat.compute_selects(cp2_rat)
+            if self.oracle is not None:
+                self.oracle.note_selects(len(selects))
             for request in selects:
                 stats.select_uops += 1
                 sources_ready = max(
@@ -466,14 +492,35 @@ class PredicationAwareSimulator(TimingSimulator):
 
             function = context.record.function
             cfg = self.program.function(function)
-            merge_fn, merge_block, _ = self.program.locate(hint.primary_cfm)
-            region = wish_region(
-                cfg, context.record.block.name, merge_block.name
-            )
+            try:
+                # A corrupted hint can point outside the program or at a
+                # mid-block PC; treat it as an empty if-converted region
+                # (the episode then degrades to trace-path-only fetch).
+                _, merge_block, index = self.program.locate(hint.primary_cfm)
+                if index != 0:
+                    raise KeyError(hint.primary_cfm)
+                region = wish_region(
+                    cfg, context.record.block.name, merge_block.name
+                )
+            except KeyError:
+                region = []
             cache[pc] = (cfg, region or [])
         return cache[pc]
 
     def _run_wish_episode(self, cursor: TraceCursor, context, hint) -> None:
+        self._dpred_depth += 1
+        if self.oracle is not None:
+            self.oracle.note_dpred_enter()
+        try:
+            self._run_wish_episode_impl(cursor, context, hint)
+        finally:
+            self._dpred_depth -= 1
+            if self.oracle is not None:
+                self.oracle.note_dpred_exit()
+
+    def _run_wish_episode_impl(
+        self, cursor: TraceCursor, context, hint
+    ) -> None:
         """Execute one wish branch in predicated mode.
 
         Unlike DMP, compile-time predication fetches EVERY basic block of
@@ -544,6 +591,19 @@ class PredicationAwareSimulator(TimingSimulator):
     # ------------------------------------------------------------------
 
     def _run_loop_episode(self, cursor: TraceCursor, context, hint) -> None:
+        self._dpred_depth += 1
+        if self.oracle is not None:
+            self.oracle.note_dpred_enter()
+        try:
+            self._run_loop_episode_impl(cursor, context, hint)
+        finally:
+            self._dpred_depth -= 1
+            if self.oracle is not None:
+                self.oracle.note_dpred_exit()
+
+    def _run_loop_episode_impl(
+        self, cursor: TraceCursor, context, hint
+    ) -> None:
         """Dynamically predicate trailing loop iterations.
 
         On a low-confidence *loop-exit* branch the processor enters a loop
@@ -583,6 +643,8 @@ class PredicationAwareSimulator(TimingSimulator):
         pos = cursor.index + 1
         fetched = 0
         while True:
+            if self.watchdog is not None:
+                self.watchdog.check(self, where="loop-episode", pc=loop_pc)
             if pos >= len(records):
                 stats.record_exit_case(ExitCase.CONTINUE_PREDICTED)
                 cursor.restore(pos)
@@ -700,6 +762,8 @@ class PredicationAwareSimulator(TimingSimulator):
         stats.extra_uops += 1  # exit.pred
         self._dispatch_uop(0)
         selects = self.rat.compute_selects(entry_rat)
+        if self.oracle is not None:
+            self.oracle.note_selects(len(selects))
         for request in selects:
             stats.select_uops += 1
             ready = max(self.reg_ready[request.arch], deadline)
@@ -733,6 +797,8 @@ class PredicationAwareSimulator(TimingSimulator):
         pos = start_pos
         fetched = 0
         while True:
+            if self.watchdog is not None:
+                self.watchdog.check(self, where="dpred-trace-path")
             if pos >= len(records):
                 return PathResult(
                     PathOutcome.EXHAUSTED,
@@ -856,6 +922,8 @@ class PredicationAwareSimulator(TimingSimulator):
         )
         fetched = 0
         while True:
+            if self.watchdog is not None:
+                self.watchdog.check(self, where="dpred-static-path")
             if walker.exhausted:
                 return PathResult(
                     PathOutcome.EXHAUSTED, instructions=fetched

@@ -22,6 +22,7 @@ from repro.program.trace import Trace
 from repro.uarch.config import MachineConfig
 from repro.uarch.stats import SimStats
 from repro.uarch.timing import TimingSimulator
+from repro.validation.runtime import paranoid_enabled
 
 
 def baseline_processor(
@@ -121,8 +122,15 @@ def simulate(
 
     Dispatches on ``config.mode``: predicating modes get the
     :class:`PredicationAwareSimulator`, everything else the base model.
+
+    Under process-wide paranoid mode (the CLI's ``--paranoid`` flag, or
+    :func:`repro.validation.runtime.set_paranoid`) every run is upgraded
+    to carry the oracle cross-checker and the watchdog; this only adds
+    checking and never changes timing results.
     """
     config = config or MachineConfig()
+    if paranoid_enabled() and not (config.oracle_checks and config.watchdog):
+        config = config.hardened()
     if config.is_predicating:
         if hints is None:
             raise ValueError(f"mode {config.mode!r} requires a hint table")

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.processors import simulate
+from repro.errors import ReproError
 from repro.isa.encoding import HintTable
 from repro.profiling.diverge_selection import (
     SelectionThresholds,
@@ -28,6 +29,7 @@ from repro.profiling.profiler import (
 )
 from repro.uarch.config import MachineConfig
 from repro.uarch.stats import SimStats
+from repro.validation.hints import check_hint_table
 from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
 
 
@@ -99,11 +101,18 @@ class BenchmarkContext:
 
     @property
     def diverge_hints(self) -> HintTable:
-        """The DMP hint table (all qualifying CFM points per branch)."""
+        """The DMP hint table (all qualifying CFM points per branch).
+
+        Validated on build: a structurally-broken table (a selection bug,
+        or a stale profile) raises
+        :class:`~repro.errors.HintValidationError` here, before it can
+        steer the fetch engine."""
         if self._diverge_hints is None:
-            self._diverge_hints = build_hint_table(
+            table = build_hint_table(
                 self.selections, self.thresholds, multiple_cfm=True
             )
+            check_hint_table(self.program, table)
+            self._diverge_hints = table
         return self._diverge_hints
 
     @property
@@ -112,11 +121,13 @@ class BenchmarkContext:
         hard to predict (same rate floor the DMP selection uses, so the
         DHP-vs-DMP comparison is apples-to-apples)."""
         if self._hammock_hints is None:
-            self._hammock_hints = find_simple_hammocks(
+            table = find_simple_hammocks(
                 self.program,
                 profile=self.profile,
                 min_misprediction_rate=self.thresholds.min_misprediction_rate,
             )
+            check_hint_table(self.program, table)
+            self._hammock_hints = table
         return self._hammock_hints
 
     @property
@@ -126,11 +137,13 @@ class BenchmarkContext:
         if self._wish_hints is None:
             from repro.profiling.wish_selection import select_wish_branches
 
-            self._wish_hints, _ = select_wish_branches(
+            table, _ = select_wish_branches(
                 self.program,
                 profile=self.profile,
                 min_misprediction_rate=self.thresholds.min_misprediction_rate,
             )
+            check_hint_table(self.program, table)
+            self._wish_hints = table
         return self._wish_hints
 
     # -- simulation ---------------------------------------------------------
@@ -155,7 +168,7 @@ class BenchmarkContext:
                 config,
                 hints=self.hints_for(config),
                 benchmark=self.name,
-                warm_words=sorted(self.workload.memory._words),
+                warm_words=self.workload.memory.warm_words(),
             )
         return self._sim_cache[key]
 
@@ -204,10 +217,19 @@ class SuiteResult:
         return self.results[benchmark][label]
 
     def ipc_improvements(self, label: str, base: str = "base") -> Dict[str, float]:
-        """Per-benchmark % IPC improvement of ``label`` over ``base``."""
+        """Per-benchmark % IPC improvement of ``label`` over ``base``.
+
+        A degenerate run (zero baseline IPC — an empty trace or a
+        zero-cycle simulation) raises :class:`~repro.errors.ReproError`
+        rather than dividing by zero."""
         out = {}
         for benchmark, per_config in self.results.items():
             base_ipc = per_config[base].ipc
+            if base_ipc == 0:
+                raise ReproError(
+                    f"benchmark {benchmark!r}: base config {base!r} has "
+                    "zero IPC (degenerate run); cannot compute improvement"
+                )
             out[benchmark] = 100.0 * (per_config[label].ipc / base_ipc - 1.0)
         return out
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 import struct
 from typing import Dict, Iterator, Optional, Tuple
 
+from repro.errors import HintValidationError
+
 
 class DivergeHint:
     """Compiler marking for one diverge branch.
@@ -124,25 +126,58 @@ class HintTable:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "HintTable":
-        """Deserialize a table produced by :meth:`to_bytes`."""
-        magic, count = _HEADER.unpack_from(data, 0)
+        """Deserialize a table produced by :meth:`to_bytes`.
+
+        Malformed input — wrong magic, truncation mid-entry, duplicate
+        or impossible entries — raises a structured
+        :class:`~repro.errors.HintValidationError` (a ``ValueError``
+        subclass) rather than a raw ``struct.error``: the hint channel
+        models untrusted binary sections, so the loader must fail
+        loudly and identifiably on corrupt data.
+        """
+        try:
+            magic, count = _HEADER.unpack_from(data, 0)
+        except struct.error:
+            raise HintValidationError(
+                ["hint table shorter than its header"]
+            ) from None
         if magic != _MAGIC:
-            raise ValueError("not a DMP hint table")
+            raise HintValidationError(
+                [f"not a DMP hint table (magic {magic!r})"]
+            )
         table = cls()
         offset = _HEADER.size
-        for _ in range(count):
-            pc, n_cfm, flags, threshold = _ENTRY.unpack_from(data, offset)
-            offset += _ENTRY.size
-            cfm_pcs = struct.unpack_from(f"<{n_cfm}Q", data, offset)
-            offset += 8 * n_cfm
-            table.add(
-                pc,
-                DivergeHint(
-                    cfm_pcs,
-                    early_exit_threshold=(
-                        threshold if flags & _FLAG_HAS_THRESHOLD else None
+        for index in range(count):
+            try:
+                pc, n_cfm, flags, threshold = _ENTRY.unpack_from(data, offset)
+                offset += _ENTRY.size
+                if n_cfm == 0:
+                    raise HintValidationError(
+                        [f"entry {index}: zero CFM points"]
+                    )
+                cfm_pcs = struct.unpack_from(f"<{n_cfm}Q", data, offset)
+                offset += 8 * n_cfm
+                table.add(
+                    pc,
+                    DivergeHint(
+                        cfm_pcs,
+                        early_exit_threshold=(
+                            threshold if flags & _FLAG_HAS_THRESHOLD else None
+                        ),
+                        is_loop=bool(flags & _FLAG_LOOP),
                     ),
-                    is_loop=bool(flags & _FLAG_LOOP),
-                ),
-            )
+                )
+            except struct.error:
+                raise HintValidationError(
+                    [
+                        f"hint table truncated in entry {index} "
+                        f"(of {count}) at byte {offset}"
+                    ]
+                ) from None
+            except ValueError as exc:
+                if isinstance(exc, HintValidationError):
+                    raise
+                raise HintValidationError(
+                    [f"entry {index}: {exc}"]
+                ) from None
         return table

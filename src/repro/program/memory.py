@@ -9,7 +9,7 @@ pseudo-random input data that makes its branches genuinely data-dependent.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable
+from typing import Dict, Iterable, List
 
 _MASK = (1 << 64) - 1
 
@@ -47,6 +47,12 @@ class Memory:
     def footprint(self) -> int:
         """Number of distinct words ever written."""
         return len(self._words)
+
+    def warm_words(self) -> List[int]:
+        """Sorted addresses of every word ever written — the working set
+        the timing harness pre-loads into the L2 to model a warmed-up
+        cache (see ``TimingSimulator``'s ``warm_words`` parameter)."""
+        return sorted(self._words)
 
     def __repr__(self) -> str:
         return f"<Memory ({len(self._words)} words)>"

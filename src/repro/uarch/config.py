@@ -78,6 +78,18 @@ class MachineConfig:
     #: Sequential-stream prefetch depth on L1D misses (0 disables); an
     #: extension knob for the memory-system ablations.
     prefetch_lines: int = 0
+    # Robustness / validation (docs/robustness.md)
+    #: Cross-check the run against the functional trace and the
+    #: dynamic-predication invariants (repro.validation.oracle); raises
+    #: :class:`~repro.errors.OracleMismatchError` on any violation.
+    oracle_checks: bool = False
+    #: Bound simulated cycles and forward progress
+    #: (repro.validation.watchdog); raises
+    #: :class:`~repro.errors.SimulationHangError` instead of hanging.
+    watchdog: bool = False
+    #: Explicit watchdog cycle budget; ``None`` derives one from the
+    #: trace length (AUTO_CYCLE_FACTOR cycles per instruction).
+    watchdog_cycle_limit: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -92,6 +104,8 @@ class MachineConfig:
             )
         if self.fetch_width <= 0 or self.rob_size <= 0:
             raise ValueError("widths and sizes must be positive")
+        if self.watchdog_cycle_limit is not None and self.watchdog_cycle_limit <= 0:
+            raise ValueError("watchdog_cycle_limit must be positive or None")
 
     # -- named configurations ---------------------------------------------
 
@@ -131,6 +145,15 @@ class MachineConfig:
     def replace(self, **overrides) -> "MachineConfig":
         """A copy with the given fields overridden."""
         return dataclasses.replace(self, **overrides)
+
+    def hardened(self, cycle_limit: Optional[int] = None) -> "MachineConfig":
+        """A copy with the oracle cross-checker and watchdog armed (the
+        ``--paranoid`` configuration; see docs/robustness.md)."""
+        return self.replace(
+            oracle_checks=True,
+            watchdog=True,
+            watchdog_cycle_limit=cycle_limit,
+        )
 
     @classmethod
     def wish(cls, **overrides) -> "MachineConfig":

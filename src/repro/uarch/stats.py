@@ -66,6 +66,14 @@ class SimStats:
     # Store buffer / memory
     load_wait_on_predicate: int = 0
 
+    # Robustness (docs/robustness.md)
+    #: Oracle cross-checks performed (0 unless ``config.oracle_checks``).
+    oracle_checks: int = 0
+    #: Watchdog trips; a trip raises SimulationHangError, so a surviving
+    #: stats object should always show 0 — the counter exists so the trip
+    #: is visible on the stats carried by the exception's diagnostics.
+    watchdog_trips: int = 0
+
     # -- derived ----------------------------------------------------------
 
     @property

@@ -139,6 +139,24 @@ class TimingSimulator:
         # Derived structures
         self._ipostdom_pc: Dict[Tuple[str, str], Optional[int]] = {}
         self._function_ipostdoms: Dict[str, Dict[str, Optional[str]]] = {}
+        # Robustness instrumentation (docs/robustness.md).  Imported
+        # lazily: the validation package pulls in the fault harness,
+        # which must not load during ordinary simulator imports.
+        self._dpred_depth = 0
+        if self.config.oracle_checks:
+            from repro.validation.oracle import OracleChecker
+
+            self.oracle: Optional[OracleChecker] = OracleChecker(
+                self.trace, self.stats
+            )
+        else:
+            self.oracle = None
+        if self.config.watchdog:
+            from repro.validation.watchdog import Watchdog
+
+            self.watchdog: Optional[Watchdog] = Watchdog(self)
+        else:
+            self.watchdog = None
 
     # ------------------------------------------------------------------
     # Top level
@@ -146,7 +164,10 @@ class TimingSimulator:
 
     def run(self) -> SimStats:
         cursor = TraceCursor(self.trace)
+        oracle = self.oracle
+        watchdog = self.watchdog
         while not cursor.exhausted:
+            before = cursor.index
             record = cursor.record
             block = record.block
             self._icache_fetch(block.first_pc)
@@ -158,8 +179,14 @@ class TimingSimulator:
                 self._fetch_trace_block(record)
                 self._handle_nonbranch_transfer(block)
                 cursor.advance()
+            if oracle is not None:
+                oracle.note_advance(before, cursor.index)
+            if watchdog is not None:
+                watchdog.check(self, where="main-fetch", pc=block.first_pc)
         self.stats.cycles = max(self.last_retire_cycle, self.cycle)
         self.stats.retired_instructions = self.trace.instruction_count
+        if oracle is not None:
+            oracle.finalize(self.stats, self.trace)
         return self.stats
 
     # ------------------------------------------------------------------
@@ -491,6 +518,10 @@ class TimingSimulator:
             guard += 1
             if guard > 10_000:
                 break
+            if self.watchdog is not None:
+                self.watchdog.check(
+                    self, where="wrong-path-walk", pc=record.block.first_pc
+                )
             current = walker.block
             if not reached_ci and (
                 current.first_pc == reconv_pc

@@ -1,0 +1,61 @@
+"""Hardened-simulation subsystem: oracle, watchdog, fault injection.
+
+Three layers (see docs/robustness.md):
+
+* :mod:`repro.validation.oracle` — cross-checks every timing run against
+  the functional trace and the dynamic-predication invariants
+  (``MachineConfig.oracle_checks``);
+* :mod:`repro.validation.watchdog` — bounds cycles and forward progress,
+  converting hangs into structured
+  :class:`~repro.errors.SimulationHangError` reports
+  (``MachineConfig.watchdog``);
+* :mod:`repro.validation.faults` — the adversarial hint fault-injection
+  harness behind ``repro validate --inject``;
+* :mod:`repro.validation.hints` — static hint-table validation, run on
+  every table the harness builds;
+* :mod:`repro.validation.runtime` — the process-wide ``--paranoid``
+  toggle.
+"""
+
+from repro.errors import (
+    HintValidationError,
+    OracleMismatchError,
+    ReproError,
+    SimulationError,
+    SimulationHangError,
+)
+from repro.validation.faults import (
+    DEFAULT_IPC_MARGIN,
+    FAULT_CLASSES,
+    FAULT_NAMES,
+    FaultReport,
+    FaultRunResult,
+    fault_class,
+    run_fault_suite,
+)
+from repro.validation.hints import check_hint_table, validate_hint_table
+from repro.validation.oracle import OracleChecker
+from repro.validation.runtime import paranoid, paranoid_enabled, set_paranoid
+from repro.validation.watchdog import Watchdog
+
+__all__ = [
+    "ReproError",
+    "SimulationError",
+    "SimulationHangError",
+    "OracleMismatchError",
+    "HintValidationError",
+    "OracleChecker",
+    "Watchdog",
+    "check_hint_table",
+    "validate_hint_table",
+    "paranoid",
+    "paranoid_enabled",
+    "set_paranoid",
+    "DEFAULT_IPC_MARGIN",
+    "FAULT_CLASSES",
+    "FAULT_NAMES",
+    "FaultReport",
+    "FaultRunResult",
+    "fault_class",
+    "run_fault_suite",
+]

@@ -1,0 +1,594 @@
+"""Adversarial hint fault injection.
+
+Merge hints are *predictions* shipped by a compiler (or, in follow-on
+work, a dynamic predictor) — they can be stale, malformed or simply
+wrong at runtime.  Table 1's six exit cases exist precisely so the
+machine degrades gracefully when a CFM point is never reached.  This
+module systematically corrupts hint tables and drives the full
+simulator — oracle checker and watchdog armed — to prove that:
+
+* no corruption class crashes or hangs the simulator;
+* architectural results still match the functional trace (the oracle
+  passes on every run);
+* all six exit cases are reachable across the suite;
+* IPC under corrupted hints stays within a bounded margin of the
+  baseline processor (default: no more than ``DEFAULT_IPC_MARGIN``
+  below baseline IPC — documented in docs/robustness.md).
+
+The catalog (:data:`FAULT_CLASSES`) covers: CFM PCs moved off-path
+(mid-block), CFM points on never-executed blocks, CFM PCs outside the
+program, hints swapped between branches, hints built from a mismatched
+seed's profile, duplicated CFM entries, self-referential CFM points,
+loop-flag flips, and truncated serialized tables (which must be caught
+at load time by :class:`~repro.errors.HintValidationError`).
+
+Heavy imports (harness, processors) happen inside functions so this
+module can be imported from anywhere without cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import HintValidationError, ReproError
+from repro.isa.encoding import DivergeHint, HintTable
+from repro.validation.hints import validate_hint_table
+
+#: Documented robustness bound: IPC under any corrupted hint table must
+#: stay above ``(1 - margin) * baseline_ipc``.  Corrupted hints can cost
+#: dynamic-predication overhead (episodes that never merge, predicated
+#: wrong-path work) but never more than this fraction of baseline
+#: throughput.
+DEFAULT_IPC_MARGIN = 0.5
+
+#: Benchmarks the acceptance suite runs by default: complex-diverge-heavy
+#: workloads where hints actually steer the machine.
+DEFAULT_BENCHMARKS = ("parser", "twolf", "vpr")
+
+
+class CorruptedTable:
+    """One corrupted hint table plus how (and whether) it was detected."""
+
+    __slots__ = ("table", "static_issues", "loader_error", "config_overrides")
+
+    def __init__(
+        self,
+        table: HintTable,
+        static_issues: List[str],
+        loader_error: Optional[str] = None,
+        config_overrides: Optional[Dict] = None,
+    ) -> None:
+        self.table = table
+        self.static_issues = static_issues
+        self.loader_error = loader_error
+        self.config_overrides = dict(config_overrides or {})
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultClass:
+    """One corruption recipe in the catalog."""
+
+    name: str
+    description: str
+    corrupt: Callable[["object", HintTable, random.Random], CorruptedTable]
+    #: True when the static validator (or the loader) is guaranteed to
+    #: flag this class; None when detection is environment-dependent.
+    statically_detectable: Optional[bool] = None
+
+
+# ---------------------------------------------------------------------------
+# Corruption recipes.  Each takes (context, clean_table, rng) and returns
+# a CorruptedTable; ``context`` is a harness BenchmarkContext.
+# ---------------------------------------------------------------------------
+
+
+def _copy_hint(hint: DivergeHint, **overrides) -> DivergeHint:
+    fields = dict(
+        cfm_pcs=hint.cfm_pcs,
+        early_exit_threshold=hint.early_exit_threshold,
+        is_loop=hint.is_loop,
+    )
+    fields.update(overrides)
+    return DivergeHint(**fields)
+
+
+def _rebuild(entries: Sequence[Tuple[int, DivergeHint]]) -> HintTable:
+    table = HintTable()
+    for pc, hint in entries:
+        table.add(pc, hint)
+    return table
+
+
+def _validated(context, table, overrides=None) -> CorruptedTable:
+    return CorruptedTable(
+        table,
+        validate_hint_table(context.program, table),
+        config_overrides=overrides,
+    )
+
+
+def _cfm_midblock(context, clean, rng) -> CorruptedTable:
+    """Move every CFM PC one instruction into its block: a PC that exists
+    but is never a fetch-block start, so the CAM can never match."""
+    from repro.isa.instructions import INSTRUCTION_BYTES
+
+    entries = [
+        (pc, _copy_hint(
+            hint,
+            cfm_pcs=tuple(c + INSTRUCTION_BYTES for c in hint.cfm_pcs),
+        ))
+        for pc, hint in clean
+    ]
+    return _validated(context, _rebuild(entries))
+
+
+def _cfm_cold_block(context, clean, rng) -> CorruptedTable:
+    """Point every CFM at a real block start the trace never executes —
+    statically plausible, dynamically unreachable (exit cases 5/6)."""
+    program = context.program
+    executed = {record.block.first_pc for record in context.trace.records}
+    cold = sorted(
+        block.first_pc
+        for cfg in program.functions()
+        for block in cfg
+        if block.first_pc not in executed and block.instructions
+    )
+    if not cold:
+        # Every block is warm: fall back to a PC past the program's end,
+        # which equally never matches a fetch-block start.
+        last = max(
+            instr.pc
+            for cfg in program.functions()
+            for block in cfg
+            for instr in block.instructions
+        )
+        cold = [last + 0x1000]
+    entries = [
+        (pc, _copy_hint(
+            hint,
+            cfm_pcs=tuple(
+                cold[(i + j) % len(cold)] for j in range(len(hint.cfm_pcs))
+            ),
+        ))
+        for i, (pc, hint) in enumerate(clean)
+    ]
+    return _validated(context, _rebuild(entries))
+
+
+def _cfm_nonexistent(context, clean, rng) -> CorruptedTable:
+    """CFM PCs that are not in the program at all."""
+    entries = [
+        (pc, _copy_hint(hint, cfm_pcs=(0xDEAD0000 + 8 * i,)))
+        for i, (pc, hint) in enumerate(clean)
+    ]
+    return _validated(context, _rebuild(entries))
+
+
+def _swapped_targets(context, clean, rng) -> CorruptedTable:
+    """Rotate the hints across branch PCs: each diverge branch gets the
+    CFM points that belong to a *different* branch — real block starts,
+    wrong region."""
+    items = list(clean)
+    if len(items) < 2:
+        return _cfm_cold_block(context, clean, rng)
+    pcs = [pc for pc, _ in items]
+    hints = [hint for _, hint in items]
+    rotated = hints[1:] + hints[:1]
+    return _validated(context, _rebuild(list(zip(pcs, rotated))))
+
+
+def _wrong_seed(context, clean, rng) -> CorruptedTable:
+    """Hints built from a different seed's profile of the same benchmark
+    (CFG shapes are identical across seeds, so PCs align but frequencies
+    and CFM choices reflect the wrong run)."""
+    from repro.harness.experiment import BenchmarkContext
+
+    other = BenchmarkContext(
+        context.name,
+        iterations=context.iterations,
+        seed=context.seed + 1,
+        thresholds=context.thresholds,
+    )
+    return _validated(context, other.diverge_hints)
+
+
+def _duplicate_entries(context, clean, rng) -> CorruptedTable:
+    """Duplicate every CFM PC inside its own list and cross-pollinate
+    another branch's CFM to overflow the CAM with junk."""
+    items = list(clean)
+    entries = []
+    for i, (pc, hint) in enumerate(items):
+        extra = items[(i + 1) % len(items)][1].cfm_pcs[:1] if len(items) > 1 else ()
+        doubled = tuple(
+            c for c in hint.cfm_pcs for _ in range(2)
+        ) + tuple(extra)
+        entries.append((pc, _copy_hint(hint, cfm_pcs=doubled)))
+    return _validated(context, _rebuild(entries))
+
+
+def _self_cfm(context, clean, rng) -> CorruptedTable:
+    """Each hint's CFM is the diverge branch itself."""
+    entries = [
+        (pc, _copy_hint(hint, cfm_pcs=(pc,))) for pc, hint in clean
+    ]
+    return _validated(context, _rebuild(entries))
+
+
+def _loop_flag_flip(context, clean, rng) -> CorruptedTable:
+    """Mark every non-loop hint as a diverge *loop* branch and enable
+    loop predication, driving the loop engine over non-loop CFGs."""
+    entries = [
+        (pc, _copy_hint(hint, is_loop=True)) for pc, hint in clean
+    ]
+    return _validated(
+        context, _rebuild(entries), overrides={"loop_predication": True}
+    )
+
+
+def _truncated_table(context, clean, rng) -> CorruptedTable:
+    """Serialize the clean table and cut it short: the loader must raise
+    a structured HintValidationError, and the machine then runs with the
+    empty table a real loader would fall back to."""
+    data = clean.to_bytes()
+    cut = data[: max(len(data) - 7, 1)] if len(data) > 8 else data[:4]
+    loader_error = None
+    table = HintTable()
+    try:
+        table = HintTable.from_bytes(cut)
+    except HintValidationError as exc:
+        loader_error = str(exc)
+    return CorruptedTable(
+        table,
+        validate_hint_table(context.program, table),
+        loader_error=loader_error,
+    )
+
+
+FAULT_CLASSES: Tuple[FaultClass, ...] = (
+    FaultClass(
+        "cfm-midblock",
+        "CFM PCs moved off-path into the middle of their blocks",
+        _cfm_midblock,
+        statically_detectable=True,
+    ),
+    FaultClass(
+        "cfm-cold-block",
+        "CFM points on blocks the trace never executes",
+        _cfm_cold_block,
+        statically_detectable=None,
+    ),
+    FaultClass(
+        "cfm-nonexistent",
+        "CFM PCs outside the program",
+        _cfm_nonexistent,
+        statically_detectable=True,
+    ),
+    FaultClass(
+        "swapped-targets",
+        "hints rotated between diverge branches (wrong region's CFMs)",
+        _swapped_targets,
+        statically_detectable=False,
+    ),
+    FaultClass(
+        "wrong-seed",
+        "hints from a mismatched seed's profile",
+        _wrong_seed,
+        statically_detectable=False,
+    ),
+    FaultClass(
+        "duplicate-entries",
+        "duplicated / cross-pollinated CFM entries overflowing the CAM",
+        _duplicate_entries,
+        statically_detectable=True,
+    ),
+    FaultClass(
+        "self-cfm",
+        "CFM point equal to the diverge branch itself",
+        _self_cfm,
+        statically_detectable=True,
+    ),
+    FaultClass(
+        "loop-flag-flip",
+        "non-loop hints marked is_loop with loop predication enabled",
+        _loop_flag_flip,
+        statically_detectable=False,
+    ),
+    FaultClass(
+        "truncated-table",
+        "serialized hint table truncated mid-entry",
+        _truncated_table,
+        statically_detectable=True,
+    ),
+)
+
+FAULT_NAMES: Tuple[str, ...] = tuple(f.name for f in FAULT_CLASSES)
+
+
+def fault_class(name: str) -> FaultClass:
+    for fault in FAULT_CLASSES:
+        if fault.name == name:
+            return fault
+    raise ReproError(
+        f"unknown fault class {name!r}; choose from: {', '.join(FAULT_NAMES)}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Suite runner
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class FaultRunResult:
+    """Outcome of one (benchmark, fault-class) simulation."""
+
+    benchmark: str
+    fault: str
+    ipc: float = 0.0
+    baseline_ipc: float = 0.0
+    clean_ipc: float = 0.0
+    exit_cases: Dict[int, int] = dataclasses.field(default_factory=dict)
+    dpred_entries: int = 0
+    oracle_checks: int = 0
+    watchdog_trips: int = 0
+    static_issues: int = 0
+    loader_error: Optional[str] = None
+    #: repr of an exception that escaped the simulator (robustness bug).
+    error: Optional[str] = None
+    hang: bool = False
+    oracle_mismatch: bool = False
+
+    @property
+    def crashed(self) -> bool:
+        return self.error is not None
+
+    @property
+    def detected(self) -> bool:
+        """Did anything — static validator, loader, or behaviour — reveal
+        that the hints were corrupted?"""
+        if self.static_issues or self.loader_error:
+            return True
+        if self.clean_ipc:
+            if abs(self.ipc - self.clean_ipc) / self.clean_ipc > 1e-3:
+                return True
+        return False
+
+    @property
+    def ipc_ratio_vs_baseline(self) -> float:
+        if not self.baseline_ipc:
+            return 1.0
+        return self.ipc / self.baseline_ipc
+
+
+class FaultReport:
+    """Aggregated fault-suite results with the acceptance checks."""
+
+    def __init__(
+        self,
+        ipc_margin: float = DEFAULT_IPC_MARGIN,
+        require_all_exit_cases: bool = True,
+    ) -> None:
+        self.ipc_margin = ipc_margin
+        #: Only the full catalog is guaranteed to reach every exit case;
+        #: a subset run must not fail the contract on missing coverage.
+        self.require_all_exit_cases = require_all_exit_cases
+        self.runs: List[FaultRunResult] = []
+        #: Exit-case counts aggregated over every run (clean + corrupted).
+        self.exit_case_totals: Dict[int, int] = {c: 0 for c in range(1, 7)}
+
+    def add(self, result: FaultRunResult) -> None:
+        self.runs.append(result)
+        for case, count in result.exit_cases.items():
+            self.exit_case_totals[case] = (
+                self.exit_case_totals.get(case, 0) + count
+            )
+
+    # -- acceptance checks ---------------------------------------------
+
+    @property
+    def crashes(self) -> List[FaultRunResult]:
+        return [r for r in self.runs if r.crashed]
+
+    @property
+    def hangs(self) -> List[FaultRunResult]:
+        return [r for r in self.runs if r.hang]
+
+    @property
+    def oracle_mismatches(self) -> List[FaultRunResult]:
+        return [r for r in self.runs if r.oracle_mismatch]
+
+    @property
+    def ipc_violations(self) -> List[FaultRunResult]:
+        floor = 1.0 - self.ipc_margin
+        return [
+            r
+            for r in self.runs
+            if r.fault != "clean"
+            and not r.crashed
+            and r.baseline_ipc
+            and r.ipc_ratio_vs_baseline < floor
+        ]
+
+    @property
+    def all_exit_cases_observed(self) -> bool:
+        return all(self.exit_case_totals.get(c, 0) > 0 for c in range(1, 7))
+
+    @property
+    def detections(self) -> List[FaultRunResult]:
+        return [r for r in self.runs if r.fault != "clean" and r.detected]
+
+    @property
+    def injected_runs(self) -> List[FaultRunResult]:
+        return [r for r in self.runs if r.fault != "clean"]
+
+    @property
+    def ok(self) -> bool:
+        """The robustness contract held on every run."""
+        return (
+            not self.crashes
+            and not self.hangs
+            and not self.oracle_mismatches
+            and not self.ipc_violations
+            and (self.all_exit_cases_observed
+                 or not self.require_all_exit_cases)
+        )
+
+    def format(self) -> str:
+        lines = [
+            "fault-injection report "
+            f"({len(self.injected_runs)} corrupted runs, "
+            f"IPC floor = {1.0 - self.ipc_margin:.2f} x baseline)",
+            f"{'benchmark':10s} {'fault':18s} {'IPC':>7s} {'vs base':>8s} "
+            f"{'static':>6s} {'dpred':>6s} {'detected':>8s}  status",
+        ]
+        for r in self.runs:
+            if r.crashed:
+                status = f"CRASH {r.error}"
+            elif r.hang:
+                status = "HANG"
+            elif r.oracle_mismatch:
+                status = "ORACLE-MISMATCH"
+            else:
+                status = "ok"
+            lines.append(
+                f"{r.benchmark:10s} {r.fault:18s} {r.ipc:7.3f} "
+                f"{r.ipc_ratio_vs_baseline:7.2f}x {r.static_issues:6d} "
+                f"{r.dpred_entries:6d} "
+                f"{str(r.detected):>8s}  {status}"
+            )
+        cases = " ".join(
+            f"c{c}={n}" for c, n in sorted(self.exit_case_totals.items())
+        )
+        lines.append(f"exit cases observed across suite: {cases}")
+        lines.append(
+            "robustness: "
+            + ("OK" if self.ok else "VIOLATED")
+            + f" (crashes={len(self.crashes)} hangs={len(self.hangs)} "
+            f"oracle={len(self.oracle_mismatches)} "
+            f"ipc_violations={len(self.ipc_violations)} "
+            f"all_exit_cases={self.all_exit_cases_observed})"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "ok": self.ok,
+            "ipc_margin": self.ipc_margin,
+            "exit_case_totals": dict(self.exit_case_totals),
+            "runs": [dataclasses.asdict(r) for r in self.runs],
+        }
+
+
+def _paranoid_dmp_config(overrides: Optional[Dict] = None):
+    from repro.uarch.config import MachineConfig
+
+    config = MachineConfig.dmp(enhanced=True).replace(
+        oracle_checks=True, watchdog=True
+    )
+    if overrides:
+        config = config.replace(**overrides)
+    return config
+
+
+def run_fault_suite(
+    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+    iterations: Optional[int] = 400,
+    seed: int = 0,
+    fault_names: Optional[Sequence[str]] = None,
+    ipc_margin: float = DEFAULT_IPC_MARGIN,
+    rng_seed: int = 0,
+) -> FaultReport:
+    """Run every requested corruption class over every benchmark.
+
+    Each benchmark also runs once with clean hints (labelled ``clean``)
+    under the same hardened configuration — the reference for behavioural
+    fault detection and part of the exit-case coverage aggregate.
+    """
+    from repro.core.processors import simulate
+    from repro.errors import (
+        OracleMismatchError,
+        SimulationHangError,
+    )
+    from repro.harness.experiment import BenchmarkContext
+    from repro.uarch.config import MachineConfig
+
+    faults = [fault_class(name) for name in (fault_names or FAULT_NAMES)]
+    report = FaultReport(
+        ipc_margin=ipc_margin,
+        require_all_exit_cases=set(f.name for f in faults) == set(FAULT_NAMES),
+    )
+    rng = random.Random(rng_seed)
+
+    for name in benchmarks:
+        context = BenchmarkContext(name, iterations=iterations, seed=seed)
+        warm = context.workload.memory.warm_words()
+        baseline_config = MachineConfig.baseline().replace(
+            oracle_checks=True, watchdog=True
+        )
+        baseline = simulate(
+            context.program,
+            context.trace,
+            baseline_config,
+            benchmark=name,
+            warm_words=warm,
+        )
+        clean_table = context.diverge_hints
+        clean_stats = simulate(
+            context.program,
+            context.trace,
+            _paranoid_dmp_config(),
+            hints=clean_table,
+            benchmark=name,
+            warm_words=warm,
+        )
+        clean_result = FaultRunResult(
+            benchmark=name,
+            fault="clean",
+            ipc=clean_stats.ipc,
+            baseline_ipc=baseline.ipc,
+            clean_ipc=clean_stats.ipc,
+            exit_cases=dict(clean_stats.exit_cases),
+            dpred_entries=clean_stats.dpred_entries,
+            oracle_checks=clean_stats.oracle_checks,
+            watchdog_trips=clean_stats.watchdog_trips,
+        )
+        report.add(clean_result)
+
+        for fault in faults:
+            corrupted = fault.corrupt(context, clean_table, rng)
+            result = FaultRunResult(
+                benchmark=name,
+                fault=fault.name,
+                baseline_ipc=baseline.ipc,
+                clean_ipc=clean_stats.ipc,
+                static_issues=len(corrupted.static_issues),
+                loader_error=corrupted.loader_error,
+            )
+            config = _paranoid_dmp_config(corrupted.config_overrides)
+            try:
+                stats = simulate(
+                    context.program,
+                    context.trace,
+                    config,
+                    hints=corrupted.table,
+                    benchmark=name,
+                    warm_words=warm,
+                )
+            except SimulationHangError as exc:
+                result.hang = True
+                result.error = f"SimulationHangError: {exc}"
+            except OracleMismatchError as exc:
+                result.oracle_mismatch = True
+                result.error = f"OracleMismatchError: {exc}"
+            except Exception as exc:  # noqa: BLE001 - robustness harness
+                result.error = f"{type(exc).__name__}: {exc}"
+            else:
+                result.ipc = stats.ipc
+                result.exit_cases = dict(stats.exit_cases)
+                result.dpred_entries = stats.dpred_entries
+                result.oracle_checks = stats.oracle_checks
+                result.watchdog_trips = stats.watchdog_trips
+            report.add(result)
+    return report

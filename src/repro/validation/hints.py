@@ -1,0 +1,72 @@
+"""Static validation of hint tables against their program.
+
+The hint channel is untrusted input (it models compiler output embedded
+in a binary — see :mod:`repro.isa.encoding`): a stale, truncated or
+adversarial table must be caught *before* it drives the fetch engine
+when it is statically detectable at all.  :func:`validate_hint_table`
+returns the list of structural problems; :func:`check_hint_table` raises
+:class:`~repro.errors.HintValidationError` when any exist.
+
+These checks are intentionally structural only — a hint whose CFM point
+is a real block start that the program simply never reaches is *not*
+statically detectable; surviving those is the dynamic engine's job
+(exit cases 5/6 of Table 1) and what :mod:`repro.validation.faults`
+exercises.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import HintValidationError
+from repro.isa.instructions import Opcode
+
+
+def validate_hint_table(program, hints) -> List[str]:
+    """Structurally validate ``hints`` against a sealed ``program``.
+
+    Returns a (possibly empty) list of human-readable issues.
+    """
+    issues: List[str] = []
+    for branch_pc, hint in hints:
+        prefix = f"hint @{branch_pc:#06x}"
+        try:
+            _, block, index = program.locate(branch_pc)
+        except KeyError:
+            issues.append(f"{prefix}: branch PC is not in the program")
+            continue
+        instr = block.instructions[index]
+        if instr.opcode != Opcode.BR:
+            issues.append(
+                f"{prefix}: PC is a {instr.opcode.name}, "
+                "not a conditional branch"
+            )
+        seen = set()
+        for cfm_pc in hint.cfm_pcs:
+            cfm_prefix = f"{prefix}: CFM @{cfm_pc:#06x}"
+            if cfm_pc in seen:
+                issues.append(f"{cfm_prefix} is listed more than once")
+                continue
+            seen.add(cfm_pc)
+            if cfm_pc == branch_pc:
+                issues.append(f"{cfm_prefix} is the diverge branch itself")
+                continue
+            if program.block_starting_at(cfm_pc) is None:
+                issues.append(
+                    f"{cfm_prefix} is not the first instruction of any "
+                    "basic block"
+                )
+        threshold = hint.early_exit_threshold
+        if threshold is not None and threshold <= 0:
+            issues.append(
+                f"{prefix}: early-exit threshold must be positive, "
+                f"got {threshold}"
+            )
+    return issues
+
+
+def check_hint_table(program, hints) -> None:
+    """Raise :class:`HintValidationError` if the table has any issue."""
+    issues = validate_hint_table(program, hints)
+    if issues:
+        raise HintValidationError(issues)

@@ -1,0 +1,204 @@
+"""Oracle cross-checker: timing simulation vs. the functional trace.
+
+The timing simulator is trace-driven — architectural correctness means it
+retires exactly the functional :class:`~repro.program.trace.Trace`
+instruction stream, once, in order, no matter how the front end wandered
+(wrong paths, predicated paths, flushes).  When
+``MachineConfig.oracle_checks`` is on, the simulator carries an
+:class:`OracleChecker` that verifies this online plus the
+dynamic-predication invariants of Table 1:
+
+* every top-level fetch step advances the trace cursor strictly forward
+  and the covered block intervals tile ``[0, len(trace))`` exactly;
+* every dynamic-predication episode exits (enter/exit hooks balance and
+  nesting returns to zero — predicate/checkpoint state is released);
+* exit-case counters account for every episode:
+  ``dpred_entries == sum(exit_cases) + restarted episodes``;
+* select-uops are balanced per merged region: the ``select_uops``
+  counter equals the select requests the RAT actually produced;
+* global counter sanity (retired == trace instructions, flushes never
+  exceed mispredictions).
+
+Violations raise :class:`~repro.errors.OracleMismatchError` with a
+structured diagnostics payload.  Checks performed are counted in
+``SimStats.oracle_checks``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OracleMismatchError
+
+
+class OracleChecker:
+    """Online invariant checker attached to one simulator run."""
+
+    def __init__(self, trace, stats) -> None:
+        self.trace = trace
+        self.stats = stats
+        self._next_index = 0
+        self._covered_instructions = 0
+        self._dpred_depth = 0
+        self._max_dpred_depth = 0
+        self._episodes_entered = 0
+        self._episodes_exited = 0
+        self._restarted_episodes = 0
+        self._selects_observed = 0
+
+    # -- hooks called by the simulator ---------------------------------
+
+    def note_advance(self, before: int, after: int) -> None:
+        """One top-level fetch step covered trace records [before, after)."""
+        self.stats.oracle_checks += 1
+        if before != self._next_index:
+            self._fail(
+                "top-level fetch resumed at the wrong trace position",
+                expected_index=self._next_index,
+                resumed_index=before,
+            )
+        if after <= before:
+            self._fail(
+                "top-level fetch made no forward progress through the trace",
+                index=before,
+                next_index=after,
+            )
+        records = self.trace.records
+        if after > len(records):
+            self._fail(
+                "fetch ran past the end of the functional trace",
+                index=after,
+                trace_length=len(records),
+            )
+        for i in range(before, after):
+            self._covered_instructions += len(records[i].block.instructions)
+        self._next_index = after
+
+    def note_dpred_enter(self) -> None:
+        self.stats.oracle_checks += 1
+        self._dpred_depth += 1
+        self._episodes_entered += 1
+        if self._dpred_depth > self._max_dpred_depth:
+            self._max_dpred_depth = self._dpred_depth
+
+    def note_dpred_exit(self) -> None:
+        self.stats.oracle_checks += 1
+        self._dpred_depth -= 1
+        self._episodes_exited += 1
+        if self._dpred_depth < 0:
+            self._fail(
+                "dynamic-predication exit without a matching entry",
+                depth=self._dpred_depth,
+            )
+
+    def note_restarted_episode(self) -> None:
+        """An episode ended by restarting for a newer diverge branch
+        (Section 2.7.3) — it records no Table 1 exit case."""
+        self._restarted_episodes += 1
+
+    def note_selects(self, count: int) -> None:
+        self._selects_observed += count
+
+    @property
+    def dpred_depth(self) -> int:
+        return self._dpred_depth
+
+    @property
+    def max_dpred_depth(self) -> int:
+        return self._max_dpred_depth
+
+    # -- end-of-run validation -----------------------------------------
+
+    def finalize(self, stats, trace) -> None:
+        """Validate whole-run invariants; raises on the first violation."""
+        checks = (
+            self._check_coverage,
+            self._check_dpred_balance,
+            self._check_exit_accounting,
+            self._check_counters,
+        )
+        for check in checks:
+            stats.oracle_checks += 1
+            check(stats, trace)
+
+    def _check_coverage(self, stats, trace) -> None:
+        if self._next_index != len(trace.records):
+            self._fail(
+                "timing run did not retire the full functional trace",
+                retired_through=self._next_index,
+                trace_length=len(trace.records),
+            )
+        if self._covered_instructions != trace.instruction_count:
+            self._fail(
+                "retired instruction stream differs from the functional trace",
+                covered=self._covered_instructions,
+                expected=trace.instruction_count,
+            )
+        if stats.retired_instructions != trace.instruction_count:
+            self._fail(
+                "retired_instructions counter disagrees with the trace",
+                counter=stats.retired_instructions,
+                expected=trace.instruction_count,
+            )
+
+    def _check_dpred_balance(self, stats, trace) -> None:
+        if self._dpred_depth != 0:
+            self._fail(
+                "a dynamic-predication episode never exited "
+                "(predicate/checkpoint state not released)",
+                depth=self._dpred_depth,
+            )
+        if self._episodes_entered != self._episodes_exited:
+            self._fail(
+                "unbalanced dynamic-predication enter/exit hooks",
+                entered=self._episodes_entered,
+                exited=self._episodes_exited,
+            )
+        if self._episodes_entered != stats.dpred_entries:
+            self._fail(
+                "dpred_entries counter disagrees with observed episodes",
+                counter=stats.dpred_entries,
+                observed=self._episodes_entered,
+            )
+
+    def _check_exit_accounting(self, stats, trace) -> None:
+        recorded = sum(stats.exit_cases.values())
+        expected = stats.dpred_entries - self._restarted_episodes
+        if recorded != expected:
+            self._fail(
+                "exit-case counters do not account for every episode",
+                exit_cases_recorded=recorded,
+                dpred_entries=stats.dpred_entries,
+                restarted_episodes=self._restarted_episodes,
+            )
+        if stats.select_uops != self._selects_observed:
+            self._fail(
+                "select-uop counter is unbalanced against merged regions",
+                counter=stats.select_uops,
+                observed=self._selects_observed,
+            )
+
+    def _check_counters(self, stats, trace) -> None:
+        if stats.pipeline_flushes > stats.mispredictions:
+            self._fail(
+                "more pipeline flushes than mispredictions",
+                pipeline_flushes=stats.pipeline_flushes,
+                mispredictions=stats.mispredictions,
+            )
+        negatives = {
+            name: value
+            for name, value in (
+                ("cycles", stats.cycles),
+                ("retired_instructions", stats.retired_instructions),
+                ("executed_instructions", stats.executed_instructions),
+                ("mispredictions", stats.mispredictions),
+                ("select_uops", stats.select_uops),
+                ("extra_uops", stats.extra_uops),
+            )
+            if value < 0
+        }
+        if negatives:
+            self._fail("negative statistics counters", **negatives)
+
+    def _fail(self, message: str, **diagnostics) -> None:
+        diagnostics.setdefault("benchmark", self.stats.benchmark)
+        diagnostics.setdefault("config", self.stats.config_description)
+        raise OracleMismatchError(message, diagnostics)

@@ -1,0 +1,40 @@
+"""Process-wide paranoid mode.
+
+The CLI's ``--paranoid`` flag must harden *every* simulation a command
+runs — including ones buried inside figure drivers that build their own
+:class:`~repro.uarch.config.MachineConfig` objects.  Rather than thread
+a flag through every driver signature, :func:`repro.core.processors
+.simulate` consults this toggle and upgrades any config to
+``oracle_checks=True, watchdog=True`` when it is set.
+
+The toggle only ever *adds* checking; it never changes timing results,
+so memoized simulation caches keyed on the original config stay valid.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+_PARANOID = False
+
+
+def set_paranoid(enabled: bool = True) -> bool:
+    """Set the process-wide paranoid flag; returns the previous value."""
+    global _PARANOID
+    previous = _PARANOID
+    _PARANOID = bool(enabled)
+    return previous
+
+
+def paranoid_enabled() -> bool:
+    return _PARANOID
+
+
+@contextlib.contextmanager
+def paranoid(enabled: bool = True):
+    """Context manager: paranoid mode inside the ``with`` block."""
+    previous = set_paranoid(enabled)
+    try:
+        yield
+    finally:
+        set_paranoid(previous)

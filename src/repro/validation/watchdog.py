@@ -1,0 +1,104 @@
+"""Watchdog: bound simulated cycles and forward progress.
+
+A buggy or adversarially-hinted dynamic-predication loop must fail
+loudly, never spin forever.  When ``MachineConfig.watchdog`` is on, the
+simulator calls :meth:`Watchdog.check` from every fetch loop (the main
+retire loop, both predicated-path fetchers, the loop-predication engine,
+the wrong-path walker).  The watchdog trips — raising a structured
+:class:`~repro.errors.SimulationHangError` — when either
+
+* the simulated cycle count exceeds a budget proportional to the trace
+  length (``watchdog_cycle_limit``, or an automatic bound of
+  ``AUTO_CYCLE_FACTOR`` cycles per trace instruction), or
+* a large number of consecutive checks observe no progress of any kind
+  (cycle, dispatch sequence, executed or wrong-path-fetched
+  instructions all frozen) — the signature of a loop that is not even
+  burning simulated time.
+
+The exception's diagnostics carry the fetch PC, machine mode, dynamic
+predication nesting depth, last-retired state and the exceeded limit, so
+a hang converts into an actionable bug report instead of a dead CI job.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SimulationHangError
+
+#: Automatic cycle budget: cycles allowed per functional-trace
+#: instruction.  Even the most memory-bound configuration in the suite
+#: stays well under 64 cycles per instruction; 512 leaves a wide margin
+#: while still bounding a runaway loop to seconds of wall clock.
+AUTO_CYCLE_FACTOR = 512
+
+#: Floor on the automatic budget so tiny unit-test traces are not
+#: tripped by fixed costs (pipeline fill, cold caches).
+AUTO_CYCLE_FLOOR = 100_000
+
+#: Consecutive no-progress checks tolerated before declaring a hang.
+STALL_CHECK_LIMIT = 50_000
+
+
+class Watchdog:
+    """Run-bounding guard attached to one simulator."""
+
+    def __init__(self, simulator, cycle_limit: Optional[int] = None) -> None:
+        if cycle_limit is None:
+            cycle_limit = simulator.config.watchdog_cycle_limit
+        if cycle_limit is None:
+            cycle_limit = max(
+                AUTO_CYCLE_FLOOR,
+                AUTO_CYCLE_FACTOR * simulator.trace.instruction_count,
+            )
+        self.cycle_limit = cycle_limit
+        self.stall_limit = STALL_CHECK_LIMIT
+        self._last_progress = None
+        self._stalled_checks = 0
+
+    def check(self, sim, where: str = "run", pc: Optional[int] = None) -> None:
+        """Called from inside every fetch loop; cheap unless tripping."""
+        if sim.cycle > self.cycle_limit:
+            self._trip(
+                sim,
+                where,
+                pc,
+                "simulated cycle budget exceeded",
+                cycle_limit=self.cycle_limit,
+            )
+        stats = sim.stats
+        progress = (
+            sim.cycle,
+            sim.seq,
+            stats.executed_instructions,
+            stats.fetched_wrong_cd + stats.fetched_wrong_ci,
+        )
+        if progress == self._last_progress:
+            self._stalled_checks += 1
+            if self._stalled_checks > self.stall_limit:
+                self._trip(
+                    sim,
+                    where,
+                    pc,
+                    "no forward progress (cycle, dispatch and fetch frozen)",
+                    stalled_checks=self._stalled_checks,
+                )
+        else:
+            self._stalled_checks = 0
+            self._last_progress = progress
+
+    def _trip(self, sim, where, pc, reason, **extra) -> None:
+        sim.stats.watchdog_trips += 1
+        diagnostics = {
+            "where": where,
+            "pc": pc,
+            "mode": sim.config.mode,
+            "cycle": sim.cycle,
+            "dpred_depth": getattr(sim, "_dpred_depth", 0),
+            "last_retire_cycle": sim.last_retire_cycle,
+            "dispatched": sim.seq,
+            "executed_instructions": sim.stats.executed_instructions,
+            "benchmark": sim.stats.benchmark,
+        }
+        diagnostics.update(extra)
+        raise SimulationHangError(f"watchdog: {reason}", diagnostics)

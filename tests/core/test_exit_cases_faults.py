@@ -1,0 +1,64 @@
+"""Every Table 1 exit case is exercised under injected hint faults.
+
+Runs the full fault catalog over two complex-CFG benchmarks with the
+oracle checker and watchdog armed, then asserts — parametrized per
+:class:`~repro.core.modes.ExitCase` — that each exit-case counter is hit
+by at least one corrupted-hint run.  That is the paper's
+graceful-degradation story made testable: no matter how wrong the CFM
+hints are, the machine takes one of the six bounded exits, stays
+architecturally correct (the oracle passes), and keeps IPC within the
+documented margin of the baseline (docs/robustness.md).
+"""
+
+import pytest
+
+from repro.core.modes import ExitCase
+from repro.validation.faults import run_fault_suite
+
+
+@pytest.fixture(scope="module")
+def fault_report():
+    return run_fault_suite(benchmarks=["parser", "twolf"], iterations=250)
+
+
+def _injected_exit_totals(report):
+    totals = {}
+    for run in report.injected_runs:
+        for case, count in run.exit_cases.items():
+            totals[int(case)] = totals.get(int(case), 0) + count
+    return totals
+
+
+@pytest.mark.parametrize("case", list(ExitCase), ids=lambda c: c.name)
+def test_exit_case_reached_by_injected_fault(fault_report, case):
+    totals = _injected_exit_totals(fault_report)
+    assert totals.get(int(case), 0) >= 1, (
+        f"{case.name} was never observed under any injected hint fault"
+    )
+
+
+def test_oracle_passes_on_every_faulted_run(fault_report):
+    assert fault_report.oracle_mismatches == []
+    for run in fault_report.runs:
+        assert run.oracle_checks > 0, (run.benchmark, run.fault)
+
+
+def test_no_crashes_or_hangs(fault_report):
+    assert fault_report.crashes == []
+    assert fault_report.hangs == []
+
+
+def test_ipc_within_documented_margin(fault_report):
+    assert fault_report.ipc_violations == []
+
+
+def test_full_catalog_contract_holds(fault_report):
+    assert fault_report.require_all_exit_cases
+    assert fault_report.all_exit_cases_observed
+    assert fault_report.ok
+
+
+def test_every_fault_class_detected_somewhere(fault_report):
+    detected = {r.fault for r in fault_report.detections}
+    injected = {r.fault for r in fault_report.injected_runs}
+    assert detected == injected

@@ -83,3 +83,57 @@ class TestCommands:
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure", "fig99"])
+
+
+class TestValidateCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["validate"])
+        assert args.iterations == 400
+        assert args.inject == ""
+        assert not args.expect_faults
+
+    def test_seed_flags(self):
+        assert build_parser().parse_args(["suite", "--seed", "7"]).seed == 7
+        assert build_parser().parse_args(
+            ["inspect", "mcf", "--seed", "5"]
+        ).seed == 5
+
+    def test_seeded_suite_runs(self, capsys):
+        assert main([
+            "suite", "--benchmarks", "eon", "--configs", "base",
+            "--iterations", "60", "--seed", "3",
+        ]) == 0
+        assert "eon" in capsys.readouterr().out
+
+    def test_clean_validate_exits_zero(self, capsys):
+        assert main([
+            "validate", "--benchmarks", "eon", "--iterations", "60",
+        ]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_injected_faults_detected_exit_two(self, capsys):
+        code = main([
+            "validate", "--benchmarks", "parser", "--iterations", "120",
+            "--inject", "self-cfm",
+        ])
+        assert code == 2
+        assert "fault-injection report" in capsys.readouterr().out
+
+    def test_expect_faults_ci_mode(self, capsys):
+        assert main([
+            "validate", "--benchmarks", "parser", "--iterations", "120",
+            "--inject", "self-cfm,truncated-table", "--expect-faults",
+        ]) == 0
+
+    def test_unknown_fault_class_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["validate", "--inject", "bit-rot"])
+
+    def test_paranoid_flag_restored_after_run(self, capsys):
+        from repro.validation.runtime import paranoid_enabled
+
+        assert main([
+            "suite", "--benchmarks", "eon", "--configs", "base,dmp",
+            "--iterations", "60", "--paranoid",
+        ]) == 0
+        assert not paranoid_enabled()

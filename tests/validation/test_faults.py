@@ -1,0 +1,76 @@
+"""Tests for the adversarial hint fault-injection harness.
+
+A fast subset of the catalog runs here (one benchmark, three fault
+classes); the full-catalog acceptance run lives in
+tests/core/test_exit_cases_faults.py.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.validation import faults
+
+
+class TestCatalog:
+    def test_names_unique_and_complete(self):
+        assert len(set(faults.FAULT_NAMES)) == len(faults.FAULT_NAMES)
+        assert len(faults.FAULT_NAMES) == 9
+
+    def test_every_class_documented(self):
+        for fault in faults.FAULT_CLASSES:
+            assert fault.description
+
+    def test_lookup(self):
+        assert faults.fault_class("self-cfm").name == "self-cfm"
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ReproError):
+            faults.fault_class("bit-rot")
+
+
+@pytest.fixture(scope="module")
+def subset_report():
+    return faults.run_fault_suite(
+        benchmarks=["parser"],
+        iterations=120,
+        fault_names=["self-cfm", "cfm-nonexistent", "truncated-table"],
+    )
+
+
+class TestSubsetSuite:
+    def test_no_crashes_hangs_or_mismatches(self, subset_report):
+        assert subset_report.crashes == []
+        assert subset_report.hangs == []
+        assert subset_report.oracle_mismatches == []
+
+    def test_statically_detectable_faults_detected(self, subset_report):
+        assert all(r.detected for r in subset_report.injected_runs)
+
+    def test_truncated_table_caught_by_loader(self, subset_report):
+        (run,) = [
+            r for r in subset_report.injected_runs
+            if r.fault == "truncated-table"
+        ]
+        assert run.loader_error
+
+    def test_ipc_within_margin(self, subset_report):
+        assert subset_report.ipc_violations == []
+        for run in subset_report.injected_runs:
+            assert run.ipc_ratio_vs_baseline >= 1.0 - subset_report.ipc_margin
+
+    def test_subset_does_not_require_full_exit_coverage(self, subset_report):
+        assert not subset_report.require_all_exit_cases
+        assert subset_report.ok
+
+    def test_clean_reference_run_included(self, subset_report):
+        (clean,) = [r for r in subset_report.runs if r.fault == "clean"]
+        assert clean.oracle_checks > 0
+        assert not clean.detected
+
+    def test_report_format_and_dict(self, subset_report):
+        text = subset_report.format()
+        assert "fault-injection report" in text
+        assert "robustness: OK" in text
+        payload = subset_report.to_dict()
+        assert payload["ok"] is True
+        assert len(payload["runs"]) == len(subset_report.runs)

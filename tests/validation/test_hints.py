@@ -1,0 +1,136 @@
+"""Static hint validation and the hardened hint-table loader."""
+
+import pytest
+
+from repro.errors import HintValidationError
+from repro.harness.experiment import BenchmarkContext
+from repro.isa.encoding import DivergeHint, HintTable
+from repro.isa.instructions import Opcode
+from repro.validation.hints import check_hint_table, validate_hint_table
+
+
+@pytest.fixture(scope="module")
+def context():
+    return BenchmarkContext("parser", iterations=120)
+
+
+@pytest.fixture(scope="module")
+def clean_table(context):
+    return context.diverge_hints
+
+
+def _single(branch_pc, *cfm_pcs, **kwargs):
+    table = HintTable()
+    table.add(branch_pc, DivergeHint(tuple(cfm_pcs), **kwargs))
+    return table
+
+
+def _first_entry(clean_table):
+    (branch_pc, hint), *_ = list(clean_table)
+    return branch_pc, hint
+
+
+class TestStaticValidation:
+    def test_clean_table_has_no_issues(self, context, clean_table):
+        assert len(clean_table) > 0
+        assert validate_hint_table(context.program, clean_table) == []
+
+    def test_unknown_branch_pc_flagged(self, context):
+        issues = validate_hint_table(
+            context.program, _single(0xDEAD0000, 0x40)
+        )
+        assert any("not in the program" in issue for issue in issues)
+
+    def test_non_branch_pc_flagged(self, context, clean_table):
+        branch_pc, hint = _first_entry(clean_table)
+        non_branch_pc = next(
+            instr.pc
+            for cfg in context.program.functions()
+            for block in cfg
+            for instr in block.instructions
+            if instr.opcode != Opcode.BR
+        )
+        issues = validate_hint_table(
+            context.program, _single(non_branch_pc, hint.primary_cfm)
+        )
+        assert any("not a conditional branch" in issue for issue in issues)
+
+    def test_midblock_cfm_flagged(self, context, clean_table):
+        branch_pc, _ = _first_entry(clean_table)
+        block = next(
+            b
+            for cfg in context.program.functions()
+            for b in cfg
+            if len(b.instructions) >= 2
+        )
+        mid_pc = block.instructions[1].pc
+        issues = validate_hint_table(
+            context.program, _single(branch_pc, mid_pc)
+        )
+        assert any("not the first instruction" in issue for issue in issues)
+
+    def test_self_cfm_flagged(self, context, clean_table):
+        branch_pc, _ = _first_entry(clean_table)
+        issues = validate_hint_table(
+            context.program, _single(branch_pc, branch_pc)
+        )
+        assert any("diverge branch itself" in issue for issue in issues)
+
+    def test_duplicate_cfm_flagged(self, context, clean_table):
+        branch_pc, hint = _first_entry(clean_table)
+        cfm = hint.primary_cfm
+        issues = validate_hint_table(
+            context.program, _single(branch_pc, cfm, cfm)
+        )
+        assert any("more than once" in issue for issue in issues)
+
+    def test_nonpositive_threshold_flagged(self, context, clean_table):
+        branch_pc, hint = _first_entry(clean_table)
+        issues = validate_hint_table(
+            context.program,
+            _single(branch_pc, hint.primary_cfm, early_exit_threshold=0),
+        )
+        assert any("must be positive" in issue for issue in issues)
+
+    def test_check_raises_with_issue_list(self, context):
+        with pytest.raises(HintValidationError) as exc_info:
+            check_hint_table(context.program, _single(0xDEAD0000, 0x40))
+        assert exc_info.value.issues
+        # backward compatible with callers that catch ValueError
+        assert isinstance(exc_info.value, ValueError)
+
+    def test_check_passes_clean(self, context, clean_table):
+        check_hint_table(context.program, clean_table)
+
+
+class TestValidateOnBuild:
+    def test_all_hint_channels_validate(self, context):
+        # each property runs check_hint_table before caching
+        assert len(context.diverge_hints) > 0
+        context.hammock_hints
+        context.wish_hints
+
+
+class TestLoader:
+    def test_roundtrip(self, clean_table):
+        loaded = HintTable.from_bytes(clean_table.to_bytes())
+        assert list(loaded) == list(clean_table)
+
+    def test_short_header_rejected(self):
+        with pytest.raises(HintValidationError):
+            HintTable.from_bytes(b"DM")
+
+    def test_bad_magic_rejected_structured(self):
+        with pytest.raises(HintValidationError):
+            HintTable.from_bytes(b"NOPE" + b"\x00" * 4)
+
+    def test_truncated_entry_rejected(self, clean_table):
+        data = clean_table.to_bytes()
+        with pytest.raises(HintValidationError) as exc_info:
+            HintTable.from_bytes(data[:-3])
+        assert "truncated" in str(exc_info.value)
+
+    def test_loader_errors_are_value_errors(self, clean_table):
+        data = clean_table.to_bytes()
+        with pytest.raises(ValueError):
+            HintTable.from_bytes(data[:-3])

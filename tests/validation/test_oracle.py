@@ -1,0 +1,193 @@
+"""Tests for the oracle cross-checker (repro.validation.oracle).
+
+Unit tests drive an :class:`OracleChecker` directly against a miniature
+fake trace so each invariant can be violated in isolation; integration
+tests assert that real hardened runs pass every check.
+"""
+
+import pytest
+
+from repro.errors import OracleMismatchError
+from repro.harness.experiment import BenchmarkContext
+from repro.uarch.config import MachineConfig
+from repro.uarch.stats import SimStats
+from repro.validation.oracle import OracleChecker
+
+
+class _Block:
+    def __init__(self, n):
+        self.instructions = [object()] * n
+
+
+class _Record:
+    def __init__(self, n):
+        self.block = _Block(n)
+
+
+class _Trace:
+    def __init__(self, sizes):
+        self.records = [_Record(n) for n in sizes]
+        self.instruction_count = sum(sizes)
+
+
+def _checker(sizes=(3, 2, 4)):
+    trace = _Trace(sizes)
+    stats = SimStats()
+    return OracleChecker(trace, stats), trace, stats
+
+
+class TestAdvance:
+    def test_monotonic_full_cover_passes(self):
+        checker, trace, stats = _checker()
+        checker.note_advance(0, 2)
+        checker.note_advance(2, 3)
+        stats.retired_instructions = trace.instruction_count
+        checker.finalize(stats, trace)
+        assert stats.oracle_checks > 0
+
+    def test_skipped_record_rejected(self):
+        checker, _, _ = _checker()
+        checker.note_advance(0, 1)
+        with pytest.raises(OracleMismatchError) as exc_info:
+            checker.note_advance(2, 3)
+        assert exc_info.value.report()["expected_index"] == 1
+
+    def test_re_retired_record_rejected(self):
+        checker, _, _ = _checker()
+        checker.note_advance(0, 2)
+        with pytest.raises(OracleMismatchError):
+            checker.note_advance(1, 2)
+
+    def test_no_forward_progress_rejected(self):
+        checker, _, _ = _checker()
+        with pytest.raises(OracleMismatchError):
+            checker.note_advance(0, 0)
+
+    def test_past_end_rejected(self):
+        checker, _, _ = _checker()
+        with pytest.raises(OracleMismatchError):
+            checker.note_advance(0, 4)
+
+    def test_incomplete_coverage_rejected_at_finalize(self):
+        checker, trace, stats = _checker()
+        checker.note_advance(0, 2)
+        with pytest.raises(OracleMismatchError) as exc_info:
+            checker.finalize(stats, trace)
+        assert "full functional trace" in str(exc_info.value)
+
+    def test_retired_counter_cross_checked(self):
+        checker, trace, stats = _checker()
+        checker.note_advance(0, 3)
+        stats.retired_instructions = trace.instruction_count - 1
+        with pytest.raises(OracleMismatchError):
+            checker.finalize(stats, trace)
+
+
+class TestDpredInvariants:
+    def _covered(self):
+        """A checker that already retired the whole fake trace."""
+        checker, trace, stats = _checker()
+        checker.note_advance(0, len(trace.records))
+        stats.retired_instructions = trace.instruction_count
+        return checker, trace, stats
+
+    def test_unmatched_exit_rejected(self):
+        checker, _, _ = _checker()
+        with pytest.raises(OracleMismatchError):
+            checker.note_dpred_exit()
+
+    def test_unexited_episode_rejected(self):
+        checker, trace, stats = self._covered()
+        checker.note_dpred_enter()
+        stats.dpred_entries = 1
+        with pytest.raises(OracleMismatchError) as exc_info:
+            checker.finalize(stats, trace)
+        assert "never exited" in str(exc_info.value)
+
+    def test_dpred_entries_counter_cross_checked(self):
+        checker, trace, stats = self._covered()
+        checker.note_dpred_enter()
+        checker.note_dpred_exit()
+        stats.dpred_entries = 2  # counter disagrees with observed episodes
+        with pytest.raises(OracleMismatchError):
+            checker.finalize(stats, trace)
+
+    def test_episode_without_exit_case_rejected(self):
+        checker, trace, stats = self._covered()
+        checker.note_dpred_enter()
+        checker.note_dpred_exit()
+        stats.dpred_entries = 1
+        # no exit case recorded, no restart: one episode unaccounted
+        with pytest.raises(OracleMismatchError) as exc_info:
+            checker.finalize(stats, trace)
+        assert "exit-case" in str(exc_info.value)
+
+    def test_recorded_exit_case_balances(self):
+        checker, trace, stats = self._covered()
+        checker.note_dpred_enter()
+        checker.note_dpred_exit()
+        stats.dpred_entries = 1
+        stats.exit_cases[1] = 1
+        checker.finalize(stats, trace)
+
+    def test_restarted_episode_excused_from_exit_accounting(self):
+        checker, trace, stats = self._covered()
+        checker.note_dpred_enter()
+        checker.note_dpred_exit()
+        checker.note_restarted_episode()
+        stats.dpred_entries = 1
+        checker.finalize(stats, trace)
+
+    def test_select_uop_imbalance_rejected(self):
+        checker, trace, stats = self._covered()
+        stats.select_uops = 3  # RAT never produced any select requests
+        with pytest.raises(OracleMismatchError) as exc_info:
+            checker.finalize(stats, trace)
+        assert "select-uop" in str(exc_info.value)
+
+    def test_flushes_bounded_by_mispredictions(self):
+        checker, trace, stats = self._covered()
+        stats.pipeline_flushes = 2
+        stats.mispredictions = 1
+        with pytest.raises(OracleMismatchError):
+            checker.finalize(stats, trace)
+
+    def test_max_depth_tracked(self):
+        checker, _, _ = _checker()
+        checker.note_dpred_enter()
+        checker.note_dpred_enter()
+        checker.note_dpred_exit()
+        checker.note_dpred_exit()
+        assert checker.max_dpred_depth == 2
+        assert checker.dpred_depth == 0
+
+
+class TestHardenedRuns:
+    """Real simulations under .hardened() must pass the oracle."""
+
+    @pytest.fixture(scope="class")
+    def context(self):
+        return BenchmarkContext("parser", iterations=120)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            MachineConfig.baseline,
+            lambda: MachineConfig.dmp(enhanced=True),
+            MachineConfig.dhp,
+            MachineConfig.dualpath,
+        ],
+        ids=["base", "dmp-enhanced", "dhp", "dualpath"],
+    )
+    def test_clean_run_passes_oracle(self, context, factory):
+        stats = context.simulate(factory().hardened())
+        assert stats.oracle_checks > 0
+        assert stats.watchdog_trips == 0
+        assert stats.ipc > 0
+
+    def test_hardening_does_not_change_results(self, context):
+        plain = context.simulate(MachineConfig.dmp(enhanced=True))
+        hard = context.simulate(MachineConfig.dmp(enhanced=True).hardened())
+        assert hard.cycles == plain.cycles
+        assert hard.ipc == plain.ipc
+        assert dict(hard.exit_cases) == dict(plain.exit_cases)

@@ -1,0 +1,54 @@
+"""Process-wide paranoid mode plumbing (repro.validation.runtime)."""
+
+import pytest
+
+from repro.harness.experiment import BenchmarkContext
+from repro.uarch.config import MachineConfig
+from repro.validation.runtime import paranoid, paranoid_enabled, set_paranoid
+
+
+@pytest.fixture(autouse=True)
+def _reset_paranoid():
+    previous = set_paranoid(False)
+    yield
+    set_paranoid(previous)
+
+
+class TestToggle:
+    def test_set_returns_previous(self):
+        assert set_paranoid(True) is False
+        assert set_paranoid(False) is True
+
+    def test_context_manager_restores(self):
+        with paranoid():
+            assert paranoid_enabled()
+        assert not paranoid_enabled()
+
+    def test_context_manager_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with paranoid():
+                raise RuntimeError("boom")
+        assert not paranoid_enabled()
+
+
+class TestSimulateUpgrade:
+    def test_paranoid_arms_oracle_on_plain_config(self):
+        context = BenchmarkContext("eon", iterations=60)
+        with paranoid():
+            stats = context.simulate(MachineConfig.dmp(enhanced=True))
+        assert stats.oracle_checks > 0
+
+    def test_plain_config_stays_unchecked(self):
+        context = BenchmarkContext("eon", iterations=60)
+        stats = context.simulate(MachineConfig.dmp(enhanced=True))
+        assert stats.oracle_checks == 0
+        assert stats.watchdog_trips == 0
+
+    def test_paranoid_does_not_change_results(self):
+        plain_ctx = BenchmarkContext("eon", iterations=60)
+        plain = plain_ctx.simulate(MachineConfig.dmp(enhanced=True))
+        hard_ctx = BenchmarkContext("eon", iterations=60)
+        with paranoid():
+            hard = hard_ctx.simulate(MachineConfig.dmp(enhanced=True))
+        assert hard.cycles == plain.cycles
+        assert hard.ipc == plain.ipc

@@ -1,0 +1,122 @@
+"""Tests for the simulation watchdog (repro.validation.watchdog)."""
+
+import pytest
+
+from repro.errors import ReproError, SimulationError, SimulationHangError
+from repro.harness.experiment import BenchmarkContext
+from repro.uarch.config import MachineConfig
+from repro.uarch.stats import SimStats
+from repro.validation.watchdog import (
+    AUTO_CYCLE_FACTOR,
+    AUTO_CYCLE_FLOOR,
+    STALL_CHECK_LIMIT,
+    Watchdog,
+)
+
+
+class _FakeConfig:
+    mode = "base"
+    watchdog_cycle_limit = None
+
+
+class _FakeTrace:
+    instruction_count = 10
+
+
+class _FakeSim:
+    def __init__(self):
+        self.config = _FakeConfig()
+        self.trace = _FakeTrace()
+        self.stats = SimStats()
+        self.cycle = 0
+        self.seq = 0
+        self.last_retire_cycle = 0
+
+
+class TestUnit:
+    def test_cycle_budget_trip_carries_diagnostics(self):
+        sim = _FakeSim()
+        dog = Watchdog(sim, cycle_limit=100)
+        sim.cycle = 101
+        with pytest.raises(SimulationHangError) as exc_info:
+            dog.check(sim, where="main-fetch", pc=0x40)
+        diag = exc_info.value.report()
+        assert diag["where"] == "main-fetch"
+        assert diag["pc"] == 0x40
+        assert diag["cycle_limit"] == 100
+        assert diag["mode"] == "base"
+        assert sim.stats.watchdog_trips == 1
+
+    def test_within_budget_is_silent(self):
+        sim = _FakeSim()
+        dog = Watchdog(sim, cycle_limit=100)
+        sim.cycle = 100  # limit is exceeded only strictly above
+        dog.check(sim)
+        assert sim.stats.watchdog_trips == 0
+
+    def test_frozen_progress_trips(self):
+        sim = _FakeSim()
+        dog = Watchdog(sim, cycle_limit=10**9)
+        with pytest.raises(SimulationHangError) as exc_info:
+            for _ in range(STALL_CHECK_LIMIT + 2):
+                dog.check(sim)
+        assert "no forward progress" in str(exc_info.value)
+
+    def test_any_progress_resets_stall_counter(self):
+        sim = _FakeSim()
+        dog = Watchdog(sim, cycle_limit=10**9)
+        dog.stall_limit = 10  # tighten so regressions trip fast
+        for i in range(100):
+            sim.cycle = i
+            dog.check(sim)
+        assert sim.stats.watchdog_trips == 0
+
+    def test_auto_budget_floor(self):
+        sim = _FakeSim()
+        dog = Watchdog(sim)  # 10-instruction trace: floor applies
+        assert dog.cycle_limit == AUTO_CYCLE_FLOOR
+
+    def test_auto_budget_scales_with_trace(self):
+        sim = _FakeSim()
+        sim.trace.instruction_count = 1_000_000
+        dog = Watchdog(sim)
+        assert dog.cycle_limit == AUTO_CYCLE_FACTOR * 1_000_000
+
+    def test_explicit_config_limit_wins(self):
+        sim = _FakeSim()
+        sim.config.watchdog_cycle_limit = 777
+        assert Watchdog(sim).cycle_limit == 777
+
+
+class TestConfig:
+    def test_nonpositive_limit_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig.baseline().replace(watchdog_cycle_limit=0)
+
+    def test_hardened_helper(self):
+        config = MachineConfig.dmp().hardened(cycle_limit=123)
+        assert config.oracle_checks and config.watchdog
+        assert config.watchdog_cycle_limit == 123
+
+
+class TestIntegration:
+    def test_tiny_budget_trips_real_run(self):
+        context = BenchmarkContext("parser", iterations=120)
+        config = MachineConfig.dmp(enhanced=True).hardened(cycle_limit=50)
+        with pytest.raises(SimulationHangError) as exc_info:
+            context.simulate(config)
+        diag = exc_info.value.report()
+        for key in ("where", "pc", "mode", "cycle", "dpred_depth",
+                    "last_retire_cycle", "benchmark"):
+            assert key in diag, key
+        assert diag["mode"] == "dmp"
+        assert diag["benchmark"] == "parser"
+        assert diag["cycle"] > 50
+        # the structured hierarchy: a hang is a bounded simulation failure
+        assert isinstance(exc_info.value, SimulationError)
+        assert isinstance(exc_info.value, ReproError)
+
+    def test_generous_budget_never_trips(self):
+        context = BenchmarkContext("eon", iterations=60)
+        stats = context.simulate(MachineConfig.dmp(enhanced=True).hardened())
+        assert stats.watchdog_trips == 0
