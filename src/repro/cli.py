@@ -13,18 +13,27 @@ Commands
 ``list``      list available benchmarks and machine configurations
 
 ``suite`` and ``figure`` accept ``--paranoid``: every simulation then
-runs with the oracle cross-checker and watchdog armed.
+runs with the oracle cross-checker and watchdog armed.  They also
+accept ``--jobs N`` (fan simulations out over N worker processes) and
+``--cache-dir PATH`` / ``--no-cache`` (persist traces, profiles, hint
+tables and finished stats across invocations; the ``REPRO_CACHE_DIR``
+environment variable supplies a default directory).  Parallel and
+cache-warm runs are bit-identical to serial cold runs; ``repro suite
+--timings`` prints the per-stage wall-clock and cache-hit report.  See
+docs/performance.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from repro.errors import ReproError
 from repro.harness import figures
-from repro.harness.experiment import BenchmarkContext
+from repro.harness.cache import ArtifactCache
+from repro.harness.experiment import BenchmarkContext, run_suite
 from repro.uarch.config import MachineConfig
 from repro.validation import faults as fault_injection
 from repro.validation.runtime import paranoid, paranoid_enabled
@@ -64,33 +73,54 @@ def cmd_list(args) -> int:
     return 0
 
 
+def _resolve_cache(args) -> Optional[ArtifactCache]:
+    """The cache selected by ``--cache-dir`` / ``--no-cache`` /
+    ``REPRO_CACHE_DIR`` (in that precedence), or ``None``."""
+    if getattr(args, "no_cache", False):
+        return None
+    cache_dir = getattr(args, "cache_dir", None) or os.environ.get(
+        "REPRO_CACHE_DIR"
+    )
+    return ArtifactCache(cache_dir) if cache_dir else None
+
+
 def cmd_suite(args) -> int:
     config_names = [c.strip() for c in args.configs.split(",") if c.strip()]
     unknown = [c for c in config_names if c not in CONFIG_FACTORIES]
     if unknown:
         raise SystemExit(f"unknown configs: {', '.join(unknown)}")
     benchmarks = _parse_benchmarks(args.benchmarks)
+    configs = {name: CONFIG_FACTORIES[name]() for name in config_names}
+    cache = _resolve_cache(args)
+    with paranoid(args.paranoid or paranoid_enabled()):
+        result = run_suite(
+            configs,
+            benchmarks,
+            iterations=args.iterations,
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=cache,
+        )
     header = f"{'benchmark':10s}" + "".join(
         f"{name:>14s}" for name in config_names
     )
     print(header)
     print("-" * len(header))
-    with paranoid(args.paranoid or paranoid_enabled()):
-        for name in benchmarks:
-            context = BenchmarkContext(
-                name, iterations=args.iterations, seed=args.seed
-            )
-            cells = []
-            base_ipc: Optional[float] = None
-            for config_name in config_names:
-                stats = context.simulate(CONFIG_FACTORIES[config_name]())
-                if args.relative and config_name != config_names[0]:
-                    cells.append(f"{100 * (stats.ipc / base_ipc - 1):+13.1f}%")
-                else:
-                    cells.append(f"{stats.ipc:14.3f}")
-                    if base_ipc is None:
-                        base_ipc = stats.ipc
-            print(f"{name:10s}" + "".join(cells))
+    for name in benchmarks:
+        cells = []
+        base_ipc: Optional[float] = None
+        for config_name in config_names:
+            stats = result.stats(name, config_name)
+            if args.relative and config_name != config_names[0]:
+                cells.append(f"{100 * (stats.ipc / base_ipc - 1):+13.1f}%")
+            else:
+                cells.append(f"{stats.ipc:14.3f}")
+                if base_ipc is None:
+                    base_ipc = stats.ipc
+        print(f"{name:10s}" + "".join(cells))
+    if args.timings and result.timings is not None:
+        print()
+        print(result.timings.report())
     return 0
 
 
@@ -108,6 +138,8 @@ def cmd_figure(args) -> int:
             result = driver(
                 benchmarks=_parse_benchmarks(args.benchmarks),
                 iterations=args.iterations,
+                jobs=args.jobs,
+                cache=_resolve_cache(args),
             )
     print(result.format())
     return 0
@@ -226,6 +258,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument("--paranoid", action="store_true",
                          help="arm the oracle cross-checker and watchdog "
                               "on every simulation")
+    p_suite.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="fan simulations out over N worker processes "
+                              "(results are bit-identical to --jobs 1)")
+    p_suite.add_argument("--cache-dir", default=None, metavar="PATH",
+                         help="persist traces/profiles/hints/stats under "
+                              "PATH and reuse them on later runs (default: "
+                              "$REPRO_CACHE_DIR if set, else no cache)")
+    p_suite.add_argument("--no-cache", action="store_true",
+                         help="disable the artifact cache even if "
+                              "REPRO_CACHE_DIR is set")
+    p_suite.add_argument("--timings", action="store_true",
+                         help="print per-stage wall-clock and cache-hit "
+                              "accounting after the table")
     p_suite.set_defaults(func=cmd_suite)
 
     p_fig = sub.add_parser("figure", help="regenerate one paper exhibit")
@@ -235,6 +280,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--paranoid", action="store_true",
                        help="arm the oracle cross-checker and watchdog "
                             "on every simulation")
+    p_fig.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="fan simulations out over N worker processes")
+    p_fig.add_argument("--cache-dir", default=None, metavar="PATH",
+                       help="persist traces/profiles/hints/stats under "
+                            "PATH and reuse them on later runs (default: "
+                            "$REPRO_CACHE_DIR if set, else no cache)")
+    p_fig.add_argument("--no-cache", action="store_true",
+                       help="disable the artifact cache even if "
+                            "REPRO_CACHE_DIR is set")
     p_fig.set_defaults(func=cmd_figure)
 
     p_inspect = sub.add_parser(

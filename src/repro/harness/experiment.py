@@ -6,14 +6,29 @@ functional trace, the two profile runs, and the diverge/hammock hint
 tables.  All of it is computed lazily and cached, so sweeping N machine
 configurations over one benchmark pays the (comparatively expensive)
 profiling cost once.
+
+Two further layers sit on top (docs/performance.md):
+
+* every artifact and every completed :class:`~repro.uarch.stats.SimStats`
+  can be persisted to an :class:`~repro.harness.cache.ArtifactCache`,
+  keyed by canonical fingerprints (never ``repr``), so repeated CLI
+  invocations skip work they have already done; and
+* :func:`run_suite` accepts ``jobs=N`` to fan the
+  ``(benchmark, config)`` simulations out over a process pool
+  (:mod:`repro.harness.parallel`), merging results deterministically —
+  a parallel or cache-warm run is bit-identical to a serial cold run.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+import dataclasses
+import time
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.processors import simulate
-from repro.errors import ReproError
+from repro.errors import HintValidationError, ReproError
+from repro.harness.cache import ArtifactCache, CacheCounters
+from repro.harness.fingerprint import config_fingerprint, context_fingerprint
 from repro.isa.encoding import HintTable
 from repro.profiling.diverge_selection import (
     SelectionThresholds,
@@ -30,23 +45,39 @@ from repro.profiling.profiler import (
 from repro.uarch.config import MachineConfig
 from repro.uarch.stats import SimStats
 from repro.validation.hints import check_hint_table
+from repro.validation.runtime import paranoid_enabled
 from repro.workloads.suite import BENCHMARK_NAMES, build_benchmark
+
+#: Cache kinds for the three hint-table flavours, by machine mode.
+_HINT_KINDS = {"dmp": "hints-dmp", "dhp": "hints-dhp", "wish": "hints-wish"}
 
 
 class BenchmarkContext:
-    """One benchmark's machine-independent artifacts, lazily built."""
+    """One benchmark's machine-independent artifacts, lazily built.
+
+    ``thresholds`` defaults to a *fresh* :class:`SelectionThresholds`
+    per instance (a ``None`` sentinel, not a shared default-argument
+    object), so mutating one context's thresholds can never leak into
+    another.  Pass ``cache`` (an :class:`ArtifactCache` or a directory
+    path) to persist artifacts and simulation stats across processes.
+    """
 
     def __init__(
         self,
         name: str,
         iterations: Optional[int] = None,
         seed: int = 0,
-        thresholds: SelectionThresholds = SelectionThresholds(),
+        thresholds: Optional[SelectionThresholds] = None,
+        cache: Union[None, str, "ArtifactCache"] = None,
     ) -> None:
         self.name = name
         self.iterations = iterations
         self.seed = seed
-        self.thresholds = thresholds
+        self.thresholds = (
+            SelectionThresholds() if thresholds is None else thresholds
+        )
+        self._cache = ArtifactCache.resolve(cache)
+        self._fingerprint: Optional[str] = None
         self._workload = None
         self._trace = None
         self._profile: Optional[ProgramProfile] = None
@@ -55,15 +86,71 @@ class BenchmarkContext:
         self._hammock_hints: Optional[HintTable] = None
         self._wish_hints: Optional[HintTable] = None
         self._sim_cache: Dict[str, SimStats] = {}
+        #: Wall-clock seconds spent in each stage *by this process*.
+        self.stage_seconds: Dict[str, float] = {
+            "build": 0.0, "profile": 0.0, "simulate": 0.0,
+        }
+        self.sims_run = 0        # timing simulations actually executed
+        self.sim_memo_hits = 0   # served from the in-memory memo
+        self.sim_cache_hits = 0  # served from the on-disk cache
+
+    # -- identity / cache plumbing ----------------------------------------
+
+    @property
+    def fingerprint(self) -> str:
+        """Canonical key of this context's machine-independent inputs."""
+        if self._fingerprint is None:
+            self._fingerprint = context_fingerprint(
+                self.name, self.iterations, self.seed, self.thresholds
+            )
+        return self._fingerprint
+
+    @property
+    def cache(self) -> Optional[ArtifactCache]:
+        return self._cache
+
+    def attach_cache(
+        self, cache: Union[None, str, "ArtifactCache"]
+    ) -> None:
+        """Adopt an on-disk cache if this context does not have one."""
+        if self._cache is None:
+            self._cache = ArtifactCache.resolve(cache)
+
+    def check_compatible(
+        self, iterations: Optional[int], seed: int
+    ) -> None:
+        """Raise :class:`ReproError` unless this context was built with
+        the given parameters (guards ``run_suite(..., contexts=...)``
+        against silently reusing a stale context)."""
+        if self.iterations != iterations or self.seed != seed:
+            raise ReproError(
+                f"stale context for benchmark {self.name!r}: built with "
+                f"iterations={self.iterations} seed={self.seed}, but this "
+                f"run wants iterations={iterations} seed={seed}; pass a "
+                "fresh contexts dict (or matching parameters)"
+            )
+
+    def _timed(self, stage: str, t0: float) -> None:
+        self.stage_seconds[stage] += time.perf_counter() - t0
+
+    def __getstate__(self):
+        # A pickled context (shipped to a worker process) never carries
+        # its cache handle: caches are process-local, and only the
+        # parent writes to disk.
+        state = self.__dict__.copy()
+        state["_cache"] = None
+        return state
 
     # -- artifacts --------------------------------------------------------
 
     @property
     def workload(self):
         if self._workload is None:
+            t0 = time.perf_counter()
             self._workload = build_benchmark(
                 self.name, self.iterations, self.seed
             )
+            self._timed("build", t0)
         return self._workload
 
     @property
@@ -73,21 +160,47 @@ class BenchmarkContext:
     @property
     def trace(self):
         if self._trace is None:
-            self._trace = self.workload.run()
+            if self._cache is not None:
+                self._trace = self._cache.load_pickle(
+                    "trace", self.fingerprint
+                )
+            if self._trace is None:
+                workload = self.workload  # timed as "build"
+                t0 = time.perf_counter()
+                self._trace = workload.run()
+                self._timed("profile", t0)
+                if self._cache is not None:
+                    self._cache.store_pickle(
+                        "trace", self.fingerprint, self._trace
+                    )
         return self._trace
 
     @property
     def profile(self) -> ProgramProfile:
         """Profile run 1 (edge counts + mispredictions)."""
         if self._profile is None:
-            self._profile = profile_trace(self.program, self.trace)
+            if self._cache is not None:
+                self._profile = self._cache.load_pickle(
+                    "profile", self.fingerprint
+                )
+            if self._profile is None:
+                program, trace = self.program, self.trace
+                t0 = time.perf_counter()
+                self._profile = profile_trace(program, trace)
+                self._timed("profile", t0)
+                if self._cache is not None:
+                    self._cache.store_pickle(
+                        "profile", self.fingerprint, self._profile
+                    )
         return self._profile
 
     @property
     def selections(self):
         """Diverge-branch selections (profile run 2 + Section 3.2 rules)."""
         if self._selections is None:
-            candidates = candidate_branch_pcs(self.profile, self.thresholds)
+            profile = self.profile
+            t0 = time.perf_counter()
+            candidates = candidate_branch_pcs(profile, self.thresholds)
             reconvergence = collect_reconvergence(
                 self.program,
                 self.trace,
@@ -95,9 +208,30 @@ class BenchmarkContext:
                 max_distance=self.thresholds.max_cfm_distance,
             )
             self._selections = select_diverge_branches(
-                self.profile, reconvergence, self.thresholds
+                profile, reconvergence, self.thresholds
             )
+            self._timed("profile", t0)
         return self._selections
+
+    def _cached_hint_table(self, kind: str) -> Optional[HintTable]:
+        """A cached hint table, re-validated against this program; a
+        structurally-broken cached table is discarded (the
+        :class:`HintValidationError` pathway) and rebuilt."""
+        if self._cache is None:
+            return None
+        table = self._cache.load_hints(kind, self.fingerprint)
+        if table is None:
+            return None
+        try:
+            check_hint_table(self.program, table)
+        except HintValidationError:
+            self._cache.mark_corrupt(kind, self.fingerprint)
+            return None
+        return table
+
+    def _store_hint_table(self, kind: str, table: HintTable) -> None:
+        if self._cache is not None:
+            self._cache.store_hints(kind, self.fingerprint, table)
 
     @property
     def diverge_hints(self) -> HintTable:
@@ -108,10 +242,16 @@ class BenchmarkContext:
         :class:`~repro.errors.HintValidationError` here, before it can
         steer the fetch engine."""
         if self._diverge_hints is None:
-            table = build_hint_table(
-                self.selections, self.thresholds, multiple_cfm=True
-            )
-            check_hint_table(self.program, table)
+            table = self._cached_hint_table(_HINT_KINDS["dmp"])
+            if table is None:
+                selections = self.selections
+                t0 = time.perf_counter()
+                table = build_hint_table(
+                    selections, self.thresholds, multiple_cfm=True
+                )
+                check_hint_table(self.program, table)
+                self._timed("profile", t0)
+                self._store_hint_table(_HINT_KINDS["dmp"], table)
             self._diverge_hints = table
         return self._diverge_hints
 
@@ -121,12 +261,18 @@ class BenchmarkContext:
         hard to predict (same rate floor the DMP selection uses, so the
         DHP-vs-DMP comparison is apples-to-apples)."""
         if self._hammock_hints is None:
-            table = find_simple_hammocks(
-                self.program,
-                profile=self.profile,
-                min_misprediction_rate=self.thresholds.min_misprediction_rate,
-            )
-            check_hint_table(self.program, table)
+            table = self._cached_hint_table(_HINT_KINDS["dhp"])
+            if table is None:
+                profile = self.profile
+                t0 = time.perf_counter()
+                table = find_simple_hammocks(
+                    self.program,
+                    profile=profile,
+                    min_misprediction_rate=self.thresholds.min_misprediction_rate,
+                )
+                check_hint_table(self.program, table)
+                self._timed("profile", t0)
+                self._store_hint_table(_HINT_KINDS["dhp"], table)
             self._hammock_hints = table
         return self._hammock_hints
 
@@ -135,16 +281,30 @@ class BenchmarkContext:
         """The wish-branch table: if-convertible regions whose branches
         are hard to predict (same rate floor as the other machines)."""
         if self._wish_hints is None:
-            from repro.profiling.wish_selection import select_wish_branches
+            table = self._cached_hint_table(_HINT_KINDS["wish"])
+            if table is None:
+                from repro.profiling.wish_selection import select_wish_branches
 
-            table, _ = select_wish_branches(
-                self.program,
-                profile=self.profile,
-                min_misprediction_rate=self.thresholds.min_misprediction_rate,
-            )
-            check_hint_table(self.program, table)
+                profile = self.profile
+                t0 = time.perf_counter()
+                table, _ = select_wish_branches(
+                    self.program,
+                    profile=profile,
+                    min_misprediction_rate=self.thresholds.min_misprediction_rate,
+                )
+                check_hint_table(self.program, table)
+                self._timed("profile", t0)
+                self._store_hint_table(_HINT_KINDS["wish"], table)
             self._wish_hints = table
         return self._wish_hints
+
+    def prepare(self, configs: Iterable[MachineConfig] = ()) -> None:
+        """Materialize every machine-independent artifact the given
+        configurations will need (used before fanning simulations out to
+        worker processes, so workers never duplicate profiling work)."""
+        _ = self.workload, self.trace, self.profile
+        for config in configs:
+            self.hints_for(config)
 
     # -- simulation ---------------------------------------------------------
 
@@ -157,20 +317,71 @@ class BenchmarkContext:
             return self.wish_hints
         return None
 
+    def _effective_config(self, config: MachineConfig) -> MachineConfig:
+        """The configuration that will actually run, mirroring the
+        paranoid-mode upgrade in :func:`repro.core.processors.simulate`
+        — so memo/cache keys always describe the run they index."""
+        if paranoid_enabled() and not (
+            config.oracle_checks and config.watchdog
+        ):
+            return config.hardened()
+        return config
+
+    def sim_key(self, config: MachineConfig) -> str:
+        """Canonical memo key for one simulation of this context."""
+        return config_fingerprint(self._effective_config(config))
+
+    def cached_stats(self, config: MachineConfig) -> Optional[SimStats]:
+        """Already-known stats for ``config`` (in-memory memo first,
+        then the on-disk cache), or ``None``.  Counts hits."""
+        key = self.sim_key(config)
+        stats = self._sim_cache.get(key)
+        if stats is not None:
+            self.sim_memo_hits += 1
+            return stats
+        if self._cache is not None:
+            stats = self._cache.load_pickle("sim", f"{self.fingerprint}-{key}")
+            if isinstance(stats, SimStats):
+                self.sim_cache_hits += 1
+                self._sim_cache[key] = stats
+                return stats
+        return None
+
+    def store_stats(self, config: MachineConfig, stats: SimStats) -> None:
+        """Adopt externally-computed stats (e.g. from a worker process)
+        into the memo and the on-disk cache."""
+        key = self.sim_key(config)
+        self._sim_cache[key] = stats
+        if self._cache is not None:
+            self._cache.store_pickle("sim", f"{self.fingerprint}-{key}", stats)
+
     def simulate(self, config: MachineConfig) -> SimStats:
         """Simulate under one configuration (memoized: the same config is
-        returned from cache, so figure drivers can share runs)."""
-        key = repr(config)
-        if key not in self._sim_cache:
-            self._sim_cache[key] = simulate(
-                self.program,
-                self.trace,
-                config,
-                hints=self.hints_for(config),
-                benchmark=self.name,
-                warm_words=self.workload.memory.warm_words(),
-            )
-        return self._sim_cache[key]
+        returned from cache, so figure drivers can share runs).
+
+        The memo key is the canonical fingerprint of the *effective*
+        configuration — two equal configs whose dict-valued fields merely
+        differ in insertion order share one run, and every field
+        participates in the key (``repr`` omissions cannot collide two
+        different configs onto the same cached stats)."""
+        stats = self.cached_stats(config)
+        if stats is not None:
+            return stats
+        hints = self.hints_for(config)  # timed as "profile" if first use
+        warm = self.workload.memory.warm_words()
+        t0 = time.perf_counter()
+        stats = simulate(
+            self.program,
+            self.trace,
+            config,
+            hints=hints,
+            benchmark=self.name,
+            warm_words=warm,
+        )
+        self._timed("simulate", t0)
+        self.sims_run += 1
+        self.store_stats(config, stats)
+        return stats
 
 
 #: The machine configurations of Figure 7 (basic DMP study).
@@ -199,15 +410,65 @@ def figure9_configs() -> Dict[str, MachineConfig]:
     }
 
 
+@dataclasses.dataclass
+class SuiteTimings:
+    """Per-stage wall-clock + cache accounting for one suite run, so
+    speedups are measured rather than asserted (``repro suite
+    --timings``)."""
+
+    jobs: int = 1
+    wall_seconds: float = 0.0
+    build_seconds: float = 0.0
+    profile_seconds: float = 0.0
+    #: Aggregate simulation seconds (across workers when parallel, so it
+    #: can exceed ``wall_seconds``).
+    simulate_seconds: float = 0.0
+    simulations_run: int = 0
+    sim_memo_hits: int = 0
+    sim_cache_hits: int = 0
+    cache: Optional[CacheCounters] = None
+
+    def report(self) -> str:
+        lines = [
+            f"timings (jobs={self.jobs}): wall={self.wall_seconds:.2f}s",
+            f"  build={self.build_seconds:.2f}s  "
+            f"profile={self.profile_seconds:.2f}s  "
+            f"simulate={self.simulate_seconds:.2f}s (aggregate)",
+            f"  simulations: {self.simulations_run} run, "
+            f"{self.sim_memo_hits} memo hit(s), "
+            f"{self.sim_cache_hits} disk hit(s)",
+        ]
+        if self.cache is not None:
+            lines.append("  " + self.cache.summary().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
 class SuiteResult:
-    """Results of sweeping configurations over benchmarks."""
+    """Results of sweeping configurations over benchmarks.
+
+    Two results compare equal iff they carry identical stats for
+    identical ``(benchmark, config)`` cells — the property the parallel
+    and cached execution paths are tested against.  ``timings`` (when a
+    suite runner attached one) is diagnostic and excluded from
+    equality."""
 
     def __init__(self) -> None:
         #: ``{benchmark: {config_label: SimStats}}``
         self.results: Dict[str, Dict[str, SimStats]] = {}
+        #: Filled in by :func:`run_suite`.
+        self.timings: Optional[SuiteTimings] = None
 
     def add(self, benchmark: str, label: str, stats: SimStats) -> None:
         self.results.setdefault(benchmark, {})[label] = stats
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SuiteResult):
+            return NotImplemented
+        return self.results == other.results
+
+    def __ne__(self, other) -> bool:
+        eq = self.__eq__(other)
+        return NotImplemented if eq is NotImplemented else not eq
 
     @property
     def benchmarks(self) -> List[str]:
@@ -238,6 +499,33 @@ class SuiteResult:
         return sum(values) / len(values) if values else 0.0
 
 
+def _context_snapshot(context: BenchmarkContext) -> Tuple:
+    return (
+        dict(context.stage_seconds),
+        context.sims_run,
+        context.sim_memo_hits,
+        context.sim_cache_hits,
+    )
+
+
+def _accumulate_deltas(
+    timings: SuiteTimings,
+    contexts: List[BenchmarkContext],
+    before: List[Tuple],
+) -> None:
+    for context, (stages, sims, memo, disk) in zip(contexts, before):
+        timings.build_seconds += context.stage_seconds["build"] - stages["build"]
+        timings.profile_seconds += (
+            context.stage_seconds["profile"] - stages["profile"]
+        )
+        timings.simulate_seconds += (
+            context.stage_seconds["simulate"] - stages["simulate"]
+        )
+        timings.simulations_run += context.sims_run - sims
+        timings.sim_memo_hits += context.sim_memo_hits - memo
+        timings.sim_cache_hits += context.sim_cache_hits - disk
+
+
 def run_suite(
     configs: Dict[str, MachineConfig],
     benchmarks: Iterable[str] = BENCHMARK_NAMES,
@@ -245,28 +533,72 @@ def run_suite(
     seed: int = 0,
     contexts: Optional[Dict[str, BenchmarkContext]] = None,
     verbose: bool = False,
+    jobs: int = 1,
+    cache: Union[None, str, ArtifactCache] = None,
 ) -> SuiteResult:
     """Run every configuration over every benchmark.
 
     Pass ``contexts`` to reuse already-built benchmark artifacts across
-    several figures (the per-figure drivers all accept the same dict).
+    several figures (the per-figure drivers all accept the same dict); a
+    reused context whose ``iterations``/``seed`` do not match this call
+    raises :class:`~repro.errors.ReproError` instead of silently
+    returning stats for different parameters.
+
+    ``jobs > 1`` fans the simulations out over a process pool;
+    ``cache`` (an :class:`ArtifactCache` or directory path) persists
+    artifacts and stats across invocations.  Both paths return results
+    bit-identical to a serial, cold run.
     """
+    if jobs < 1:
+        raise ReproError(f"jobs must be >= 1, got {jobs}")
+    cache = ArtifactCache.resolve(cache)
+    benchmarks = list(benchmarks)
     result = SuiteResult()
+    wall_start = time.perf_counter()
+
+    run_contexts: List[BenchmarkContext] = []
     for name in benchmarks:
         if contexts is not None:
-            context = contexts.setdefault(
-                name, BenchmarkContext(name, iterations, seed)
-            )
+            context = contexts.get(name)
+            if context is None:
+                context = BenchmarkContext(name, iterations, seed, cache=cache)
+                contexts[name] = context
+            else:
+                context.check_compatible(iterations, seed)
+                context.attach_cache(cache)
         else:
-            context = BenchmarkContext(name, iterations, seed)
-        for label, config in configs.items():
-            stats = context.simulate(config)
-            result.add(name, label, stats)
-            if verbose:
-                print(
-                    f"  {name:8s} {label:24s} IPC={stats.ipc:.3f} "
-                    f"flushes={stats.pipeline_flushes}"
-                )
+            context = BenchmarkContext(name, iterations, seed, cache=cache)
+        run_contexts.append(context)
+
+    before = [_context_snapshot(context) for context in run_contexts]
+    timings = SuiteTimings(jobs=jobs)
+
+    if jobs > 1:
+        from repro.harness.parallel import run_simulations_parallel
+
+        stats_map = run_simulations_parallel(
+            run_contexts, configs, jobs=jobs, verbose=verbose
+        )
+        timings.simulate_seconds += stats_map.worker_seconds
+        timings.simulations_run += stats_map.worker_runs
+        for context in run_contexts:
+            for label, config in configs.items():
+                result.add(context.name, label, stats_map[(context.name, label)])
+    else:
+        for context in run_contexts:
+            for label, config in configs.items():
+                stats = context.simulate(config)
+                result.add(context.name, label, stats)
+                if verbose:
+                    print(
+                        f"  {context.name:8s} {label:24s} IPC={stats.ipc:.3f} "
+                        f"flushes={stats.pipeline_flushes}"
+                    )
+
+    _accumulate_deltas(timings, run_contexts, before)
+    timings.wall_seconds = time.perf_counter() - wall_start
+    timings.cache = cache.counters if cache is not None else None
+    result.timings = timings
     return result
 
 
@@ -314,14 +646,24 @@ def run_multi_seed(
     benchmarks: Iterable[str],
     seeds: Iterable[int],
     iterations: Optional[int] = None,
+    jobs: int = 1,
+    cache: Union[None, str, ArtifactCache] = None,
 ) -> MultiSeedResult:
     """Run the suite once per seed (each seed regenerates every data
-    array, so traces and profiles differ while CFG shapes stay fixed)."""
+    array, so traces and profiles differ while CFG shapes stay fixed).
+    ``jobs``/``cache`` are forwarded to each per-seed :func:`run_suite`."""
     out = MultiSeedResult()
     benchmarks = list(benchmarks)
     for seed in seeds:
         out.add(
             seed,
-            run_suite(configs, benchmarks, iterations=iterations, seed=seed),
+            run_suite(
+                configs,
+                benchmarks,
+                iterations=iterations,
+                seed=seed,
+                jobs=jobs,
+                cache=cache,
+            ),
         )
     return out

@@ -7,7 +7,15 @@ series (rows keyed by benchmark) plus a paper-style text rendering.
 All drivers share a ``contexts`` dict (benchmark name →
 :class:`~repro.harness.experiment.BenchmarkContext`) so the expensive
 artifacts — traces and profiles — are built once per benchmark no matter
-how many figures are generated.
+how many figures are generated.  A reused context whose parameters do
+not match the current call raises :class:`~repro.errors.ReproError`
+instead of silently serving stale data.
+
+Every simulation-driven exhibit routes its runs through
+:func:`~repro.harness.experiment.run_suite`, so the drivers uniformly
+accept ``jobs=N`` (process-pool fan-out) and ``cache=...`` (persistent
+artifact/stats cache) — the CLI's ``repro figure --jobs/--cache-dir``
+flags (docs/performance.md).
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.analysis.classify import classify_mispredictions
 from repro.analysis.wrongpath import wrong_path_breakdown
+from repro.harness.cache import ArtifactCache
 from repro.harness.experiment import (
     BenchmarkContext,
     SuiteResult,
@@ -52,11 +61,38 @@ def _contexts(
     contexts: Optional[Dict[str, BenchmarkContext]],
     benchmarks: Iterable[str],
     iterations: Optional[int],
+    cache=None,
 ) -> Dict[str, BenchmarkContext]:
+    cache = ArtifactCache.resolve(cache)
     contexts = contexts if contexts is not None else {}
     for name in benchmarks:
-        contexts.setdefault(name, BenchmarkContext(name, iterations))
+        context = contexts.get(name)
+        if context is None:
+            contexts[name] = BenchmarkContext(name, iterations, cache=cache)
+        else:
+            context.check_compatible(iterations, seed=context.seed)
+            context.attach_cache(cache)
     return contexts
+
+
+def _suite(
+    configs: Dict[str, MachineConfig],
+    contexts: Dict[str, BenchmarkContext],
+    benchmarks: Iterable[str],
+    iterations: Optional[int],
+    jobs: int = 1,
+    cache=None,
+) -> SuiteResult:
+    """Run one config sweep through the shared contexts (parallel/cached
+    when asked)."""
+    return run_suite(
+        configs,
+        benchmarks,
+        iterations,
+        contexts=contexts,
+        jobs=jobs,
+        cache=cache,
+    )
 
 
 def _mean_row(label: str, columns: List[List[float]]) -> list:
@@ -71,13 +107,19 @@ def fig1(
     contexts=None,
     benchmarks: Iterable[str] = BENCHMARK_NAMES,
     iterations: Optional[int] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
-    contexts = _contexts(contexts, benchmarks, iterations)
+    cache = ArtifactCache.resolve(cache)
+    contexts = _contexts(contexts, benchmarks, iterations, cache)
+    suite = _suite(
+        {"base": MachineConfig.baseline()},
+        contexts, benchmarks, iterations, jobs, cache,
+    )
     rows = []
     cd_col, ci_col = [], []
     for name in benchmarks:
-        stats = contexts[name].simulate(MachineConfig.baseline())
-        breakdown = wrong_path_breakdown(stats)
+        breakdown = wrong_path_breakdown(suite.stats(name, "base"))
         rows.append(
             [name, breakdown.pct_wrong_cd, breakdown.pct_wrong_ci,
              breakdown.pct_wrong]
@@ -150,11 +192,18 @@ def table3(
     contexts=None,
     benchmarks: Iterable[str] = BENCHMARK_NAMES,
     iterations: Optional[int] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
-    contexts = _contexts(contexts, benchmarks, iterations)
+    cache = ArtifactCache.resolve(cache)
+    contexts = _contexts(contexts, benchmarks, iterations, cache)
+    suite = _suite(
+        {"base": MachineConfig.baseline()},
+        contexts, benchmarks, iterations, jobs, cache,
+    )
     rows = []
     for name in benchmarks:
-        stats = contexts[name].simulate(MachineConfig.baseline())
+        stats = suite.stats(name, "base")
         rows.append(
             [
                 name,
@@ -180,8 +229,14 @@ def fig6(
     contexts=None,
     benchmarks: Iterable[str] = BENCHMARK_NAMES,
     iterations: Optional[int] = None,
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
-    contexts = _contexts(contexts, benchmarks, iterations)
+    # No timing simulations here — only profiles and hint tables, which
+    # the artifact cache covers; ``jobs`` is accepted for driver
+    # uniformity.
+    cache = ArtifactCache.resolve(cache)
+    contexts = _contexts(contexts, benchmarks, iterations, cache)
     rows = []
     cols = [[], [], []]
     shares = []
@@ -227,9 +282,12 @@ def _improvement_figure(
     benchmarks,
     iterations,
     notes: str = "",
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
-    contexts = _contexts(contexts, benchmarks, iterations)
-    suite = run_suite(configs, benchmarks, iterations, contexts=contexts)
+    cache = ArtifactCache.resolve(cache)
+    contexts = _contexts(contexts, benchmarks, iterations, cache)
+    suite = _suite(configs, contexts, benchmarks, iterations, jobs, cache)
     labels = [label for label in configs if label != "base"]
     rows = []
     columns = {label: [] for label in labels}
@@ -252,7 +310,8 @@ def _improvement_figure(
     return result
 
 
-def fig7(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None):
+def fig7(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None,
+         jobs=1, cache=None):
     return _improvement_figure(
         "Figure 7: % IPC improvement over base (basic DMP study)",
         figure7_configs(),
@@ -261,10 +320,13 @@ def fig7(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None):
         iterations,
         notes=("Paper shapes: diverge > DHP > dual-path; perfect confidence "
                "well above JRS for DMP; perfect-cbp far above everything."),
+        jobs=jobs,
+        cache=cache,
     )
 
 
-def fig9(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None):
+def fig9(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None,
+         jobs=1, cache=None):
     return _improvement_figure(
         "Figure 9: % IPC improvement, enhanced DMP (cumulative)",
         figure9_configs(),
@@ -272,6 +334,8 @@ def fig9(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None):
         benchmarks,
         iterations,
         notes="Paper: enhanced-mcfm-eexit-mdb averages +10.8% over base.",
+        jobs=jobs,
+        cache=cache,
     )
 
 
@@ -285,12 +349,18 @@ def _exit_case_figure(
     contexts,
     benchmarks,
     iterations,
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
-    contexts = _contexts(contexts, benchmarks, iterations)
+    cache = ArtifactCache.resolve(cache)
+    contexts = _contexts(contexts, benchmarks, iterations, cache)
+    suite = _suite(
+        {"dmp": config}, contexts, benchmarks, iterations, jobs, cache
+    )
     rows = []
     cols = [[] for _ in range(6)]
     for benchmark in benchmarks:
-        stats = contexts[benchmark].simulate(config)
+        stats = suite.stats(benchmark, "dmp")
         total = max(sum(stats.exit_cases.values()), 1)
         shares = [
             100.0 * stats.exit_cases[case] / total for case in range(1, 7)
@@ -307,19 +377,21 @@ def _exit_case_figure(
     )
 
 
-def fig8(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None):
+def fig8(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None,
+         jobs=1, cache=None):
     return _exit_case_figure(
         "Figure 8: exit-case distribution, basic DMP",
         MachineConfig.dmp(),
-        contexts, benchmarks, iterations,
+        contexts, benchmarks, iterations, jobs, cache,
     )
 
 
-def fig10(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None):
+def fig10(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None,
+          jobs=1, cache=None):
     return _exit_case_figure(
         "Figure 10: exit-case distribution, enhanced DMP",
         MachineConfig.dmp(enhanced=True),
-        contexts, benchmarks, iterations,
+        contexts, benchmarks, iterations, jobs, cache,
     )
 
 
@@ -327,13 +399,22 @@ def fig10(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None):
 # Figure 11 — pipeline-flush reduction
 # ---------------------------------------------------------------------------
 
-def fig11(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None):
-    contexts = _contexts(contexts, benchmarks, iterations)
+def fig11(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None,
+          jobs=1, cache=None):
+    cache = ArtifactCache.resolve(cache)
+    contexts = _contexts(contexts, benchmarks, iterations, cache)
+    suite = _suite(
+        {
+            "base": MachineConfig.baseline(),
+            "enhanced": MachineConfig.dmp(enhanced=True),
+        },
+        contexts, benchmarks, iterations, jobs, cache,
+    )
     rows = []
     col = []
     for benchmark in benchmarks:
-        base = contexts[benchmark].simulate(MachineConfig.baseline())
-        enhanced = contexts[benchmark].simulate(MachineConfig.dmp(enhanced=True))
+        base = suite.stats(benchmark, "base")
+        enhanced = suite.stats(benchmark, "enhanced")
         if base.pipeline_flushes:
             reduction = 100.0 * (
                 1.0 - enhanced.pipeline_flushes / base.pipeline_flushes
@@ -355,13 +436,22 @@ def fig11(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None):
 # Figure 12 — fetched / executed instruction counts
 # ---------------------------------------------------------------------------
 
-def fig12(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None):
-    contexts = _contexts(contexts, benchmarks, iterations)
+def fig12(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None,
+          jobs=1, cache=None):
+    cache = ArtifactCache.resolve(cache)
+    contexts = _contexts(contexts, benchmarks, iterations, cache)
+    suite = _suite(
+        {
+            "base": MachineConfig.baseline(),
+            "dmp": MachineConfig.dmp(enhanced=True),
+        },
+        contexts, benchmarks, iterations, jobs, cache,
+    )
     rows = []
     fetch_ratio, exec_ratio = [], []
     for benchmark in benchmarks:
-        base = contexts[benchmark].simulate(MachineConfig.baseline())
-        dmp = contexts[benchmark].simulate(MachineConfig.dmp(enhanced=True))
+        base = suite.stats(benchmark, "base")
+        dmp = suite.stats(benchmark, "dmp")
         rows.append(
             [
                 benchmark,
@@ -400,20 +490,35 @@ def fig13(
     windows=(128, 256, 512),
     depths=(10, 20, 30),
     sweep_rob=512,
+    jobs=1,
+    cache=None,
 ) -> FigureResult:
-    contexts = _contexts(contexts, benchmarks, iterations)
-    rows = []
+    cache = ArtifactCache.resolve(cache)
+    contexts = _contexts(contexts, benchmarks, iterations, cache)
+    # One flat sweep so every point parallelizes together.
+    configs: Dict[str, MachineConfig] = {}
+    points = []
     for window in windows:
-        rows.append(
-            ["window", window]
-            + _mean_ipcs(contexts, benchmarks, rob_size=window)
-        )
+        points.append(("window", window, dict(rob_size=window)))
     for depth in depths:
-        rows.append(
-            ["depth", depth]
-            + _mean_ipcs(contexts, benchmarks, rob_size=256,
-                         pipeline_depth=depth)
+        points.append(
+            ("depth", depth, dict(rob_size=256, pipeline_depth=depth))
         )
+    for kind, value, overrides in points:
+        configs[f"{kind}-{value}-base"] = MachineConfig.baseline(**overrides)
+        configs[f"{kind}-{value}-dhp"] = MachineConfig.dhp(**overrides)
+        configs[f"{kind}-{value}-dmp"] = MachineConfig.dmp(
+            enhanced=True, **overrides
+        )
+    suite = _suite(configs, contexts, benchmarks, iterations, jobs, cache)
+    rows = []
+    for kind, value, _ in points:
+        means = []
+        for machine in ("base", "dhp", "dmp"):
+            label = f"{kind}-{value}-{machine}"
+            ipcs = [suite.stats(b, label).ipc for b in benchmarks]
+            means.append(sum(ipcs) / len(ipcs))
+        rows.append([kind, value] + means)
     return FigureResult(
         "Figure 13: IPC vs. window size (top) and pipeline depth (bottom)",
         ["sweep", "value", "base IPC", "DHP IPC", "enhanced-diverge IPC"],
@@ -421,18 +526,6 @@ def fig13(
         notes=("Paper: DMP's edge grows with window size (6.9/9.4/10.8%) "
                "and pipeline depth (3.3/6.8/9.4%)."),
     )
-
-
-def _mean_ipcs(contexts, benchmarks, **overrides) -> List[float]:
-    means = []
-    for config in (
-        MachineConfig.baseline(**overrides),
-        MachineConfig.dhp(**overrides),
-        MachineConfig.dmp(enhanced=True, **overrides),
-    ):
-        ipcs = [contexts[b].simulate(config).ipc for b in benchmarks]
-        means.append(sum(ipcs) / len(ipcs))
-    return means
 
 
 #: Everything, in paper order (used by the full-reproduction example).

@@ -1,0 +1,83 @@
+"""Canonical fingerprints for experiment keying.
+
+Both the in-memory simulation memo (:meth:`BenchmarkContext.simulate`)
+and the on-disk artifact cache (:mod:`repro.harness.cache`) need a key
+that identifies "the same experiment".  ``repr()`` is not that key:
+
+* dict-valued fields (``predictor_args``/``confidence_args``) render in
+  insertion order, so two equal configs can produce different reprs
+  (wasted runs), and
+* a field accidentally omitted from a future ``__repr__`` would make
+  two *different* configs collide onto the same key — silently
+  returning the wrong cached stats.
+
+The canonicalizer here walks every dataclass field via
+``dataclasses.fields`` (nothing can be omitted), sorts dict/set members,
+and hashes the result, so the fingerprint is total over the object's
+data and independent of insertion order.  ``_FORMAT_VERSION`` is folded
+into every digest: bump it when the canonical form (or the meaning of a
+cached artifact) changes, and every old cache entry invalidates itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Optional
+
+from repro.uarch.config import MachineConfig
+
+#: Bump to invalidate every previously-computed fingerprint (and with
+#: them all on-disk cache entries).
+_FORMAT_VERSION = 1
+
+
+def canonicalize(obj: Any) -> Any:
+    """A deterministic, order-independent structure for ``obj``.
+
+    Supports primitives, bytes, sequences, dicts/sets (sorted), and
+    dataclasses (every field, sorted by name).  Raises ``TypeError`` on
+    anything else rather than guessing — an unfingerprintable object in
+    a cache key is a correctness bug, not an inconvenience.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        names = sorted(f.name for f in dataclasses.fields(obj))
+        return (
+            "dataclass",
+            type(obj).__qualname__,
+            tuple((name, canonicalize(getattr(obj, name))) for name in names),
+        )
+    if isinstance(obj, dict):
+        items = sorted(
+            (repr(canonicalize(k)), canonicalize(v)) for k, v in obj.items()
+        )
+        return ("dict", tuple(items))
+    if isinstance(obj, (list, tuple)):
+        return ("seq", tuple(canonicalize(v) for v in obj))
+    if isinstance(obj, (set, frozenset)):
+        return ("set", tuple(sorted(repr(canonicalize(v)) for v in obj)))
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        # Include the type name: 1 vs 1.0 vs True must not collide.
+        return ("lit", type(obj).__name__, obj)
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__!s} for fingerprinting"
+    )
+
+
+def fingerprint(obj: Any) -> str:
+    """Hex SHA-256 of the canonical form of ``obj``."""
+    payload = repr((_FORMAT_VERSION, canonicalize(obj)))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def config_fingerprint(config: MachineConfig) -> str:
+    """Canonical key for one machine configuration."""
+    return fingerprint(config)
+
+
+def context_fingerprint(
+    name: str, iterations: Optional[int], seed: int, thresholds: Any
+) -> str:
+    """Canonical key for one benchmark context's machine-independent
+    artifacts: ``(benchmark, iterations, seed, selection thresholds)``."""
+    return fingerprint(("context", name, iterations, seed, thresholds))

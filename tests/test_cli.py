@@ -137,3 +137,67 @@ class TestValidateCommand:
             "--iterations", "60", "--paranoid",
         ]) == 0
         assert not paranoid_enabled()
+
+
+class TestParallelCacheFlags:
+    def test_flag_defaults(self):
+        args = build_parser().parse_args(["suite"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert not args.no_cache
+        assert not args.timings
+        fig_args = build_parser().parse_args(["figure", "fig7", "--jobs", "3"])
+        assert fig_args.jobs == 3
+
+    def test_suite_parallel_runs(self, capsys):
+        assert main([
+            "suite", "--benchmarks", "eon", "--configs", "base,dmp",
+            "--iterations", "60", "--jobs", "2",
+        ]) == 0
+        assert "eon" in capsys.readouterr().out
+
+    def test_suite_timings_report(self, capsys):
+        assert main([
+            "suite", "--benchmarks", "eon", "--configs", "base",
+            "--iterations", "60", "--timings",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "timings (jobs=1)" in out
+        assert "simulations:" in out
+
+    def test_suite_cache_warm_second_run(self, tmp_path, capsys):
+        argv = [
+            "suite", "--benchmarks", "eon", "--configs", "base",
+            "--iterations", "60", "--cache-dir", str(tmp_path), "--timings",
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "0 disk hit(s)" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "0 run, 0 memo hit(s), 1 disk hit(s)" in warm
+        assert "0 miss(es)" in warm
+
+    def test_no_cache_overrides_env(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main([
+            "suite", "--benchmarks", "eon", "--configs", "base",
+            "--iterations", "60", "--no-cache",
+        ]) == 0
+        assert not list(tmp_path.iterdir())
+
+    def test_env_cache_dir_used(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main([
+            "suite", "--benchmarks", "eon", "--configs", "base",
+            "--iterations", "60",
+        ]) == 0
+        assert (tmp_path / "sim").exists()
+
+    def test_figure_with_cache_and_jobs(self, tmp_path, capsys):
+        assert main([
+            "figure", "fig1", "--benchmarks", "eon", "--iterations", "60",
+            "--cache-dir", str(tmp_path), "--jobs", "2",
+        ]) == 0
+        assert "wrong" in capsys.readouterr().out
+        assert (tmp_path / "sim").exists()
