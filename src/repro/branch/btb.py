@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 
 class BranchTargetBuffer:
@@ -19,7 +18,9 @@ class BranchTargetBuffer:
             raise ValueError("entries must divide evenly into ways")
         self.num_sets = num_entries // associativity
         self.associativity = associativity
-        self._sets: Dict[int, OrderedDict] = {}
+        # Insertion-ordered builtin dicts, oldest entry first (same LRU
+        # order an OrderedDict maintains; see repro.memsys.cache).
+        self._sets: List[Dict[int, int]] = [{} for _ in range(self.num_sets)]
         self.hits = 0
         self.misses = 0
 
@@ -28,23 +29,24 @@ class BranchTargetBuffer:
 
     def lookup(self, pc: int) -> Optional[int]:
         """Return the cached target for ``pc``, updating LRU state."""
-        entry_set = self._sets.get(self._set_index(pc))
-        if entry_set is not None and pc in entry_set:
-            entry_set.move_to_end(pc)
+        entry_set = self._sets[(pc >> 2) % self.num_sets]
+        target = entry_set.get(pc)
+        if target is not None:
+            del entry_set[pc]
+            entry_set[pc] = target
             self.hits += 1
-            return entry_set[pc]
+            return target
         self.misses += 1
         return None
 
     def insert(self, pc: int, target: int) -> None:
-        index = self._set_index(pc)
-        entry_set = self._sets.setdefault(index, OrderedDict())
+        entry_set = self._sets[(pc >> 2) % self.num_sets]
         if pc in entry_set:
-            entry_set.move_to_end(pc)
+            del entry_set[pc]
             entry_set[pc] = target
             return
         if len(entry_set) >= self.associativity:
-            entry_set.popitem(last=False)  # evict LRU
+            del entry_set[next(iter(entry_set))]  # evict LRU
         entry_set[pc] = target
 
     @property

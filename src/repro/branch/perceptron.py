@@ -40,22 +40,37 @@ class PerceptronPredictor(BranchPredictor):
         self._weights: List[List[int]] = [
             [0] * (history_bits + 1) for _ in range(num_perceptrons)
         ]
+        # Memoized dot-product outputs, one ``{history: output}`` dict per
+        # perceptron.  A perceptron's output depends only on its weights
+        # and the history bits, and only :meth:`train` changes weights, so
+        # each memo stays exact until its perceptron trains (the
+        # below-threshold early return leaves it valid).  Loopy traces
+        # re-predict the same (pc, history) pairs constantly; this turns
+        # the 31-term dot product into a dict hit with identical results.
+        self._memo: List[dict] = [{} for _ in range(num_perceptrons)]
+        # Running Σ weights[1..h] per perceptron, kept in sync by train().
+        # With it the dot product needs only the *set* history bits:
+        # bias + Σ w_i·x_i  =  bias − total + 2·Σ_{set bits} w_i.
+        self._totals: List[int] = [0] * num_perceptrons
 
     def _index(self, pc: int) -> int:
         return (pc >> 2) % self.num_perceptrons
 
     def predict(self, pc: int) -> Prediction:
-        index = self._index(pc)
-        weights = self._weights[index]
+        index = (pc >> 2) % self.num_perceptrons
         history = self.history.bits
-        output = weights[0]
-        bits = history
-        for i in range(1, self.history_bits + 1):
-            if bits & 1:
-                output += weights[i]
-            else:
-                output -= weights[i]
-            bits >>= 1
+        memo = self._memo[index]
+        output = memo.get(history)
+        if output is None:
+            weights = self._weights[index]
+            s = 0
+            bits = history
+            while bits:
+                lsb = bits & -bits
+                s += weights[lsb.bit_length()]
+                bits &= bits - 1
+            output = weights[0] - self._totals[index] + 2 * s
+            memo[history] = output
         return Prediction(
             output >= 0, pc, index=index, history=history, output=output
         )
@@ -64,14 +79,26 @@ class PerceptronPredictor(BranchPredictor):
         mispredicted = prediction.taken != actual
         if not mispredicted and abs(prediction.output) > self.theta:
             return
-        weights = self._weights[prediction.index]
+        index = prediction.index
+        weights = self._weights[index]
+        mx = self._weight_max
+        mn = self._weight_min
         t = 1 if actual else -1
-        weights[0] = self._clip(weights[0] + t)
+        w = weights[0] + t
+        weights[0] = mx if w > mx else (mn if w < mn else w)
         bits = prediction.history
+        total = 0
         for i in range(1, self.history_bits + 1):
-            x = 1 if bits & 1 else -1
-            weights[i] = self._clip(weights[i] + t * x)
+            w = weights[i] + (t if bits & 1 else -t)
             bits >>= 1
+            if w > mx:
+                w = mx
+            elif w < mn:
+                w = mn
+            weights[i] = w
+            total += w
+        self._totals[index] = total
+        self._memo[index].clear()
 
     def _clip(self, value: int) -> int:
         if value > self._weight_max:

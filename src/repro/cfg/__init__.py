@@ -1,13 +1,16 @@
 """Control-flow-graph substrate.
 
 Everything the compiler side of DMP needs to reason about programs: basic
-blocks and per-function CFGs (:mod:`repro.cfg.graph`), dominator and
+blocks and per-function CFGs (:mod:`repro.cfg.graph`), the
+program-scoped static-analysis cache (:mod:`repro.cfg.analysis`),
+dominator and
 post-dominator analysis used to find reconvergence points
 (:mod:`repro.cfg.dominators`), frequently-executed-path utilities used by
 CFM-point selection (:mod:`repro.cfg.paths`), and a small builder DSL used by
 the workload generator and the test suite (:mod:`repro.cfg.builder`).
 """
 
+from repro.cfg.analysis import ProgramAnalysis
 from repro.cfg.graph import BasicBlock, ControlFlowGraph
 from repro.cfg.dominators import (
     compute_dominators,
@@ -25,6 +28,7 @@ from repro.cfg.builder import CFGBuilder
 
 __all__ = [
     "BasicBlock",
+    "ProgramAnalysis",
     "ControlFlowGraph",
     "compute_dominators",
     "compute_postdominators",

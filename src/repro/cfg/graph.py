@@ -24,7 +24,8 @@ class BasicBlock:
     ========= =====================================================
     """
 
-    __slots__ = ("name", "instructions", "fallthrough", "_preds")
+    __slots__ = ("name", "instructions", "fallthrough", "_preds",
+                 "_plan", "_mem_profile")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -32,6 +33,35 @@ class BasicBlock:
         #: Name of the textually-next block, or ``None`` for exit blocks.
         self.fallthrough: Optional[str] = None
         self._preds: Tuple[str, ...] = ()
+        #: Derived caches (never pickled): the fast engine's decoded
+        #: :class:`~repro.uarch.plan.BlockPlan`, and the (loads, stores)
+        #: count pair used by :meth:`repro.program.trace.Trace.append`.
+        self._plan = None
+        self._mem_profile: Optional[Tuple[int, int]] = None
+
+    # -- pickling ----------------------------------------------------------
+    # Derived caches are excluded: a plan holds references into one
+    # program's CFG and must never leak through a pickled trace.  The
+    # legacy slot-tuple state produced before these caches existed is
+    # still accepted.
+
+    def __getstate__(self):
+        return {
+            "name": self.name,
+            "instructions": self.instructions,
+            "fallthrough": self.fallthrough,
+            "_preds": self._preds,
+        }
+
+    def __setstate__(self, state) -> None:
+        if isinstance(state, tuple):  # legacy (dict_state, slots_dict) form
+            state = state[1] or {}
+        self.name = state["name"]
+        self.instructions = state["instructions"]
+        self.fallthrough = state["fallthrough"]
+        self._preds = state.get("_preds", ())
+        self._plan = None
+        self._mem_profile = None
 
     # -- structure queries -------------------------------------------------
 
@@ -82,6 +112,27 @@ class BasicBlock:
     @property
     def predecessors(self) -> Tuple[str, ...]:
         return self._preds
+
+    def mem_profile(self) -> Tuple[int, int]:
+        """``(load_count, store_count)``, computed once per block."""
+        profile = self._mem_profile
+        if profile is None:
+            loads = stores = 0
+            for instr in self.instructions:
+                if instr.opcode == Opcode.LOAD:
+                    loads += 1
+                elif instr.opcode == Opcode.STORE:
+                    stores += 1
+            profile = self._mem_profile = (loads, stores)
+        return profile
+
+    @property
+    def load_count(self) -> int:
+        return self.mem_profile()[0]
+
+    @property
+    def store_count(self) -> int:
+        return self.mem_profile()[1]
 
     @property
     def first_pc(self) -> int:

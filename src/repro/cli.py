@@ -10,6 +10,9 @@ Commands
 ``validate``  oracle-checked validation of hint tables and simulator
               runs; ``--inject`` drives the adversarial fault-injection
               suite (docs/robustness.md)
+``bench``     measure fast-engine vs reference-engine throughput and
+              check for perf regressions against a committed
+              ``BENCH_*.json`` baseline (docs/performance.md)
 ``list``      list available benchmarks and machine configurations
 
 ``suite`` and ``figure`` accept ``--paranoid``: every simulation then
@@ -236,6 +239,76 @@ def cmd_validate(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_bench(args) -> int:
+    """Engine microbenchmark + regression gate (docs/performance.md).
+
+    Exit codes: 0 — ran clean (and within the regression budget when a
+    baseline was given); 1 — a fast/reference stats mismatch, a >
+    ``--max-regression`` throughput drop against the baseline, or a
+    geomean cold speedup below ``--min-speedup``.
+    """
+    from datetime import datetime, timezone
+
+    from repro.harness import bench
+
+    if args.smoke:
+        benchmarks = list(bench.SMOKE_BENCHMARKS)
+        configs = list(bench.SMOKE_CONFIGS)
+        iterations = args.iterations or bench.SMOKE_ITERATIONS
+        repeats = args.repeats or bench.SMOKE_REPEATS
+    else:
+        benchmarks = (
+            _parse_benchmarks(args.benchmarks)
+            if args.benchmarks
+            else list(bench.DEFAULT_BENCHMARKS)
+        )
+        configs = (
+            [c.strip() for c in args.configs.split(",") if c.strip()]
+            if args.configs
+            else list(bench.DEFAULT_CONFIGS)
+        )
+        iterations = args.iterations or bench.DEFAULT_ITERATIONS
+        repeats = args.repeats or bench.DEFAULT_REPEATS
+    unknown = [c for c in configs if c not in bench.CONFIG_FACTORIES]
+    if unknown:
+        raise SystemExit(f"unknown configs: {', '.join(unknown)}")
+    report = bench.run_bench(
+        benchmarks=benchmarks,
+        configs=configs,
+        iterations=iterations,
+        seed=args.seed,
+        repeats=repeats,
+        cache=_resolve_cache(args),
+        progress=print,
+    )
+    summary = report["summary"]
+    print(f"\ngeomean speedup: {summary['geomean_speedup_cold']:.2f}x cold, "
+          f"{summary['geomean_speedup_warm']:.2f}x cache-warm; "
+          f"all stats identical: {summary['all_identical']}")
+    output = args.output
+    if not output:
+        stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%SZ")
+        output = f"BENCH_{stamp}.json"
+    bench.save_report(report, output)
+    print(f"wrote {output}")
+    failed = not summary["all_identical"]
+    if args.baseline:
+        problems = bench.compare(
+            report, bench.load_report(args.baseline),
+            max_regression=args.max_regression,
+        )
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        failed = failed or bool(problems)
+    if args.min_speedup and summary["geomean_speedup_cold"] < args.min_speedup:
+        print(f"FAIL: geomean cold speedup "
+              f"{summary['geomean_speedup_cold']:.2f}x is below the "
+              f"--min-speedup bound {args.min_speedup:.2f}x",
+              file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -320,6 +393,40 @@ def build_parser() -> argparse.ArgumentParser:
                        help="CI mode: exit 0 iff injected faults were "
                             "both survived and detected")
     p_val.set_defaults(func=cmd_validate)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="engine throughput microbenchmark / perf-regression gate",
+    )
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="quick CI matrix (see docs/performance.md)")
+    p_bench.add_argument("--benchmarks", default="",
+                         help="comma-separated benchmark subset")
+    p_bench.add_argument("--configs", default="",
+                         help="comma-separated config subset")
+    p_bench.add_argument("--iterations", type=int, default=0,
+                         help="workload iterations per benchmark "
+                              "(0 = preset default)")
+    p_bench.add_argument("--repeats", type=int, default=0,
+                         help="timing repeats per cell, best kept "
+                              "(0 = preset default)")
+    p_bench.add_argument("--seed", type=int, default=0,
+                         help="workload generation seed")
+    p_bench.add_argument("--output", default="",
+                         help="report path (default BENCH_<utc>.json)")
+    p_bench.add_argument("--baseline", default="",
+                         help="committed BENCH_*.json to gate against")
+    p_bench.add_argument("--max-regression", type=float, default=0.25,
+                         help="allowed fractional speedup drop vs the "
+                              "baseline report")
+    p_bench.add_argument("--min-speedup", type=float, default=0.0,
+                         help="fail unless the geomean cold speedup "
+                              "reaches this bound")
+    p_bench.add_argument("--cache-dir", default=None, metavar="PATH",
+                         help="artifact cache for traces/profiles/hints")
+    p_bench.add_argument("--no-cache", action="store_true",
+                         help="disable the artifact cache")
+    p_bench.set_defaults(func=cmd_bench)
 
     return parser
 

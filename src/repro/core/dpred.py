@@ -45,6 +45,12 @@ from repro.core.cfm import CfmCam
 from repro.core.modes import ExitCase, PathOutcome
 from repro.isa.instructions import Opcode
 from repro.uarch.frontend import StaticWalker, TraceCursor
+from repro.uarch.plan import (
+    TERM_BR,
+    TERM_CALL,
+    TERM_JMP,
+    TERM_NONE,
+)
 from repro.uarch.timing import BranchContext, TimingSimulator
 
 
@@ -99,6 +105,17 @@ class PredicationAwareSimulator(TimingSimulator):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._predicate_counter = 0
+        # Same engine dispatch as the base class: the predicate-FALSE
+        # static fetch loop and the two per-path episode loops have
+        # block-plan implementations too.
+        if self.config.engine == "fast":
+            self._fetch_static_dpred_block = (
+                self._fetch_static_dpred_block_fast
+            )
+            self._fetch_dpred_trace_path = self._fetch_dpred_trace_path_fast
+            self._fetch_dpred_static_path = (
+                self._fetch_dpred_static_path_fast
+            )
 
     # ------------------------------------------------------------------
     # Entry hook
@@ -902,6 +919,93 @@ class PredicationAwareSimulator(TimingSimulator):
             )
         return None
 
+    def _fetch_dpred_trace_path_fast(
+        self,
+        start_pos: int,
+        cam: CfmCam,
+        resolution: int,
+        predicate_id: int,
+        limit: int,
+        watch_diverge: bool,
+        restart_after: int = 0,
+    ) -> PathResult:
+        """:meth:`_fetch_dpred_trace_path` over block plans: identical
+        control flow and call sequence, with the per-block static-fact
+        lookups (first PC, length, terminator kind) read from the plan
+        and the L1I hit path inlined."""
+        records = self.trace.records
+        n_records = len(records)
+        watchdog = self.watchdog
+        cam_matches = cam.matches
+        block_plan = self.analysis.block_plan
+        fetch_trace_block = self._fetch_trace_block
+        inst_access = self.hierarchy.inst_access
+        l1i_latency = self.hierarchy.l1i.latency
+        pos = start_pos
+        fetched = 0
+        while True:
+            if watchdog is not None:
+                watchdog.check(self, where="dpred-trace-path")
+            if pos >= n_records:
+                return PathResult(
+                    PathOutcome.EXHAUSTED,
+                    instructions=fetched,
+                    stopped_position=pos,
+                )
+            record = records[pos]
+            block = record.block
+            plan = block._plan
+            if plan is None:
+                plan = block_plan(block, record.function)
+            first_pc = plan.first_pc
+            if cam_matches(first_pc):
+                cam.lock(first_pc)
+                return PathResult(
+                    PathOutcome.REACHED_CFM,
+                    instructions=fetched,
+                    cfm_pc=first_pc,
+                    trace_position=pos,
+                )
+            if self.cycle >= resolution:
+                return PathResult(
+                    PathOutcome.RESOLVED,
+                    instructions=fetched,
+                    stopped_position=pos,
+                )
+            if fetched + plan.n > limit:
+                return PathResult(
+                    PathOutcome.LIMIT,
+                    instructions=fetched,
+                    stopped_position=pos,
+                )
+            extra = inst_access(first_pc // 8) - l1i_latency
+            if extra > 0:
+                self._advance_fetch_cycle(self.cycle + extra)
+            if plan.term_kind == TERM_BR:
+                fetch_trace_block(
+                    record,
+                    skip_terminator=True,
+                    predicate_id=predicate_id,
+                    predicate_ready=resolution,
+                )
+                result = self._handle_nested_trace_branch(
+                    record,
+                    pos,
+                    fetched,
+                    watch_diverge and fetched >= restart_after,
+                )
+                if result is not None:
+                    return result
+            else:
+                fetch_trace_block(
+                    record,
+                    predicate_id=predicate_id,
+                    predicate_ready=resolution,
+                )
+                self._transfer_fast(plan)
+            fetched += plan.n
+            pos += 1
+
     def _fetch_dpred_static_path(
         self,
         function: str,
@@ -962,6 +1066,113 @@ class PredicationAwareSimulator(TimingSimulator):
             fetched += len(block)
             self._step_walker(walker)
 
+    def _fetch_dpred_static_path_fast(
+        self,
+        function: str,
+        start_block,
+        cam: CfmCam,
+        resolution: int,
+        limit: int,
+        watch_diverge: bool,
+        restart_after: int = 0,
+    ) -> PathResult:
+        """:meth:`_fetch_dpred_static_path` over block plans: the
+        :class:`StaticWalker` stepping (including its shadow call stack
+        and per-branch predict/spec-update) is replayed over the plan's
+        direct successor references, with identical call sequence into
+        the predictor and fetch-cycle bookkeeping."""
+        if start_block is None:
+            return PathResult(PathOutcome.EXHAUSTED)
+        watchdog = self.watchdog
+        cam_matches = cam.matches
+        block_plan = self.analysis.block_plan
+        fetch_block = self._fetch_static_dpred_block
+        hints_get = self.hints.get
+        predictor = self.predictor
+        predict = predictor.predict
+        spec_update = predictor.spec_update
+        confidence = self.confidence
+        confidence_is_perfect = isinstance(
+            confidence, PerfectConfidenceEstimator
+        )
+        call_stack = list(self.call_context)
+        current = start_block
+        cur_function = function
+        fetched = 0
+        while True:
+            if watchdog is not None:
+                watchdog.check(self, where="dpred-static-path")
+            if current is None:
+                return PathResult(
+                    PathOutcome.EXHAUSTED, instructions=fetched
+                )
+            plan = current._plan
+            if plan is None:
+                plan = block_plan(current, cur_function)
+            first_pc = plan.first_pc
+            if cam_matches(first_pc):
+                cam.lock(first_pc)
+                return PathResult(
+                    PathOutcome.REACHED_CFM,
+                    instructions=fetched,
+                    cfm_pc=first_pc,
+                )
+            if self.cycle >= resolution:
+                return PathResult(
+                    PathOutcome.RESOLVED, instructions=fetched
+                )
+            if fetched + plan.n > limit:
+                return PathResult(PathOutcome.LIMIT, instructions=fetched)
+            fetch_block(current)
+            term_kind = plan.term_kind
+            if (
+                watch_diverge
+                and fetched >= restart_after
+                and term_kind == TERM_BR
+            ):
+                if hints_get(plan.term_pc) is not None:
+                    confident = confidence_is_perfect or (
+                        confidence.is_confident(
+                            plan.term_pc, predictor.snapshot()
+                        )
+                    )
+                    if not confident:
+                        return PathResult(
+                            PathOutcome.NEW_DIVERGE, instructions=fetched
+                        )
+            fetched += plan.n
+            # _step_walker over the plan's successor references.
+            if term_kind == TERM_BR:
+                prediction = predict(plan.term_pc)
+                taken = prediction.taken
+                spec_update(taken)
+                if taken:
+                    self._advance_fetch_cycle()  # taken ends the cycle
+                    current = plan.taken_block
+                else:
+                    current = plan.fall_block
+            elif term_kind == TERM_NONE:
+                current = plan.fall_block
+            else:
+                self._advance_fetch_cycle()  # jmp/call/ret redirect
+                if term_kind == TERM_JMP:
+                    current = plan.target_block
+                elif term_kind == TERM_CALL:
+                    if plan.fallthrough_name is not None:
+                        call_stack.append(
+                            (cur_function, plan.fallthrough_name)
+                        )
+                    cur_function = plan.callee_name
+                    current = plan.callee_block
+                else:  # TERM_RET
+                    if not call_stack:
+                        current = None  # walked off the program
+                    else:
+                        cur_function, return_block = call_stack.pop()
+                        current = self.program.function(
+                            cur_function
+                        ).block(return_block)
+
     def _fetch_static_dpred_block(self, block) -> None:
         """Fetch and 'execute' one predicate-FALSE block: the instructions
         occupy fetch/window/retire resources and are counted, but their
@@ -983,6 +1194,83 @@ class PredicationAwareSimulator(TimingSimulator):
             # of the reorder-buffer ring (see _dispatch_uop's rationale).
             self.stats.executed_instructions += 1
             self.stats.predicated_false_instructions += 1
+
+    def _fetch_static_dpred_block_fast(self, block) -> None:
+        """:meth:`_fetch_static_dpred_block` over the block's plan:
+        identical accounting (including the window-full stall — these
+        instructions check the reorder buffer but never allocate into
+        it), with the fetch state on locals and batched stats."""
+        plan = block._plan
+        if plan is None:
+            plan = self.analysis.block_plan(block)
+        rows = plan.rows
+        if not rows:
+            return
+        cycle = self.cycle
+        slots = self.slots
+        branches_left = self.branches_left
+        seq = self.seq
+        dual_until = self.dual_until
+        retire_ring = self.retire_ring
+        reg_ready = self.reg_ready
+        depth = self._pipeline_depth
+        rob_size = self._rob_size
+        fetch_width = self._fetch_width
+        half_width = self._half_width
+        max_branches = self._max_branches
+        # rat.rename_dest, inlined (see _fetch_trace_block_fast: nothing
+        # rebinds the RAT's lists inside a block fetch).
+        rat = self.rat
+        rat_mapping = rat._mapping
+        rat_modified = rat._modified
+        next_tag = rat._next_tag
+        l1d_latency = self.hierarchy.l1d.latency
+        executed = 0
+        for cond, kind, _latency, latency1, dest, srcs in rows:
+            if seq >= rob_size:
+                oldest = retire_ring[seq % rob_size]
+                if cycle < oldest:
+                    cycle = oldest  # max(cycle + 1, oldest) with cycle < oldest
+                    slots = (
+                        half_width if cycle <= dual_until else fetch_width
+                    )
+                    branches_left = max_branches
+            if cond:
+                if slots <= 0 or branches_left <= 0:
+                    cycle += 1
+                    slots = (
+                        half_width if cycle <= dual_until else fetch_width
+                    )
+                    branches_left = max_branches
+                branches_left -= 1
+            elif slots <= 0:
+                cycle += 1
+                slots = half_width if cycle <= dual_until else fetch_width
+                branches_left = max_branches
+            slots -= 1
+            base = cycle + depth
+            for src in srcs:
+                ready = reg_ready[src]
+                if ready > base:
+                    base = ready
+            if kind == 1:  # KIND_LOAD: false-path loads charge an L1 hit
+                completion = base + l1d_latency
+            else:
+                completion = base + latency1
+            if dest >= 0:
+                rat_mapping[dest] = next_tag
+                rat_modified[dest] = True
+                next_tag += 1
+                reg_ready[dest] = completion
+            executed += 1
+        self.cycle = cycle
+        self.slots = slots
+        self.branches_left = branches_left
+        rat._next_tag = next_tag
+        stats = self.stats
+        stats.fetched_wrong_cd += executed
+        stats.executed_instructions += executed
+        stats.predicated_false_instructions += executed
 
     # ------------------------------------------------------------------
     # Helpers

@@ -6,12 +6,15 @@
 * :mod:`repro.harness.fingerprint` — canonical experiment fingerprints
   (the cache/memo keys; never ``repr``);
 * :mod:`repro.harness.cache` — persistent, checksummed artifact cache;
+* :mod:`repro.harness.bench` — engine throughput microbenchmark and
+  perf-regression gate (``repro bench``);
 * :mod:`repro.harness.parallel` — process-pool fan-out of simulations;
 * :mod:`repro.harness.tables` — text rendering of result tables;
 * :mod:`repro.harness.figures` — one driver per paper figure/table, each
   returning the data series the paper plots.
 """
 
+from repro.harness import bench
 from repro.harness.cache import ArtifactCache, CacheCounters
 from repro.harness.experiment import (
     BenchmarkContext,
@@ -30,6 +33,7 @@ from repro.harness import figures
 
 __all__ = [
     "ArtifactCache",
+    "bench",
     "BenchmarkContext",
     "CacheCounters",
     "SuiteResult",

@@ -1,0 +1,246 @@
+"""Engine microbenchmark harness behind ``repro bench``.
+
+Measures simulated-instructions-per-second for each benchmark x machine
+configuration in three cells:
+
+``reference_cold``
+    the straight-line reference engine, static-analysis caches cleared
+    before every repeat;
+``fast_cold``
+    the pre-decoded block-plan engine, caches cleared before every
+    repeat (so plan building is charged to the run);
+``fast_warm``
+    the fast engine with the program-scoped analysis (block plans,
+    postdominators, reconvergence points) already built.
+
+Every fast cell is differentially checked against the reference stats —
+a cell is only reported with ``identical: true`` if the two engines'
+:class:`~repro.uarch.stats.SimStats` match bit for bit.
+
+Timing uses :func:`time.process_time` (CPU time, immune to the wall
+clock noise of shared hosts) and keeps the best of ``repeats`` runs.
+Raw instructions-per-second is machine-dependent, so regression
+checking (:func:`compare`) works on the *speedup ratios* between the
+engines, which transfer across hosts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import platform
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.cfg.analysis import ProgramAnalysis
+from repro.core.processors import simulate
+from repro.harness.experiment import BenchmarkContext
+from repro.uarch.config import MachineConfig
+
+#: JSON schema tag, bumped on incompatible report layout changes.
+SCHEMA = "repro-bench/1"
+
+#: Machine configurations the bench knows how to build.  The perfect-
+#: predictor variants are excluded: they exercise the same engine code
+#: paths with less work, which only adds noise to the matrix.
+CONFIG_FACTORIES = {
+    "base": MachineConfig.baseline,
+    "dhp": MachineConfig.dhp,
+    "dmp": MachineConfig.dmp,
+    "dmp-enhanced": lambda: MachineConfig.dmp(enhanced=True),
+    "dualpath": MachineConfig.dualpath,
+}
+
+DEFAULT_BENCHMARKS = ("parser", "gzip", "mcf")
+DEFAULT_CONFIGS = ("base", "dmp-enhanced", "dhp", "dualpath")
+DEFAULT_ITERATIONS = 500
+DEFAULT_REPEATS = 3
+
+#: The quick matrix the CI job runs (see ``repro bench --smoke``).
+SMOKE_BENCHMARKS = ("parser", "gzip")
+SMOKE_CONFIGS = ("base", "dmp-enhanced")
+SMOKE_ITERATIONS = 300
+SMOKE_REPEATS = 2
+
+
+def geomean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def _measure_cell(context: BenchmarkContext, ref_config: MachineConfig,
+                  fast_config: MachineConfig, repeats: int):
+    """Best-of-``repeats`` CPU seconds for the three cells of one
+    (benchmark, config) pair.
+
+    The reference, fast-cold and fast-warm runs are *interleaved* within
+    each repeat rather than measured phase by phase: host speed drifts
+    on the timescale of seconds, and interleaving exposes every engine
+    to the same drift so the speedup *ratio* stays honest.  Bypasses the
+    harness's stats memo on purpose — the memo would turn every repeat
+    after the first into a dict lookup.
+    """
+    hints = context.hints_for(ref_config)
+    warm_words = context.workload.memory.warm_words()
+    program, trace = context.program, context.trace
+
+    def timed(config):
+        t0 = time.process_time()
+        stats = simulate(program, trace, config, hints=hints,
+                         benchmark=context.name, warm_words=warm_words)
+        return time.process_time() - t0, stats
+
+    best = [math.inf, math.inf, math.inf]
+    stats = [None, None, None]
+    for _ in range(repeats):
+        ProgramAnalysis.reset(program)
+        ref_s, stats[0] = timed(ref_config)
+        ProgramAnalysis.reset(program)
+        fast_s, stats[1] = timed(fast_config)
+        # Analysis caches are warm from the run just above.
+        warm_s, stats[2] = timed(fast_config)
+        for i, elapsed in enumerate((ref_s, fast_s, warm_s)):
+            if elapsed < best[i]:
+                best[i] = elapsed
+    return best, stats
+
+
+def run_bench(
+    benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
+    configs: Sequence[str] = DEFAULT_CONFIGS,
+    iterations: int = DEFAULT_ITERATIONS,
+    seed: int = 0,
+    repeats: int = DEFAULT_REPEATS,
+    cache=None,
+    progress=None,
+) -> Dict:
+    """Run the engine benchmark matrix and return the report dict."""
+    unknown = [c for c in configs if c not in CONFIG_FACTORIES]
+    if unknown:
+        raise ValueError(f"unknown bench configs: {', '.join(unknown)}")
+    say = progress or (lambda msg: None)
+    cells: List[Dict] = []
+    for name in benchmarks:
+        context = BenchmarkContext(name, iterations=iterations, seed=seed,
+                                   cache=cache)
+        for config_name in configs:
+            base_config = CONFIG_FACTORIES[config_name]()
+            ref_config = base_config.replace(engine="reference")
+            fast_config = base_config.replace(engine="fast")
+            (ref_s, fast_s, warm_s), (ref_stats, fast_stats, warm_stats) = (
+                _measure_cell(context, ref_config, fast_config, repeats)
+            )
+            identical = (
+                dataclasses.asdict(ref_stats) == dataclasses.asdict(fast_stats)
+                and dataclasses.asdict(ref_stats)
+                == dataclasses.asdict(warm_stats)
+            )
+            insts = ref_stats.retired_instructions
+            cell = {
+                "benchmark": name,
+                "config": config_name,
+                "retired_instructions": insts,
+                "identical": identical,
+                "reference_cold_s": ref_s,
+                "fast_cold_s": fast_s,
+                "fast_warm_s": warm_s,
+                "reference_cold_ips": insts / ref_s if ref_s else 0.0,
+                "fast_cold_ips": insts / fast_s if fast_s else 0.0,
+                "fast_warm_ips": insts / warm_s if warm_s else 0.0,
+                "speedup_cold": ref_s / fast_s if fast_s else 0.0,
+                "speedup_warm": ref_s / warm_s if warm_s else 0.0,
+            }
+            cells.append(cell)
+            say(f"{name:8s} {config_name:12s} "
+                f"ref {ref_s:6.3f}s  fast {fast_s:6.3f}s  "
+                f"warm {warm_s:6.3f}s  "
+                f"speedup {cell['speedup_cold']:.2f}x/"
+                f"{cell['speedup_warm']:.2f}x  "
+                f"identical={identical}")
+    summary = {
+        "geomean_speedup_cold": geomean(c["speedup_cold"] for c in cells),
+        "geomean_speedup_warm": geomean(c["speedup_warm"] for c in cells),
+        "all_identical": all(c["identical"] for c in cells),
+    }
+    return {
+        "schema": SCHEMA,
+        "parameters": {
+            "benchmarks": list(benchmarks),
+            "configs": list(configs),
+            "iterations": iterations,
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+        "cells": cells,
+        "summary": summary,
+    }
+
+
+def _cell_map(report: Dict) -> Dict:
+    return {(c["benchmark"], c["config"]): c for c in report["cells"]}
+
+
+def compare(current: Dict, baseline: Dict,
+            max_regression: float = 0.25) -> List[str]:
+    """Regressions of ``current`` against a ``baseline`` report.
+
+    Raw instructions-per-second depends on the host, so the comparison
+    is between *speedup ratios* (fast vs reference on the same host at
+    the same moment): a cell regresses when its cold speedup falls more
+    than ``max_regression`` below the baseline's for the same
+    (benchmark, config) pair.  Cells present on only one side are
+    skipped; a fast/reference stats mismatch is always a failure.
+    Returns a list of human-readable violations (empty = pass).
+    """
+    problems: List[str] = []
+    for cell in current["cells"]:
+        if not cell["identical"]:
+            problems.append(
+                f"{cell['benchmark']}/{cell['config']}: fast engine stats "
+                f"diverge from the reference engine"
+            )
+    base_cells = _cell_map(baseline)
+    for key, cell in _cell_map(current).items():
+        base = base_cells.get(key)
+        if base is None or base["speedup_cold"] <= 0:
+            continue
+        ratio = cell["speedup_cold"] / base["speedup_cold"]
+        if ratio < 1.0 - max_regression:
+            problems.append(
+                f"{key[0]}/{key[1]}: cold speedup {cell['speedup_cold']:.2f}x "
+                f"is {1 - ratio:.0%} below baseline "
+                f"{base['speedup_cold']:.2f}x "
+                f"(allowed {max_regression:.0%})"
+            )
+    cur_g = current["summary"]["geomean_speedup_cold"]
+    base_g = baseline["summary"]["geomean_speedup_cold"]
+    if base_g > 0 and cur_g / base_g < 1.0 - max_regression:
+        problems.append(
+            f"overall: geomean cold speedup {cur_g:.2f}x is "
+            f"{1 - cur_g / base_g:.0%} below baseline {base_g:.2f}x"
+        )
+    return problems
+
+
+def load_report(path) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported bench schema {report.get('schema')!r}"
+        )
+    return report
+
+
+def save_report(report: Dict, path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

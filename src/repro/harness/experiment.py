@@ -25,6 +25,7 @@ import dataclasses
 import time
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from repro.cfg.analysis import ProgramAnalysis
 from repro.core.processors import simulate
 from repro.errors import HintValidationError, ReproError
 from repro.harness.cache import ArtifactCache, CacheCounters
@@ -86,6 +87,7 @@ class BenchmarkContext:
         self._hammock_hints: Optional[HintTable] = None
         self._wish_hints: Optional[HintTable] = None
         self._sim_cache: Dict[str, SimStats] = {}
+        self._analysis_loaded = False
         #: Wall-clock seconds spent in each stage *by this process*.
         self.stage_seconds: Dict[str, float] = {
             "build": 0.0, "profile": 0.0, "simulate": 0.0,
@@ -355,6 +357,32 @@ class BenchmarkContext:
         if self._cache is not None:
             self._cache.store_pickle("sim", f"{self.fingerprint}-{key}", stats)
 
+    def _load_analysis(self) -> None:
+        """Adopt persisted static-analysis tables (postdominators,
+        reconvergence PCs) for this program, once per context.  Plans
+        are rebuilt locally — they hold live object references."""
+        if self._analysis_loaded:
+            return
+        self._analysis_loaded = True
+        if self._cache is None:
+            return
+        tables = self._cache.load_pickle("analysis", self.fingerprint)
+        if tables is not None:
+            analysis = ProgramAnalysis.of(self.program)
+            if analysis.adopt_tables(tables):
+                analysis.mark_clean()
+
+    def _store_analysis(self) -> None:
+        """Persist analysis tables computed by the run just finished."""
+        if self._cache is None:
+            return
+        analysis = ProgramAnalysis.of(self.program)
+        if analysis.dirty:
+            self._cache.store_pickle(
+                "analysis", self.fingerprint, analysis.export_tables()
+            )
+            analysis.mark_clean()
+
     def simulate(self, config: MachineConfig) -> SimStats:
         """Simulate under one configuration (memoized: the same config is
         returned from cache, so figure drivers can share runs).
@@ -369,6 +397,7 @@ class BenchmarkContext:
             return stats
         hints = self.hints_for(config)  # timed as "profile" if first use
         warm = self.workload.memory.warm_words()
+        self._load_analysis()
         t0 = time.perf_counter()
         stats = simulate(
             self.program,
@@ -380,6 +409,7 @@ class BenchmarkContext:
         )
         self._timed("simulate", t0)
         self.sims_run += 1
+        self._store_analysis()
         self.store_stats(config, stats)
         return stats
 

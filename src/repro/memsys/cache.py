@@ -8,8 +8,7 @@ give the default of 8).
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Dict
+from typing import Dict, List
 
 
 class Cache:
@@ -32,36 +31,39 @@ class Cache:
         self.associativity = associativity
         self.num_sets = num_lines // associativity
         self.latency = latency
-        self._sets: Dict[int, OrderedDict] = {}
+        # One insertion-ordered dict per set: oldest entry first, so LRU
+        # update is delete+reinsert and eviction is "remove the first
+        # key" — the same order an OrderedDict with move_to_end /
+        # popitem(last=False) maintains, on the cheaper builtin dict.
+        self._sets: List[Dict[int, bool]] = [
+            {} for _ in range(self.num_sets)
+        ]
         self.hits = 0
         self.misses = 0
 
-    def _locate(self, address: int):
-        line = address // self.line_words
-        return line % self.num_sets, line
-
     def access(self, address: int) -> bool:
         """Access a word; returns True on hit.  Misses allocate the line."""
-        set_index, line = self._locate(address)
-        entry_set = self._sets.setdefault(set_index, OrderedDict())
+        line = address // self.line_words
+        entry_set = self._sets[line % self.num_sets]
         if line in entry_set:
-            entry_set.move_to_end(line)
+            del entry_set[line]
+            entry_set[line] = True
             self.hits += 1
             return True
         self.misses += 1
         if len(entry_set) >= self.associativity:
-            entry_set.popitem(last=False)
+            del entry_set[next(iter(entry_set))]
         entry_set[line] = True
         return False
 
     def probe(self, address: int) -> bool:
         """Check residency without touching LRU or counters."""
-        set_index, line = self._locate(address)
-        entry_set = self._sets.get(set_index)
-        return entry_set is not None and line in entry_set
+        line = address // self.line_words
+        return line in self._sets[line % self.num_sets]
 
     def invalidate_all(self) -> None:
-        self._sets.clear()
+        for entry_set in self._sets:
+            entry_set.clear()
 
     @property
     def accesses(self) -> int:

@@ -13,7 +13,6 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.cfg.graph import BasicBlock
-from repro.isa.instructions import Opcode
 
 
 class BlockExec:
@@ -71,11 +70,11 @@ class Trace:
             self.branch_count += 1
             if record.taken:
                 self.taken_count += 1
-        for instr in block.instructions:
-            if instr.opcode == Opcode.LOAD:
-                self.load_count += 1
-            elif instr.opcode == Opcode.STORE:
-                self.store_count += 1
+        # Counters, not an O(block length) scan: the block computes its
+        # (loads, stores) pair once and every dynamic append reuses it.
+        loads, stores = block.mem_profile()
+        self.load_count += loads
+        self.store_count += stores
 
     def __len__(self) -> int:
         return len(self.records)

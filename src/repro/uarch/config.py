@@ -73,6 +73,14 @@ class MachineConfig:
     #: the default.  Both are equally implementable (both GHRs are
     #: checkpointed during dynamic predication).
     dpred_ghr_policy: str = "predicted"
+    #: Simulation engine: ``"fast"`` (default) runs the pre-decoded
+    #: block-plan inner loops (:mod:`repro.uarch.plan`);
+    #: ``"reference"`` keeps the original per-instruction loops.  Both
+    #: produce bit-identical :class:`~repro.uarch.stats.SimStats`
+    #: (asserted by tests/core/test_engine_differential.py), and the
+    #: choice deliberately does not appear in :meth:`describe` so the
+    #: stats of the two engines compare equal field-for-field.
+    engine: str = "fast"
     # Memory
     memory_latency: int = 300
     #: Sequential-stream prefetch depth on L1D misses (0 disables); an
@@ -101,6 +109,10 @@ class MachineConfig:
         if self.multiple_diverge_policy not in ("restart", "nested"):
             raise ValueError(
                 "multiple_diverge_policy must be 'restart' or 'nested'"
+            )
+        if self.engine not in ("fast", "reference"):
+            raise ValueError(
+                f"engine must be 'fast' or 'reference', got {self.engine!r}"
             )
         if self.fetch_width <= 0 or self.rob_size <= 0:
             raise ValueError("widths and sizes must be positive")

@@ -107,16 +107,14 @@ class RegisterAliasTable:
         whose physical mappings differ yields one select-uop.
         """
         selects = []
-        for arch in range(self.num_regs):
-            either_modified = (
-                self._modified[arch] or predicted_end.modified[arch]
-            )
-            if not either_modified:
-                continue
-            pred_tag = predicted_end.mapping[arch]
-            alt_tag = self._mapping[arch]
-            if pred_tag != alt_tag:
-                selects.append(SelectRequest(arch, pred_tag, alt_tag))
+        modified = self._modified
+        pred_mapping = predicted_end.mapping
+        pred_modified = predicted_end.modified
+        for arch, alt_tag in enumerate(self._mapping):
+            if modified[arch] or pred_modified[arch]:
+                pred_tag = pred_mapping[arch]
+                if pred_tag != alt_tag:
+                    selects.append(SelectRequest(arch, pred_tag, alt_tag))
         return selects
 
     def apply_selects(self, selects: List[SelectRequest]) -> Dict[int, int]:

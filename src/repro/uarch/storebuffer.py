@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Optional
+from typing import Dict, List, Optional
 
 
 class ForwardDecision(enum.Enum):
@@ -82,6 +82,13 @@ class StoreBuffer:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._entries = deque()
+        # Per-address view of the same entries, insertion-ordered, so a
+        # load's forwarding search touches only same-address stores (the
+        # common no-match case is a single dict miss instead of a scan
+        # over the whole buffer).  The rules in :meth:`lookup` only ever
+        # match or skip same-address entries, so searching this view
+        # youngest-first is decision-identical to scanning the deque.
+        self._by_addr: Dict[int, List[StoreEntry]] = {}
         self.forwarded = 0
         self.waited = 0
 
@@ -105,12 +112,21 @@ class StoreBuffer:
         forwarding once the ready cycle has passed.
         """
         if len(self._entries) >= self.capacity:
-            self._entries.popleft()
+            evicted = self._entries.popleft()
+            bucket = self._by_addr[evicted.address]
+            bucket.remove(evicted)
+            if not bucket:
+                del self._by_addr[evicted.address]
         entry = StoreEntry(
             address, seq, data_ready_cycle, predicate_id, predicate_ready_cycle
         )
         entry.predicate_value = predicate_value
         self._entries.append(entry)
+        bucket = self._by_addr.get(address)
+        if bucket is None:
+            self._by_addr[address] = [entry]
+        else:
+            bucket.append(entry)
         return entry
 
     @staticmethod
@@ -128,6 +144,7 @@ class StoreBuffer:
         the number of entries affected.
         """
         affected = 0
+        dropped = False
         kept = deque()
         for entry in self._entries:
             if entry.predicate_id == predicate_id:
@@ -135,10 +152,23 @@ class StoreBuffer:
                 entry.predicate_ready_cycle = None  # visible immediately
                 affected += 1
                 if not value:
+                    dropped = True
                     continue  # dropped
             kept.append(entry)
         self._entries = kept
+        if dropped:
+            self._rebuild_index()
         return affected
+
+    def _rebuild_index(self) -> None:
+        by_addr: Dict[int, List[StoreEntry]] = {}
+        for entry in self._entries:
+            bucket = by_addr.get(entry.address)
+            if bucket is None:
+                by_addr[entry.address] = [entry]
+            else:
+                bucket.append(entry)
+        self._by_addr = by_addr
 
     def lookup(
         self,
@@ -148,8 +178,11 @@ class StoreBuffer:
         current_cycle: int = 0,
     ) -> ForwardResult:
         """Apply the Section 2.5 forwarding rules for a load."""
-        for entry in reversed(self._entries):  # youngest older store first
-            if entry.seq >= load_seq or entry.address != address:
+        bucket = self._by_addr.get(address)
+        if not bucket:
+            return ForwardResult(ForwardDecision.MEMORY)
+        for entry in reversed(bucket):  # youngest older store first
+            if entry.seq >= load_seq:
                 continue
             if not entry.is_predicated:
                 self.forwarded += 1
@@ -190,4 +223,6 @@ class StoreBuffer:
             else:
                 kept.append(entry)
         self._entries = kept
+        if drained:
+            self._rebuild_index()
         return drained

@@ -26,7 +26,7 @@ which subclasses this and overrides :meth:`_maybe_enter_dpred`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.branch import make_predictor
 from repro.branch.btb import BranchTargetBuffer
@@ -34,7 +34,7 @@ from repro.branch.perfect import PerfectPredictor
 from repro.branch.ras import ReturnAddressStack
 from repro.confidence import make_estimator
 from repro.confidence.perfect import PerfectConfidenceEstimator
-from repro.cfg.dominators import immediate_postdominators
+from repro.cfg.analysis import ProgramAnalysis
 from repro.isa.encoding import HintTable
 from repro.isa.instructions import Instruction, Opcode
 from repro.isa.registers import NUM_ARCH_REGS
@@ -43,6 +43,14 @@ from repro.program.program import Program
 from repro.program.trace import Trace
 from repro.uarch.config import MachineConfig
 from repro.uarch.frontend import StaticWalker, TraceCursor
+from repro.uarch.plan import (
+    KIND_LOAD,
+    TERM_BR,
+    TERM_CALL,
+    TERM_JMP,
+    TERM_NONE,
+    TERM_RET,
+)
 from repro.uarch.rat import RegisterAliasTable
 from repro.uarch.stats import SimStats
 from repro.uarch.storebuffer import ForwardDecision, StoreBuffer
@@ -103,6 +111,14 @@ class TimingSimulator:
         )
         self.btb = BranchTargetBuffer(self.config.btb_entries)
         self.ras = ReturnAddressStack(self.config.ras_depth)
+        # Oracle components need per-branch hand-feeding; predictors are
+        # never swapped after construction, so test once here instead of
+        # isinstance-checking on every branch.
+        self._predictor_is_perfect = isinstance(self.predictor, PerfectPredictor)
+        self._confidence_is_perfect = isinstance(
+            self.confidence, PerfectConfidenceEstimator
+        )
+        self._is_dualpath = self.config.mode == "dualpath"
         # Memory system
         self.hierarchy = CacheHierarchy(
             memory=MainMemory(latency=self.config.memory_latency),
@@ -121,6 +137,14 @@ class TimingSimulator:
         self.rat = RegisterAliasTable()
         self.reg_ready: List[int] = [0] * NUM_ARCH_REGS
         self.store_buffer = StoreBuffer(self.config.store_buffer_size)
+        # Invariant configuration, hoisted out of the per-instruction
+        # loops (the config is frozen for the lifetime of a simulator).
+        self._pipeline_depth = self.config.pipeline_depth
+        self._fetch_width = self.config.fetch_width
+        self._half_width = max(1, self.config.fetch_width // 2)
+        self._max_branches = self.config.max_branches_per_cycle
+        self._retire_width = self.config.retire_width
+        self._rob_size = self.config.rob_size
         # Fetch state
         self.cycle = 0
         self.slots = self.config.fetch_width
@@ -136,9 +160,18 @@ class TimingSimulator:
         # static walkers seed their shadow return-address stacks from it so
         # wrong paths can flow through RETs the way a real RAS allows.
         self.call_context: List[Tuple[str, str]] = []
-        # Derived structures
-        self._ipostdom_pc: Dict[Tuple[str, str], Optional[int]] = {}
-        self._function_ipostdoms: Dict[str, Dict[str, Optional[str]]] = {}
+        # Derived structures, shared by every simulator of this program
+        # (postdominators, reconvergence PCs, decoded block plans).
+        self.analysis = ProgramAnalysis.of(program)
+        self._trace_pcs: Optional[Tuple[int, ...]] = None
+        # Engine selection: the fast engine rebinds the hot inner loops
+        # to their pre-decoded block-plan implementations; "reference"
+        # keeps the original per-instruction loops for differential
+        # checking (both produce bit-identical SimStats).
+        if self.config.engine == "fast":
+            self._fetch_trace_block = self._fetch_trace_block_fast
+            self._walk_wrong_path = self._walk_wrong_path_fast
+            self._handle_trace_branch = self._handle_trace_branch_fast
         # Robustness instrumentation (docs/robustness.md).  Imported
         # lazily: the validation package pulls in the fault harness,
         # which must not load during ordinary simulator imports.
@@ -163,6 +196,8 @@ class TimingSimulator:
     # ------------------------------------------------------------------
 
     def run(self) -> SimStats:
+        if self.config.engine == "fast":
+            return self._run_fast()
         cursor = TraceCursor(self.trace)
         oracle = self.oracle
         watchdog = self.watchdog
@@ -189,6 +224,50 @@ class TimingSimulator:
             oracle.finalize(self.stats, self.trace)
         return self.stats
 
+    def _run_fast(self) -> SimStats:
+        """The ``run`` loop over pre-decoded block plans.
+
+        Same structure, same call sequence into every stateful component
+        (caches, predictors, store buffer, oracle, watchdog) as the
+        reference loop above — only the static-fact lookups differ."""
+        cursor = TraceCursor(self.trace)
+        records = self.trace.records
+        n_records = len(records)
+        oracle = self.oracle
+        watchdog = self.watchdog
+        block_plan = self.analysis.block_plan
+        fetch_trace_block = self._fetch_trace_block
+        inst_access = self.hierarchy.inst_access
+        l1i_latency = self.hierarchy.l1i.latency
+        while cursor.index < n_records:
+            before = cursor.index
+            record = records[before]
+            block = record.block
+            plan = block._plan
+            if plan is None:
+                plan = block_plan(block, record.function)
+            first_pc = plan.first_pc
+            # _icache_fetch, inlined (the hit path adds no cycles).
+            extra = inst_access(first_pc // 8) - l1i_latency
+            if extra > 0:
+                self._advance_fetch_cycle(self.cycle + extra)
+            if plan.term_kind == TERM_BR:
+                fetch_trace_block(record, skip_terminator=True)
+                self._handle_trace_branch(cursor, record)
+            else:
+                fetch_trace_block(record)
+                self._transfer_fast(plan)
+                cursor.index = before + 1
+            if oracle is not None:
+                oracle.note_advance(before, cursor.index)
+            if watchdog is not None:
+                watchdog.check(self, where="main-fetch", pc=first_pc)
+        self.stats.cycles = max(self.last_retire_cycle, self.cycle)
+        self.stats.retired_instructions = self.trace.instruction_count
+        if oracle is not None:
+            oracle.finalize(self.stats, self.trace)
+        return self.stats
+
     # ------------------------------------------------------------------
     # Fetch engine
     # ------------------------------------------------------------------
@@ -198,11 +277,12 @@ class TimingSimulator:
             self.cycle += 1
         else:
             self.cycle = max(self.cycle + 1, to_cycle)
-        width = self.config.fetch_width
-        if self.cycle <= self.dual_until:
-            width = max(1, width // 2)
-        self.slots = width
-        self.branches_left = self.config.max_branches_per_cycle
+        self.slots = (
+            self._half_width
+            if self.cycle <= self.dual_until
+            else self._fetch_width
+        )
+        self.branches_left = self._max_branches
 
     def _fetch_slot(self, is_cond_branch: bool, occupies_rob: bool = True) -> int:
         """Allocate one fetch slot, advancing the fetch cycle as required.
@@ -210,8 +290,8 @@ class TimingSimulator:
         Returns the fetch cycle.  ``occupies_rob`` gates the window-full
         stall (wrong-path instructions are squashed before they can block
         the window for long, so their walk skips the check)."""
-        if occupies_rob and self.seq >= self.config.rob_size:
-            oldest_retire = self.retire_ring[self.seq % self.config.rob_size]
+        if occupies_rob and self.seq >= self._rob_size:
+            oldest_retire = self.retire_ring[self.seq % self._rob_size]
             if self.cycle < oldest_retire:
                 self._advance_fetch_cycle(oldest_retire)
         if self.slots <= 0 or (is_cond_branch and self.branches_left <= 0):
@@ -252,14 +332,14 @@ class TimingSimulator:
         if cycle < self.last_retire_cycle:
             cycle = self.last_retire_cycle
         if cycle == self.last_retire_cycle:
-            if self.retire_count >= self.config.retire_width:
+            if self.retire_count >= self._retire_width:
                 cycle += 1
                 self.retire_count = 0
         else:
             self.retire_count = 0
         self.last_retire_cycle = cycle
         self.retire_count += 1
-        self.retire_ring[self.seq % self.config.rob_size] = cycle
+        self.retire_ring[self.seq % self._rob_size] = cycle
         self.seq += 1
         return cycle
 
@@ -274,7 +354,7 @@ class TimingSimulator:
         flushing in-flight control-independent loads (wrong-path loads
         carry no addresses here).  Charging the occupancy without the
         benefit would double-penalize predication — see DESIGN.md."""
-        completion = max(self.cycle + self.config.pipeline_depth,
+        completion = max(self.cycle + self._pipeline_depth,
                          sources_ready) + latency
         return completion
 
@@ -300,20 +380,24 @@ class TimingSimulator:
         instructions = block.instructions
         if skip_terminator:
             instructions = instructions[:-1]
-        mem_iter = iter(record.mem_addrs)
+        mem_addrs = record.mem_addrs
+        mem_pos = 0
         last_completion = 0
-        depth = self.config.pipeline_depth
+        depth = self._pipeline_depth
         for instr in instructions:
             fetch_cycle = self._fetch_slot(instr.is_cond_branch)
             self.stats.fetched_correct += 1
             base = max(fetch_cycle + depth, self._sources_ready(instr))
             if instr.is_load:
+                address = mem_addrs[mem_pos]
+                mem_pos += 1
                 completion = self._execute_load(
-                    instr, next(mem_iter), base, predicate_id
+                    instr, address, base, predicate_id
                 )
             elif instr.is_store:
                 completion = base + 1
-                address = next(mem_iter)
+                address = mem_addrs[mem_pos]
+                mem_pos += 1
                 self.store_buffer.insert(
                     address,
                     self.seq,
@@ -335,6 +419,165 @@ class TimingSimulator:
                 self.stats.predicated_false_instructions += 1
             last_completion = completion
         return last_completion
+
+    def _fetch_trace_block_fast(
+        self,
+        record,
+        skip_terminator: bool = False,
+        predicate_id: Optional[int] = None,
+        predicate_is_false: bool = False,
+        predicate_ready: Optional[int] = None,
+    ) -> int:
+        """:meth:`_fetch_trace_block` over the block's pre-decoded plan.
+
+        Identical arithmetic and identical call sequence into every
+        stateful component (store buffer, cache hierarchy, RAT); the
+        fetch/retire bookkeeping runs on locals and is written back once
+        at the end, and the per-instruction stats increments are batched
+        into per-block adds."""
+        block = record.block
+        plan = block._plan
+        if plan is None:
+            plan = self.analysis.block_plan(block, record.function)
+        rows = plan.body_rows if skip_terminator else plan.rows
+        if not rows:
+            return 0
+        # Hot state, bound to locals for the duration of the block.
+        cycle = self.cycle
+        slots = self.slots
+        branches_left = self.branches_left
+        seq = self.seq
+        last_retire = self.last_retire_cycle
+        retire_count = self.retire_count
+        dual_until = self.dual_until
+        retire_ring = self.retire_ring
+        reg_ready = self.reg_ready
+        depth = self._pipeline_depth
+        rob_size = self._rob_size
+        fetch_width = self._fetch_width
+        half_width = self._half_width
+        max_branches = self._max_branches
+        retire_width = self._retire_width
+        # rat.rename_dest, inlined: nothing inside a block fetch rebinds
+        # the RAT's lists (only dpred control code between blocks does),
+        # so the list references stay valid for the whole loop.
+        rat = self.rat
+        rat_mapping = rat._mapping
+        rat_modified = rat._modified
+        next_tag = rat._next_tag
+        sb_lookup = self.store_buffer.lookup
+        sb_insert = self.store_buffer.insert
+        data_access = self.hierarchy.data_access
+        l1d_latency = self.hierarchy.l1d.latency
+        forward_code = ForwardDecision.FORWARD
+        wait_code = ForwardDecision.WAIT
+        mem_addrs = record.mem_addrs
+        mem_pos = 0
+        pred_value = None if predicate_id is None else not predicate_is_false
+        load_waits = 0
+        completion = 0
+        # seq advances by one per row, so the ROB ring position does too.
+        ring_pos = seq % rob_size
+        for cond, kind, latency, _lat1, dest, srcs in rows:
+            # _fetch_slot, inlined.
+            if seq >= rob_size:
+                oldest = retire_ring[ring_pos]
+                if cycle < oldest:
+                    cycle = cycle + 1 if cycle >= oldest else oldest
+                    slots = (
+                        half_width if cycle <= dual_until else fetch_width
+                    )
+                    branches_left = max_branches
+            if cond:
+                if slots <= 0 or branches_left <= 0:
+                    cycle += 1
+                    slots = (
+                        half_width if cycle <= dual_until else fetch_width
+                    )
+                    branches_left = max_branches
+                branches_left -= 1
+            elif slots <= 0:
+                cycle += 1
+                slots = half_width if cycle <= dual_until else fetch_width
+                branches_left = max_branches
+            slots -= 1
+            # _sources_ready, inlined.
+            base = cycle + depth
+            for src in srcs:
+                ready = reg_ready[src]
+                if ready > base:
+                    base = ready
+            if kind == 0:  # KIND_ALU
+                completion = base + latency
+            elif kind == KIND_LOAD:
+                address = mem_addrs[mem_pos]
+                mem_pos += 1
+                # _execute_load, inlined.
+                forward = sb_lookup(
+                    address, seq, predicate_id, current_cycle=base
+                )
+                decision = forward.decision
+                if decision == forward_code:
+                    ready = forward.entry.data_ready_cycle
+                    completion = (ready if ready > base else base) + 1
+                elif decision == wait_code:
+                    load_waits += 1
+                    ready = forward.wait_until
+                    completion = (
+                        ready if ready > base else base
+                    ) + l1d_latency
+                else:
+                    completion = base + data_access(address)
+            else:  # KIND_STORE
+                completion = base + 1
+                address = mem_addrs[mem_pos]
+                mem_pos += 1
+                sb_insert(
+                    address,
+                    seq,
+                    completion,
+                    predicate_id=predicate_id,
+                    predicate_ready_cycle=predicate_ready,
+                    predicate_value=pred_value,
+                )
+            if dest >= 0:
+                rat_mapping[dest] = next_tag
+                rat_modified[dest] = True
+                next_tag += 1
+                reg_ready[dest] = completion
+            # _retire, inlined.
+            rcycle = completion + 1
+            if rcycle < last_retire:
+                rcycle = last_retire
+            if rcycle == last_retire:
+                if retire_count >= retire_width:
+                    rcycle += 1
+                    retire_count = 0
+            else:
+                retire_count = 0
+            last_retire = rcycle
+            retire_count += 1
+            retire_ring[ring_pos] = rcycle
+            seq += 1
+            ring_pos += 1
+            if ring_pos == rob_size:
+                ring_pos = 0
+        executed = len(rows)
+        self.cycle = cycle
+        self.slots = slots
+        self.branches_left = branches_left
+        self.seq = seq
+        self.last_retire_cycle = last_retire
+        self.retire_count = retire_count
+        rat._next_tag = next_tag
+        stats = self.stats
+        stats.fetched_correct += executed
+        stats.executed_instructions += executed
+        if load_waits:
+            stats.load_wait_on_predicate += load_waits
+        if predicate_is_false:
+            stats.predicated_false_instructions += executed
+        return completion
 
     def _execute_load(
         self,
@@ -359,7 +602,7 @@ class TimingSimulator:
         fetch_cycle = self._fetch_slot(True)
         self.stats.fetched_correct += 1
         completion = (
-            max(fetch_cycle + self.config.pipeline_depth,
+            max(fetch_cycle + self._pipeline_depth,
                 self._sources_ready(instr))
             + instr.latency
         )
@@ -396,14 +639,39 @@ class TimingSimulator:
                 # RAS underflow: the target is unknown until the return
                 # executes — a full pipeline refill.
                 self._advance_fetch_cycle(
-                    self.cycle + self.config.pipeline_depth
+                    self.cycle + self._pipeline_depth
+                )
+
+    def _transfer_fast(self, plan) -> None:
+        """:meth:`_handle_nonbranch_transfer` driven by the block plan's
+        precomputed terminator kind and target PCs."""
+        kind = plan.term_kind
+        if kind == TERM_NONE:
+            return
+        if kind == TERM_JMP:
+            self._taken_redirect(plan.term_pc, plan.target_pc)
+        elif kind == TERM_CALL:
+            if plan.fall_block is not None:
+                self.ras.push(plan.return_pc)
+                self.call_context.append(
+                    (plan.function, plan.fallthrough_name)
+                )
+            self._taken_redirect(plan.term_pc, plan.callee_pc)
+        elif kind == TERM_RET:
+            if self.call_context:
+                self.call_context.pop()
+            predicted = self.ras.pop()
+            self._advance_fetch_cycle()  # returns end the fetch cycle
+            if predicted is None:
+                self._advance_fetch_cycle(
+                    self.cycle + self._pipeline_depth
                 )
 
     def _handle_trace_branch(self, cursor: TraceCursor, record) -> None:
         """Predict, possibly predicate, and account the block's branch."""
         instr = record.block.instructions[-1]
         actual = record.taken
-        if isinstance(self.predictor, PerfectPredictor):
+        if self._predictor_is_perfect:
             self.predictor.set_oracle(actual)
         history_snapshot = self.predictor.snapshot()
         prediction = self.predictor.predict(instr.pc)
@@ -418,7 +686,7 @@ class TimingSimulator:
 
         # Normal predicted branch.
         self.predictor.spec_update(prediction.taken)
-        if isinstance(self.confidence, PerfectConfidenceEstimator):
+        if self._confidence_is_perfect:
             self.confidence.set_oracle(not context.mispredicted)
         low_confidence = not self.confidence.is_confident(
             instr.pc, history_snapshot
@@ -426,7 +694,7 @@ class TimingSimulator:
         self._train_branch(context)
 
         if (
-            self.config.mode == "dualpath"
+            self._is_dualpath
             and low_confidence
             and self.cycle > self.dual_until
             and self._fork_worthwhile(context)
@@ -442,6 +710,76 @@ class TimingSimulator:
             if prediction.taken:
                 taken_target = self._branch_taken_pc(record.block, instr)
                 self._taken_redirect(instr.pc, taken_target)
+        cursor.advance()
+
+    def _handle_trace_branch_fast(self, cursor: TraceCursor, record) -> None:
+        """:meth:`_handle_trace_branch` over the pre-decoded block plan:
+        the branch's own fetch/execute accounting is inlined against the
+        plan's terminator row, and the taken target comes from the plan
+        instead of a name lookup.  Same call sequence into the predictor,
+        confidence estimator, retirement ring, and dpred hook."""
+        block = record.block
+        plan = block._plan
+        if plan is None:
+            plan = self.analysis.block_plan(block, record.function)
+        instr = block.instructions[-1]
+        actual = record.taken
+        predictor = self.predictor
+        if self._predictor_is_perfect:
+            predictor.set_oracle(actual)
+        history_snapshot = predictor.snapshot()
+        prediction = predictor.predict(instr.pc)
+        # _fetch_branch_instruction, inlined over the terminator row.
+        fetch_cycle = self._fetch_slot(True)
+        stats = self.stats
+        stats.fetched_correct += 1
+        reg_ready = self.reg_ready
+        base = 0
+        for src in plan.rows[-1][5]:
+            ready = reg_ready[src]
+            if ready > base:
+                base = ready
+        depth_cycle = fetch_cycle + self._pipeline_depth
+        if depth_cycle > base:
+            base = depth_cycle
+        resolution = base + plan.rows[-1][2]
+        self._retire(resolution)
+        stats.executed_instructions += 1
+        context = BranchContext(
+            instr, record, prediction, actual, resolution, history_snapshot
+        )
+        stats.retired_branches += 1
+
+        if self._maybe_enter_dpred(cursor, context):
+            return
+
+        predictor.spec_update(prediction.taken)
+        mispredicted = prediction.taken != actual
+        if self._confidence_is_perfect:
+            self.confidence.set_oracle(not mispredicted)
+        low_confidence = not self.confidence.is_confident(
+            instr.pc, history_snapshot
+        )
+        predictor.train(prediction, actual)
+        self.confidence.update(
+            instr.pc, history_snapshot, was_correct=not mispredicted
+        )
+
+        if (
+            self._is_dualpath
+            and low_confidence
+            and self.cycle > self.dual_until
+            and self._fork_worthwhile(context)
+        ):
+            self._fork_dual_path(cursor, context)
+            return
+
+        if mispredicted:
+            stats.mispredictions += 1
+            self._mispredict_flush(context, cursor)
+            predictor.repair(prediction, actual)
+        elif prediction.taken:
+            self._taken_redirect(instr.pc, plan.taken_pc)
         cursor.advance()
 
     def _train_branch(self, context: BranchContext) -> None:
@@ -481,11 +819,14 @@ class TimingSimulator:
         the wrong path is control-independent once it rejoins them."""
         if cursor is None:
             return frozenset()
-        records = self.trace.records
-        stop = min(len(records), cursor.index + 1 + self._CI_LOOKAHEAD_BLOCKS)
-        return frozenset(
-            records[i].block.first_pc for i in range(cursor.index + 1, stop)
-        )
+        pcs = self._trace_pcs
+        if pcs is None:
+            pcs = self._trace_pcs = tuple(
+                record.block.instructions[0].pc
+                for record in self.trace.records
+            )
+        stop = min(len(pcs), cursor.index + 1 + self._CI_LOOKAHEAD_BLOCKS)
+        return frozenset(pcs[cursor.index + 1: stop])
 
     def _walk_wrong_path(
         self,
@@ -558,6 +899,136 @@ class TimingSimulator:
                 self._advance_fetch_cycle()  # jmp/call/ret redirect
             walker.step()
 
+    def _walk_wrong_path_fast(
+        self,
+        record,
+        wrong_taken: bool,
+        until_cycle: int,
+        cursor: Optional[TraceCursor] = None,
+    ) -> int:
+        """:meth:`_walk_wrong_path` over block plans: the static walk
+        follows the plans' precomputed successor references (the
+        ``StaticWalker`` transition rules, inlined) and the per-
+        instruction fetch-slot accounting runs on locals.  Wrong-path
+        instructions never occupy the reorder buffer, so the whole walk
+        touches only ``cycle``/``slots``/``branches_left`` — written
+        back before every watchdog check and at the end."""
+        analysis = self.analysis
+        block_plan = analysis.block_plan
+        function = record.function
+        plan = block_plan(record.block, function)
+        start = plan.taken_block if wrong_taken else plan.fall_block
+        if start is None:
+            return 0
+        reconv_pc = analysis.reconvergence_pc(function, record.block.name)
+        upcoming = self._upcoming_correct_pcs(cursor)
+        origin_pc = plan.first_pc
+        watchdog = self.watchdog
+        predictor = self.predictor
+        predict = predictor.predict
+        spec_update = predictor.spec_update
+        program = self.program
+        stats = self.stats
+        fetch_width = self._fetch_width
+        half_width = self._half_width
+        max_branches = self._max_branches
+        dual_until = self.dual_until
+        cycle = self.cycle
+        slots = self.slots
+        branches_left = self.branches_left
+        call_stack = list(self.call_context)
+        current = start
+        fetched = 0
+        reached_ci = False
+        guard = 0
+        while current is not None and cycle < until_cycle:
+            guard += 1
+            if guard > 10_000:
+                break
+            if watchdog is not None:
+                self.cycle = cycle
+                self.slots = slots
+                self.branches_left = branches_left
+                watchdog.check(self, where="wrong-path-walk", pc=origin_pc)
+            plan = current._plan
+            if plan is None:
+                plan = block_plan(current, function)
+            function = plan.function
+            if not reached_ci and (
+                plan.first_pc == reconv_pc or plan.first_pc in upcoming
+            ):
+                reached_ci = True
+            took = 0
+            for cond in plan.cond_flags:
+                if cycle >= until_cycle:
+                    break
+                # _fetch_slot(cond, occupies_rob=False), inlined.
+                if cond:
+                    if slots <= 0 or branches_left <= 0:
+                        cycle += 1
+                        slots = (
+                            half_width
+                            if cycle <= dual_until
+                            else fetch_width
+                        )
+                        branches_left = max_branches
+                    branches_left -= 1
+                elif slots <= 0:
+                    cycle += 1
+                    slots = (
+                        half_width if cycle <= dual_until else fetch_width
+                    )
+                    branches_left = max_branches
+                slots -= 1
+                took += 1
+            fetched += took
+            if reached_ci:
+                stats.fetched_wrong_ci += took
+            else:
+                stats.fetched_wrong_cd += took
+            # _step_walker, inlined over the plan's successor references.
+            kind = plan.term_kind
+            if kind == TERM_BR:
+                prediction = predict(plan.term_pc)
+                spec_update(prediction.taken)
+                if prediction.taken:
+                    cycle += 1
+                    slots = (
+                        half_width if cycle <= dual_until else fetch_width
+                    )
+                    branches_left = max_branches
+                    current = plan.taken_block
+                else:
+                    current = plan.fall_block
+            elif kind == TERM_NONE:
+                current = plan.fall_block
+            else:
+                # JMP / CALL / RET all end the fetch cycle.
+                cycle += 1
+                slots = half_width if cycle <= dual_until else fetch_width
+                branches_left = max_branches
+                if kind == TERM_JMP:
+                    current = plan.target_block
+                elif kind == TERM_CALL:
+                    if plan.fall_block is not None:
+                        call_stack.append(
+                            (function, plan.fallthrough_name)
+                        )
+                    function = plan.callee_name
+                    current = plan.callee_block
+                else:  # TERM_RET
+                    if call_stack:
+                        function, return_block = call_stack.pop()
+                        current = program.function(function).block(
+                            return_block
+                        )
+                    else:
+                        current = None  # walked off the program
+        self.cycle = cycle
+        self.slots = slots
+        self.branches_left = branches_left
+        return fetched
+
     # ------------------------------------------------------------------
     # Dual-path execution (Heil & Smith)
     # ------------------------------------------------------------------
@@ -627,16 +1098,6 @@ class TimingSimulator:
         return cfg.block(block.fallthrough)
 
     def _reconvergence_pc(self, function: str, block_name: str) -> Optional[int]:
-        key = (function, block_name)
-        if key not in self._ipostdom_pc:
-            if function not in self._function_ipostdoms:
-                self._function_ipostdoms[function] = immediate_postdominators(
-                    self.program.function(function)
-                )
-            ipd = self._function_ipostdoms[function].get(block_name)
-            self._ipostdom_pc[key] = (
-                None
-                if ipd is None
-                else self.program.function(function).block(ipd).first_pc
-            )
-        return self._ipostdom_pc[key]
+        # Memoized at program scope (shared across every simulator of
+        # this program), not per instance — see repro.cfg.analysis.
+        return self.analysis.reconvergence_pc(function, block_name)

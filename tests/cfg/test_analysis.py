@@ -1,0 +1,112 @@
+"""Program-scoped static-analysis cache (repro.cfg.analysis)."""
+
+from repro.cfg.analysis import ProgramAnalysis
+from repro.cfg.dominators import immediate_postdominators, reconvergence_point
+from repro.workloads.suite import build_benchmark
+
+
+def _program():
+    return build_benchmark("parser", 50, 0).program
+
+
+class TestRegistry:
+    def test_one_analysis_per_program(self):
+        program = _program()
+        assert ProgramAnalysis.of(program) is ProgramAnalysis.of(program)
+
+    def test_distinct_programs_distinct_analyses(self):
+        a, b = _program(), _program()
+        assert ProgramAnalysis.of(a) is not ProgramAnalysis.of(b)
+
+    def test_reset_starts_fresh(self):
+        program = _program()
+        analysis = ProgramAnalysis.of(program)
+        cfg = next(program.functions())
+        analysis.ipostdoms(cfg.name)
+        ProgramAnalysis.reset(program)
+        fresh = ProgramAnalysis.of(program)
+        assert fresh is not analysis
+        assert not fresh._ipostdoms
+
+
+class TestMemoization:
+    def test_ipostdoms_match_direct_computation(self):
+        program = _program()
+        analysis = ProgramAnalysis.of(program)
+        for cfg in program.functions():
+            assert analysis.ipostdoms(cfg.name) == (
+                immediate_postdominators(cfg)
+            )
+
+    def test_ipostdoms_memoized(self):
+        program = _program()
+        analysis = ProgramAnalysis.of(program)
+        cfg = next(program.functions())
+        assert analysis.ipostdoms(cfg.name) is analysis.ipostdoms(cfg.name)
+
+    def test_reconvergence_pc_matches_direct_computation(self):
+        program = _program()
+        analysis = ProgramAnalysis.of(program)
+        for cfg in program.functions():
+            for block in cfg:
+                expected_block = reconvergence_point(cfg, block.name)
+                expected = (
+                    None
+                    if expected_block is None
+                    else cfg.block(expected_block).first_pc
+                )
+                assert analysis.reconvergence_pc(cfg.name, block.name) == (
+                    expected
+                )
+
+
+class TestPersistence:
+    def test_export_adopt_round_trip(self):
+        program = _program()
+        analysis = ProgramAnalysis.of(program)
+        for cfg in program.functions():
+            for block in cfg:
+                analysis.reconvergence_pc(cfg.name, block.name)
+        tables = analysis.export_tables()
+
+        other = ProgramAnalysis(_program())
+        assert other.adopt_tables(tables)
+        assert other._ipostdoms == analysis._ipostdoms
+        assert other._reconv_pc == analysis._reconv_pc
+        # Adopted entries are not "news": nothing to persist.
+        assert not other.dirty
+
+    def test_dirty_tracks_fresh_computation(self):
+        program = _program()
+        analysis = ProgramAnalysis.of(program)
+        assert not analysis.dirty
+        cfg = next(program.functions())
+        analysis.ipostdoms(cfg.name)
+        assert analysis.dirty
+        analysis.mark_clean()
+        assert not analysis.dirty
+        # Memoized lookups stay clean.
+        analysis.ipostdoms(cfg.name)
+        assert not analysis.dirty
+
+    def test_adopt_rejects_malformed_payloads(self):
+        analysis = ProgramAnalysis(_program())
+        assert not analysis.adopt_tables(None)
+        assert not analysis.adopt_tables({"version": -1})
+        assert not analysis.adopt_tables(
+            {"version": 1, "ipostdoms": [], "reconv_pc": {}}
+        )
+        assert not analysis._ipostdoms
+
+    def test_adopted_entries_do_not_clobber_computed(self):
+        program = _program()
+        analysis = ProgramAnalysis.of(program)
+        cfg = next(program.functions())
+        table = analysis.ipostdoms(cfg.name)
+        bogus = {
+            "version": 1,
+            "ipostdoms": {cfg.name: {"nonsense": None}},
+            "reconv_pc": {},
+        }
+        assert analysis.adopt_tables(bogus)
+        assert analysis.ipostdoms(cfg.name) is table

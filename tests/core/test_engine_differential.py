@@ -1,0 +1,77 @@
+"""Differential validation of the fast (block-plan) engine.
+
+The fast engine rewrites the simulator's inner loops over pre-decoded
+:class:`~repro.uarch.plan.BlockPlan` tables; its contract is *bit
+identity* — the full :class:`~repro.uarch.stats.SimStats` must equal the
+reference engine's on every benchmark under every machine mode, with the
+oracle cross-checker and watchdog armed on both runs.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.harness.experiment import BenchmarkContext
+from repro.uarch.config import MachineConfig
+from repro.workloads.suite import BENCHMARK_NAMES
+
+#: Short runs keep the 15 x 4 x 2-engine matrix affordable while still
+#: exercising every episode type (dpred entry/exit, forks, flushes).
+ITERATIONS = 120
+
+CONFIGS = {
+    "baseline": MachineConfig.baseline,
+    "dualpath": MachineConfig.dualpath,
+    "dmp": lambda: MachineConfig.dmp(enhanced=True),
+    "dhp": MachineConfig.dhp,
+}
+
+_contexts = {}
+
+
+def _context(name: str) -> BenchmarkContext:
+    """One context per benchmark, shared by every config of the matrix
+    (trace and hint tables are machine-independent)."""
+    ctx = _contexts.get(name)
+    if ctx is None:
+        ctx = _contexts[name] = BenchmarkContext(
+            name, iterations=ITERATIONS, seed=0
+        )
+    return ctx
+
+
+def _assert_identical(ctx: BenchmarkContext, config: MachineConfig) -> None:
+    ref = ctx.simulate(config.replace(engine="reference"))
+    fast = ctx.simulate(config.replace(engine="fast"))
+    assert ref.oracle_checks > 0, "oracle was not armed"
+    assert dataclasses.asdict(fast) == dataclasses.asdict(ref)
+
+
+@pytest.mark.parametrize("config_name", list(CONFIGS))
+@pytest.mark.parametrize("bench_name", BENCHMARK_NAMES)
+def test_fast_engine_bit_identical(bench_name, config_name):
+    """Hardened fast run == hardened reference run, field for field."""
+    _assert_identical(_context(bench_name), CONFIGS[config_name]().hardened())
+
+
+@pytest.mark.parametrize("bench_name", ("parser", "gzip", "mcf"))
+def test_wish_mode_differential(bench_name):
+    """Wish branches drive the predication machinery down a different
+    entry path; the engines must still agree."""
+    _assert_identical(_context(bench_name), MachineConfig.wish().hardened())
+
+
+@pytest.mark.parametrize("bench_name", ("parser", "twolf"))
+def test_loop_predication_differential(bench_name):
+    """Loop predication exercises the episode-restart paths."""
+    config = MachineConfig.dmp(loop_predication=True).hardened()
+    _assert_identical(_context(bench_name), config)
+
+
+def test_fast_engine_is_the_default():
+    """``MachineConfig()`` selects the fast engine; ``describe`` hides
+    the engine choice because results are identical by construction."""
+    config = MachineConfig.baseline()
+    assert config.engine == "fast"
+    assert "engine" not in config.describe()
+    assert config.describe() == config.replace(engine="reference").describe()

@@ -1,0 +1,133 @@
+"""The engine microbenchmark harness (repro.harness.bench)."""
+
+import math
+
+import pytest
+
+from repro.harness import bench
+
+
+def _cell(benchmark="parser", config="base", speedup=2.0, identical=True):
+    return {
+        "benchmark": benchmark,
+        "config": config,
+        "retired_instructions": 1000,
+        "identical": identical,
+        "reference_cold_s": speedup,
+        "fast_cold_s": 1.0,
+        "fast_warm_s": 1.0,
+        "reference_cold_ips": 1000 / speedup,
+        "fast_cold_ips": 1000.0,
+        "fast_warm_ips": 1000.0,
+        "speedup_cold": speedup,
+        "speedup_warm": speedup,
+    }
+
+
+def _report(cells):
+    return {
+        "schema": bench.SCHEMA,
+        "parameters": {},
+        "host": {},
+        "cells": cells,
+        "summary": {
+            "geomean_speedup_cold": bench.geomean(
+                c["speedup_cold"] for c in cells
+            ),
+            "geomean_speedup_warm": bench.geomean(
+                c["speedup_warm"] for c in cells
+            ),
+            "all_identical": all(c["identical"] for c in cells),
+        },
+    }
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert bench.geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_ignores_nonpositive(self):
+        assert bench.geomean([4.0, 0.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert bench.geomean([]) == 0.0
+
+
+class TestCompare:
+    def test_clean_pass(self):
+        report = _report([_cell()])
+        assert bench.compare(report, report) == []
+
+    def test_within_budget_passes(self):
+        current = _report([_cell(speedup=1.6)])
+        baseline = _report([_cell(speedup=2.0)])
+        assert bench.compare(current, baseline, max_regression=0.25) == []
+
+    def test_cell_regression_fails(self):
+        current = _report([_cell(speedup=1.4)])
+        baseline = _report([_cell(speedup=2.0)])
+        problems = bench.compare(current, baseline, max_regression=0.25)
+        assert any("parser/base" in p for p in problems)
+
+    def test_overall_geomean_regression_fails(self):
+        current = _report([_cell(speedup=1.0)])
+        baseline = _report([_cell(speedup=2.0)])
+        problems = bench.compare(current, baseline, max_regression=0.25)
+        assert any(p.startswith("overall") for p in problems)
+
+    def test_identity_mismatch_always_fails(self):
+        current = _report([_cell(identical=False)])
+        problems = bench.compare(current, current)
+        assert any("diverge" in p for p in problems)
+
+    def test_unmatched_cells_are_skipped(self):
+        current = _report([_cell(config="dhp", speedup=1.0)])
+        baseline = _report([_cell(config="base", speedup=2.0)])
+        problems = bench.compare(current, baseline, max_regression=0.25)
+        # No per-cell match; only the overall geomean can fire.
+        assert all(p.startswith("overall") for p in problems)
+
+    def test_faster_is_never_a_regression(self):
+        current = _report([_cell(speedup=3.0)])
+        baseline = _report([_cell(speedup=2.0)])
+        assert bench.compare(current, baseline) == []
+
+
+class TestReportIO:
+    def test_save_load_round_trip(self, tmp_path):
+        report = _report([_cell()])
+        path = tmp_path / "BENCH_test.json"
+        bench.save_report(report, path)
+        assert bench.load_report(path) == report
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        bench.save_report({**_report([]), "schema": "other/9"}, path)
+        with pytest.raises(ValueError):
+            bench.load_report(path)
+
+
+class TestRunBench:
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValueError):
+            bench.run_bench(configs=("warp-drive",))
+
+    def test_tiny_run_structure(self):
+        report = bench.run_bench(
+            benchmarks=("gzip",),
+            configs=("base",),
+            iterations=60,
+            repeats=1,
+        )
+        assert report["schema"] == bench.SCHEMA
+        (cell,) = report["cells"]
+        assert cell["identical"] is True
+        assert cell["retired_instructions"] > 0
+        assert cell["fast_cold_ips"] > 0
+        assert cell["speedup_cold"] > 0
+        summary = report["summary"]
+        assert summary["all_identical"] is True
+        assert summary["geomean_speedup_cold"] == pytest.approx(
+            cell["speedup_cold"]
+        )
+        assert not math.isnan(summary["geomean_speedup_warm"])

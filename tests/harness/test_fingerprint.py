@@ -70,6 +70,7 @@ class TestConfigFingerprint:
             elif isinstance(value, str):
                 candidates = {
                     "mode": "dmp",
+                    "engine": "reference",
                     "predictor_kind": "gshare",
                     "confidence_kind": "perfect",
                     "dpred_ghr_policy": "alternate",
