@@ -13,6 +13,12 @@ Commands
 ``bench``     measure fast-engine vs reference-engine throughput and
               check for perf regressions against a committed
               ``BENCH_*.json`` baseline (docs/performance.md)
+``trace``     run one benchmark with structured event tracing, verify
+              the traced run is bit-identical to an untraced one, and
+              reconcile the JSONL trace against the run's stats
+``report``    render per-cell run reports (JSON/CSV rollups: exit-case
+              histograms, dpred coverage, flush avoidance) from trace
+              artifacts on disk or from a fresh suite run
 ``list``      list available benchmarks and machine configurations
 
 ``suite`` and ``figure`` accept ``--paranoid``: every simulation then
@@ -24,6 +30,11 @@ environment variable supplies a default directory).  Parallel and
 cache-warm runs are bit-identical to serial cold runs; ``repro suite
 --timings`` prints the per-stage wall-clock and cache-hit report.  See
 docs/performance.md.
+
+``suite``, ``figure`` and ``bench`` accept ``--trace`` /
+``--trace-out DIR``: every simulation then streams a JSONL event trace
+(one file per benchmark x config cell) into the directory, without
+changing any simulation result (docs/observability.md).
 """
 
 from __future__ import annotations
@@ -37,6 +48,7 @@ from repro.errors import ReproError
 from repro.harness import figures
 from repro.harness.cache import ArtifactCache
 from repro.harness.experiment import BenchmarkContext, run_suite
+from repro.obs.runtime import tracing
 from repro.uarch.config import MachineConfig
 from repro.validation import faults as fault_injection
 from repro.validation.runtime import paranoid, paranoid_enabled
@@ -76,6 +88,30 @@ def cmd_list(args) -> int:
     return 0
 
 
+#: Default directory for ``--trace`` when ``--trace-out`` is not given.
+DEFAULT_TRACE_DIR = "traces"
+
+
+def _trace_dir(args) -> Optional[str]:
+    """The trace directory selected by ``--trace`` / ``--trace-out``
+    (``--trace-out DIR`` implies ``--trace``), or ``None``."""
+    out = getattr(args, "trace_out", None)
+    if out:
+        return out
+    if getattr(args, "trace", False):
+        return DEFAULT_TRACE_DIR
+    return None
+
+
+def _add_trace_flags(parser) -> None:
+    parser.add_argument("--trace", action="store_true",
+                        help="stream a JSONL event trace per benchmark x "
+                             f"config cell into ./{DEFAULT_TRACE_DIR}/ "
+                             "(does not change any result)")
+    parser.add_argument("--trace-out", default="", metavar="DIR",
+                        help="trace into DIR instead (implies --trace)")
+
+
 def _resolve_cache(args) -> Optional[ArtifactCache]:
     """The cache selected by ``--cache-dir`` / ``--no-cache`` /
     ``REPRO_CACHE_DIR`` (in that precedence), or ``None``."""
@@ -95,7 +131,8 @@ def cmd_suite(args) -> int:
     benchmarks = _parse_benchmarks(args.benchmarks)
     configs = {name: CONFIG_FACTORIES[name]() for name in config_names}
     cache = _resolve_cache(args)
-    with paranoid(args.paranoid or paranoid_enabled()):
+    with paranoid(args.paranoid or paranoid_enabled()), \
+            tracing(_trace_dir(args)):
         result = run_suite(
             configs,
             benchmarks,
@@ -134,7 +171,8 @@ def cmd_figure(args) -> int:
             f"unknown exhibit {args.name!r}; "
             f"choose from: {' '.join(figures.ALL_DRIVERS)}"
         )
-    with paranoid(args.paranoid or paranoid_enabled()):
+    with paranoid(args.paranoid or paranoid_enabled()), \
+            tracing(_trace_dir(args)):
         if args.name in ("table1", "table2"):
             result = driver()
         else:
@@ -280,18 +318,26 @@ def cmd_bench(args) -> int:
         repeats=repeats,
         cache=_resolve_cache(args),
         progress=print,
+        trace_dir=_trace_dir(args),
     )
     summary = report["summary"]
     print(f"\ngeomean speedup: {summary['geomean_speedup_cold']:.2f}x cold, "
           f"{summary['geomean_speedup_warm']:.2f}x cache-warm; "
-          f"all stats identical: {summary['all_identical']}")
+          f"all stats identical: {summary['all_identical']}; "
+          f"tracing non-perturbing: {summary['all_traced_identical']}")
+    if summary["degenerate_cells"]:
+        print("degenerate cells (excluded from geomean): "
+              + ", ".join(summary["degenerate_cells"]))
     output = args.output
     if not output:
         stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%SZ")
         output = f"BENCH_{stamp}.json"
     bench.save_report(report, output)
     print(f"wrote {output}")
-    failed = not summary["all_identical"]
+    failed = (
+        not summary["all_identical"]
+        or not summary["all_traced_identical"]
+    )
     if args.baseline:
         problems = bench.compare(
             report, bench.load_report(args.baseline),
@@ -307,6 +353,136 @@ def cmd_bench(args) -> int:
               file=sys.stderr)
         failed = True
     return 1 if failed else 0
+
+
+def cmd_trace(args) -> int:
+    """Traced single run + verification (docs/observability.md).
+
+    Runs the benchmark twice under the chosen configuration — once
+    untraced, once streaming a JSONL event trace — then (1) asserts the
+    two runs' stats are bit-identical (tracing must only observe) and
+    (2) structurally validates and reconciles the trace against the
+    traced run's final stats.  Exit codes: 0 — both checks passed;
+    1 — the tracer perturbed the run or the trace failed to reconcile.
+    """
+    import dataclasses
+
+    from repro.obs.events import JsonlTracer
+    from repro.obs.reconcile import reconcile_trace
+    from repro.obs.runtime import trace_path
+
+    if args.benchmark not in BENCHMARK_NAMES:
+        raise SystemExit(f"unknown benchmark: {args.benchmark}")
+    if args.config not in CONFIG_FACTORIES:
+        raise SystemExit(f"unknown config: {args.config}")
+    config = CONFIG_FACTORIES[args.config]()
+    if args.engine:
+        config = config.replace(engine=args.engine)
+    context = BenchmarkContext(
+        args.benchmark, iterations=args.iterations, seed=args.seed,
+        cache=_resolve_cache(args),
+    )
+    untraced = context.simulate(config)
+    out = args.out or trace_path(".", args.benchmark, args.config)
+    out_dir = os.path.dirname(out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    tracer = JsonlTracer(
+        out,
+        meta={
+            "benchmark": args.benchmark,
+            "config": args.config,
+            "iterations": context.iterations,
+            "seed": args.seed,
+        },
+        capacity=args.ring,
+    )
+    try:
+        traced = context.simulate(config, tracer=tracer)
+    finally:
+        tracer.close()
+    identical = dataclasses.asdict(untraced) == dataclasses.asdict(traced)
+    summary = reconcile_trace(out)  # raises TraceValidationError on failure
+    print(summary.describe())
+    print(f"wrote {out} ({summary.events} events)")
+    if not identical:
+        print("FAIL: traced run's stats differ from the untraced run",
+              file=sys.stderr)
+        return 1
+    print("traced run bit-identical to untraced run; trace reconciles "
+          "with its stats")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Run reports from trace artifacts or a fresh suite run.
+
+    With paths (trace ``*.jsonl`` files, directories of them, or bench
+    ``BENCH_*.json`` reports): reconcile every trace and derive one
+    rollup row per cell; bench reports print their speedup summaries.
+    Without paths: run the requested suite and report its cells.
+    """
+    from repro.obs.metrics import RunMetrics, SuiteReport
+    from repro.obs.reconcile import (
+        reconcile_directory,
+        reconcile_trace,
+        trace_metrics,
+    )
+
+    cells = []
+    meta = {"source": "traces" if args.paths else "suite"}
+    if args.paths:
+        meta["paths"] = list(args.paths)
+        for path in args.paths:
+            if os.path.isdir(path):
+                for summary in reconcile_directory(path):
+                    cells.append(trace_metrics(summary))
+            elif path.endswith(".jsonl"):
+                cells.append(trace_metrics(reconcile_trace(path)))
+            elif path.endswith(".json"):
+                from repro.harness import bench as bench_mod
+
+                bench_report = bench_mod.load_report(path)
+                summary = bench_report["summary"]
+                print(f"{path}: bench geomean speedup "
+                      f"{summary['geomean_speedup_cold']:.2f}x cold, "
+                      f"{summary['geomean_speedup_warm']:.2f}x warm, "
+                      f"all identical: {summary['all_identical']}")
+            else:
+                raise SystemExit(
+                    f"{path}: not a trace (.jsonl), trace directory, or "
+                    "bench report (.json)"
+                )
+        if not cells:
+            return 0
+    else:
+        config_names = [
+            c.strip() for c in args.configs.split(",") if c.strip()
+        ]
+        unknown = [c for c in config_names if c not in CONFIG_FACTORIES]
+        if unknown:
+            raise SystemExit(f"unknown configs: {', '.join(unknown)}")
+        benchmarks = _parse_benchmarks(args.benchmarks)
+        configs = {name: CONFIG_FACTORIES[name]() for name in config_names}
+        result = run_suite(
+            configs,
+            benchmarks,
+            iterations=args.iterations,
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=_resolve_cache(args),
+        )
+        meta.update(iterations=args.iterations, seed=args.seed)
+        report = SuiteReport.from_suite(result, meta=meta)
+        cells = report.cells
+    rendered = SuiteReport(cells, meta=meta).render(args.format)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(rendered)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -344,6 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument("--timings", action="store_true",
                          help="print per-stage wall-clock and cache-hit "
                               "accounting after the table")
+    _add_trace_flags(p_suite)
     p_suite.set_defaults(func=cmd_suite)
 
     p_fig = sub.add_parser("figure", help="regenerate one paper exhibit")
@@ -362,6 +539,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--no-cache", action="store_true",
                        help="disable the artifact cache even if "
                             "REPRO_CACHE_DIR is set")
+    _add_trace_flags(p_fig)
     p_fig.set_defaults(func=cmd_figure)
 
     p_inspect = sub.add_parser(
@@ -426,7 +604,63 @@ def build_parser() -> argparse.ArgumentParser:
                          help="artifact cache for traces/profiles/hints")
     p_bench.add_argument("--no-cache", action="store_true",
                          help="disable the artifact cache")
+    _add_trace_flags(p_bench)
     p_bench.set_defaults(func=cmd_bench)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="traced single run: verify tracing is non-perturbing and "
+             "the event stream reconciles with the stats",
+    )
+    p_trace.add_argument("benchmark")
+    p_trace.add_argument("--config", default="dmp-enhanced",
+                         help="machine configuration "
+                              "(default: dmp-enhanced)")
+    p_trace.add_argument("--engine", default="",
+                         choices=("", "reference", "fast"),
+                         help="engine override (default: config's choice)")
+    p_trace.add_argument("--iterations", type=int, default=800)
+    p_trace.add_argument("--seed", type=int, default=0,
+                         help="workload generation seed")
+    p_trace.add_argument("--out", default="",
+                         help="trace file path "
+                              "(default ./<benchmark>__<config>.jsonl)")
+    p_trace.add_argument("--ring", type=int, default=256,
+                         help="ring-buffer capacity for hang diagnostics")
+    p_trace.add_argument("--cache-dir", default=None, metavar="PATH",
+                         help="artifact cache for traces/profiles/hints")
+    p_trace.add_argument("--no-cache", action="store_true",
+                         help="disable the artifact cache")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_report = sub.add_parser(
+        "report",
+        help="per-cell run reports (JSON/CSV) from trace artifacts or a "
+             "fresh suite run",
+    )
+    p_report.add_argument("paths", nargs="*",
+                          help="trace files (*.jsonl), directories of "
+                               "them, or bench BENCH_*.json reports; "
+                               "empty = run a suite")
+    p_report.add_argument("--benchmarks", default="",
+                          help="comma-separated benchmark subset "
+                               "(suite mode)")
+    p_report.add_argument("--configs", default="base,dhp,dmp,dmp-enhanced",
+                          help="configs to run (suite mode)")
+    p_report.add_argument("--iterations", type=int, default=800)
+    p_report.add_argument("--seed", type=int, default=0,
+                          help="workload generation seed")
+    p_report.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="worker processes (suite mode)")
+    p_report.add_argument("--format", default="json",
+                          choices=("json", "csv"))
+    p_report.add_argument("--output", default="",
+                          help="write the report here instead of stdout")
+    p_report.add_argument("--cache-dir", default=None, metavar="PATH",
+                          help="artifact cache for traces/profiles/hints")
+    p_report.add_argument("--no-cache", action="store_true",
+                          help="disable the artifact cache")
+    p_report.set_defaults(func=cmd_report)
 
     return parser
 

@@ -20,3 +20,7 @@ class ConfidenceEstimator(abc.ABC):
     @abc.abstractmethod
     def update(self, pc: int, history: int, was_correct: bool) -> None:
         """Train with the resolved outcome."""
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used in trace metadata)."""
+        return type(self).__name__

@@ -7,13 +7,18 @@ counter has reached the saturation ceiling — i.e., it has been predicted
 correctly many times in a row in this history context.
 
 Table 2 gives the paper's instance as "1KB (12-bit history) JRS estimator":
-2048 4-bit counters.  Both knobs are configurable; the defaults use a
-shorter history index and a sub-saturation threshold, which measure
-substantially better (coverage vs. wrong-trigger rate) on the synthetic
-workloads' shorter context-reuse distances.
+2048 4-bit counters indexed with 12 bits of global history, confident
+only at full counter saturation.  That exact configuration is
+:meth:`JRSConfidenceEstimator.paper`.  The constructor DEFAULTS are
+deliberately different — a 4-bit history index and a sub-saturation
+threshold of 12 — because they measure substantially better (coverage
+vs. wrong-trigger rate) on the synthetic workloads' shorter
+context-reuse distances; do not mistake them for the Table 2 instance.
 """
 
 from __future__ import annotations
+
+from typing import Optional
 
 from repro.confidence.base import ConfidenceEstimator
 
@@ -24,7 +29,7 @@ class JRSConfidenceEstimator(ConfidenceEstimator):
         table_size: int = 2048,
         history_bits: int = 4,
         counter_bits: int = 4,
-        threshold: int = 12,
+        threshold: Optional[int] = 12,
     ) -> None:
         if table_size & (table_size - 1):
             raise ValueError("table_size must be a power of two")
@@ -39,6 +44,21 @@ class JRSConfidenceEstimator(ConfidenceEstimator):
         else:
             self.threshold = min(threshold, self.counter_max)
         self._counters = [0] * table_size
+
+    @classmethod
+    def paper(cls) -> "JRSConfidenceEstimator":
+        """The Table 2 instance: 1KB of state as 2048 4-bit MDCs, a
+        12-bit global-history index, confident only at full saturation
+        (the original Jacobsen et al. proposal)."""
+        return cls(
+            table_size=2048, history_bits=12, counter_bits=4, threshold=None
+        )
+
+    def describe(self) -> str:
+        return (
+            f"jrs(table={self.table_size}, history={self.history_bits}b, "
+            f"threshold={self.threshold}/{self.counter_max})"
+        )
 
     def _index(self, pc: int, history: int) -> int:
         masked_history = history & ((1 << self.history_bits) - 1)

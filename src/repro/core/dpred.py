@@ -131,9 +131,14 @@ class PredicationAwareSimulator(TimingSimulator):
             return False  # diverge loop branches are an opt-in extension
         if isinstance(self.confidence, PerfectConfidenceEstimator):
             self.confidence.set_oracle(not context.mispredicted)
-        if self.confidence.is_confident(
+        confident = self.confidence.is_confident(
             context.instr.pc, context.history_snapshot
-        ):
+        )
+        if self.tracer is not None:
+            self.tracer.note_confidence(
+                context.instr.pc, confident, "diverge"
+            )
+        if confident:
             return False
         if self.config.mode == "wish":
             self._run_wish_episode(cursor, context, hint)
@@ -163,6 +168,13 @@ class PredicationAwareSimulator(TimingSimulator):
     # ------------------------------------------------------------------
 
 
+    def _record_exit(self, case) -> None:
+        """Record a Table 1 exit case, charging it to the innermost open
+        traced episode when tracing is on."""
+        self.stats.record_exit_case(case)
+        if self.tracer is not None:
+            self.tracer.note_exit_case(case)
+
     def _train_diverge_branch(self, context) -> None:
         """Train the tables with a dynamically predicated diverge-branch
         instance.  Under the selective-update policy (Section 2.7.4,
@@ -191,6 +203,16 @@ class PredicationAwareSimulator(TimingSimulator):
         released) and episodes that end in a Section 2.7.3 restart (which
         record no Table 1 exit case)."""
         self._dpred_depth += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.episode_enter(
+                "dpred",
+                pc=context.instr.pc,
+                pos=diverge_pos,
+                depth=self._dpred_depth,
+                cycle=self.cycle,
+                mispredicted=context.mispredicted,
+            )
         if self.oracle is not None:
             self.oracle.note_dpred_enter()
         try:
@@ -201,6 +223,12 @@ class PredicationAwareSimulator(TimingSimulator):
                 self.oracle.note_dpred_exit()
         if end.restart is not None and self.oracle is not None:
             self.oracle.note_restarted_episode()
+        if tracer is not None:
+            # Mirrors the oracle's accounting: a propagated inner restart
+            # flags BOTH the inner and the outer episode as restarted.
+            tracer.episode_exit(
+                restart=end.restart is not None, cycle=self.cycle
+            )
         return end
 
     def _dpred_once_impl(
@@ -295,6 +323,14 @@ class PredicationAwareSimulator(TimingSimulator):
                     continue
                 break
 
+        if self.tracer is not None:
+            self.tracer.note_path(
+                "predicted",
+                pred_result.outcome.value,
+                pred_result.instructions,
+                cfm_pc=pred_result.cfm_pc,
+            )
+
         if pred_result.outcome == PathOutcome.NEW_DIVERGE:
             return self._handle_new_diverge(
                 diverge_pos, context, mispredicted, resolution,
@@ -350,6 +386,14 @@ class PredicationAwareSimulator(TimingSimulator):
                 watch_diverge=False,
             )
 
+        if self.tracer is not None:
+            self.tracer.note_path(
+                "alternate",
+                alt_result.outcome.value,
+                alt_result.instructions,
+                cfm_pc=alt_result.cfm_pc,
+            )
+
         return self._exit_after_alternate(
             diverge_pos, context, mispredicted, resolution, ghr1,
             cp1_rat, cp1_ready, cp2_rat, cp2_ready,
@@ -368,6 +412,10 @@ class PredicationAwareSimulator(TimingSimulator):
         state, resume on the actual path after resolution)."""
         self.stats.mispredictions += 1
         self.stats.pipeline_flushes += 1
+        if self.tracer is not None:
+            self.tracer.note_flush(
+                "dpred-exit", self.cycle, pc=context.instr.pc
+            )
         self.rat.restore(cp1_rat)
         self.reg_ready = list(cp1_ready)
         self._advance_fetch_cycle(context.resolution + 1)
@@ -389,11 +437,11 @@ class PredicationAwareSimulator(TimingSimulator):
             # stall until the diverge branch resolves.
             self._advance_fetch_cycle(resolution)
         if mispredicted:
-            self.stats.record_exit_case(ExitCase.FLUSH)
+            self._record_exit(ExitCase.FLUSH)
             return self._flush_diverge_branch(
                 diverge_pos, context, ghr1, cp1_rat, cp1_ready
             )
-        self.stats.record_exit_case(ExitCase.CONTINUE_PREDICTED)
+        self._record_exit(ExitCase.CONTINUE_PREDICTED)
         # Correct prediction, on-trace path: just keep fetching it.
         return _EpisodeEnd(continuation=pred_result.stopped_position)
 
@@ -413,6 +461,8 @@ class PredicationAwareSimulator(TimingSimulator):
             selects = self.rat.compute_selects(cp2_rat)
             if self.oracle is not None:
                 self.oracle.note_selects(len(selects))
+            if self.tracer is not None:
+                self.tracer.note_selects(len(selects))
             for request in selects:
                 stats.select_uops += 1
                 sources_ready = max(
@@ -426,10 +476,10 @@ class PredicationAwareSimulator(TimingSimulator):
             if keep_predicted_ghr:
                 self.predictor.restore(predicted_ghr)
             if mispredicted:
-                stats.record_exit_case(ExitCase.NORMAL_MISPREDICTED)
+                self._record_exit(ExitCase.NORMAL_MISPREDICTED)
                 stats.mispredictions += 1  # eliminated: no flush
                 return _EpisodeEnd(continuation=alt_result.trace_position)
-            stats.record_exit_case(ExitCase.NORMAL_CORRECT)
+            self._record_exit(ExitCase.NORMAL_CORRECT)
             return _EpisodeEnd(continuation=pred_result.trace_position)
 
         if outcome == PathOutcome.LIMIT and self.config.early_exit:
@@ -441,11 +491,11 @@ class PredicationAwareSimulator(TimingSimulator):
             self.predictor.restore(predicted_ghr)
             self._advance_fetch_cycle()  # redirect to the CFM point
             if mispredicted:
-                stats.record_exit_case(ExitCase.FLUSH)
+                self._record_exit(ExitCase.FLUSH)
                 return self._flush_diverge_branch(
                     diverge_pos, context, ghr1, cp1_rat, cp1_ready
                 )
-            stats.record_exit_case(ExitCase.REDIRECT_TO_CFM)
+            self._record_exit(ExitCase.REDIRECT_TO_CFM)
             return _EpisodeEnd(continuation=pred_result.trace_position)
 
         # RESOLVED / EXHAUSTED / LIMIT-without-early-exit: wait for the
@@ -455,13 +505,13 @@ class PredicationAwareSimulator(TimingSimulator):
 
         if mispredicted:
             # Case 4: the alternate path IS the correct path; keep going.
-            stats.record_exit_case(ExitCase.CONTINUE_ALTERNATE)
+            self._record_exit(ExitCase.CONTINUE_ALTERNATE)
             stats.mispredictions += 1  # eliminated: no flush
             return _EpisodeEnd(continuation=alt_result.stopped_position)
 
         # Case 3: the alternate path was wrong-path work; restore the
         # predicted path's end-of-path state and redirect fetch to the CFM.
-        stats.record_exit_case(ExitCase.REDIRECT_TO_CFM)
+        self._record_exit(ExitCase.REDIRECT_TO_CFM)
         self.rat.restore(cp2_rat)
         self.reg_ready = list(cp2_ready)
         self.predictor.restore(predicted_ghr)
@@ -479,7 +529,7 @@ class PredicationAwareSimulator(TimingSimulator):
         if mispredicted:
             # The predicted path is the wrong path; the restarted episode
             # would be squashed when the old branch resolves — flush now.
-            self.stats.record_exit_case(ExitCase.FLUSH)
+            self._record_exit(ExitCase.FLUSH)
             return self._flush_diverge_branch(
                 diverge_pos, context, ghr1, cp1_rat, cp1_ready
             )
@@ -526,6 +576,16 @@ class PredicationAwareSimulator(TimingSimulator):
 
     def _run_wish_episode(self, cursor: TraceCursor, context, hint) -> None:
         self._dpred_depth += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.episode_enter(
+                "wish",
+                pc=context.instr.pc,
+                pos=cursor.index,
+                depth=self._dpred_depth,
+                cycle=self.cycle,
+                mispredicted=context.mispredicted,
+            )
         if self.oracle is not None:
             self.oracle.note_dpred_enter()
         try:
@@ -534,6 +594,8 @@ class PredicationAwareSimulator(TimingSimulator):
             self._dpred_depth -= 1
             if self.oracle is not None:
                 self.oracle.note_dpred_exit()
+        if tracer is not None:
+            tracer.episode_exit(restart=False, cycle=self.cycle)
 
     def _run_wish_episode_impl(
         self, cursor: TraceCursor, context, hint
@@ -598,9 +660,9 @@ class PredicationAwareSimulator(TimingSimulator):
 
         if context.mispredicted:
             stats.mispredictions += 1  # eliminated: no flush
-            stats.record_exit_case(ExitCase.NORMAL_MISPREDICTED)
+            self._record_exit(ExitCase.NORMAL_MISPREDICTED)
         else:
-            stats.record_exit_case(ExitCase.NORMAL_CORRECT)
+            self._record_exit(ExitCase.NORMAL_CORRECT)
         cursor.restore(pos)
 
     # ------------------------------------------------------------------
@@ -609,6 +671,16 @@ class PredicationAwareSimulator(TimingSimulator):
 
     def _run_loop_episode(self, cursor: TraceCursor, context, hint) -> None:
         self._dpred_depth += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.episode_enter(
+                "loop",
+                pc=context.instr.pc,
+                pos=cursor.index,
+                depth=self._dpred_depth,
+                cycle=self.cycle,
+                mispredicted=context.mispredicted,
+            )
         if self.oracle is not None:
             self.oracle.note_dpred_enter()
         try:
@@ -617,6 +689,8 @@ class PredicationAwareSimulator(TimingSimulator):
             self._dpred_depth -= 1
             if self.oracle is not None:
                 self.oracle.note_dpred_exit()
+        if tracer is not None:
+            tracer.episode_exit(restart=False, cycle=self.cycle)
 
     def _run_loop_episode_impl(
         self, cursor: TraceCursor, context, hint
@@ -663,7 +737,7 @@ class PredicationAwareSimulator(TimingSimulator):
             if self.watchdog is not None:
                 self.watchdog.check(self, where="loop-episode", pc=loop_pc)
             if pos >= len(records):
-                stats.record_exit_case(ExitCase.CONTINUE_PREDICTED)
+                self._record_exit(ExitCase.CONTINUE_PREDICTED)
                 cursor.restore(pos)
                 return
             record = records[pos]
@@ -675,7 +749,7 @@ class PredicationAwareSimulator(TimingSimulator):
             if fetched + len(block) > config.dpred_path_limit:
                 # Checkpoint/predicate resources exhausted: fall back to
                 # normal prediction from here on.
-                stats.record_exit_case(ExitCase.CONTINUE_PREDICTED)
+                self._record_exit(ExitCase.CONTINUE_PREDICTED)
                 cursor.restore(pos)
                 return
             self._icache_fetch(block.first_pc)
@@ -743,6 +817,8 @@ class PredicationAwareSimulator(TimingSimulator):
         # Any other branch: normal nested misprediction flush.
         self.stats.mispredictions += 1
         self.stats.pipeline_flushes += 1
+        if self.tracer is not None:
+            self.tracer.note_flush("loop-nested", self.cycle, pc=instr.pc)
         self._advance_fetch_cycle(completion + 1)
         self.predictor.repair(prediction, actual)
         return None
@@ -781,13 +857,15 @@ class PredicationAwareSimulator(TimingSimulator):
         selects = self.rat.compute_selects(entry_rat)
         if self.oracle is not None:
             self.oracle.note_selects(len(selects))
+        if self.tracer is not None:
+            self.tracer.note_selects(len(selects))
         for request in selects:
             stats.select_uops += 1
             ready = max(self.reg_ready[request.arch], deadline)
             completion = self._dispatch_uop(ready)
             self.reg_ready[request.arch] = completion
         self.rat.apply_selects(selects)
-        stats.record_exit_case(
+        self._record_exit(
             ExitCase.NORMAL_MISPREDICTED if saved_any
             else ExitCase.NORMAL_CORRECT
         )
@@ -911,6 +989,8 @@ class PredicationAwareSimulator(TimingSimulator):
             # (which is exactly where the trace continues).
             self.stats.mispredictions += 1
             self.stats.pipeline_flushes += 1
+            if self.tracer is not None:
+                self.tracer.note_flush("nested", self.cycle, pc=instr.pc)
             self._advance_fetch_cycle(completion + 1)
             self.predictor.repair(prediction, actual)
         elif prediction.taken:

@@ -117,6 +117,7 @@ def simulate(
     hints: Optional[HintTable] = None,
     benchmark: str = "",
     warm_words=None,
+    tracer=None,
 ) -> SimStats:
     """Run one benchmark trace through one machine configuration.
 
@@ -127,6 +128,11 @@ def simulate(
     :func:`repro.validation.runtime.set_paranoid`) every run is upgraded
     to carry the oracle cross-checker and the watchdog; this only adds
     checking and never changes timing results.
+
+    ``tracer`` (a :class:`repro.obs.events.Tracer`, duck-typed) turns on
+    structured event tracing for this run; it receives episode-level
+    events and the final stats, and never changes timing results either
+    (docs/observability.md).
     """
     config = config or MachineConfig()
     if paranoid_enabled() and not (config.oracle_checks and config.watchdog):
@@ -136,11 +142,11 @@ def simulate(
             raise ValueError(f"mode {config.mode!r} requires a hint table")
         simulator = PredicationAwareSimulator(
             program, trace, config, hints=hints, benchmark=benchmark,
-            warm_words=warm_words,
+            warm_words=warm_words, tracer=tracer,
         )
     else:
         simulator = TimingSimulator(
             program, trace, config, benchmark=benchmark,
-            warm_words=warm_words,
+            warm_words=warm_words, tracer=tracer,
         )
     return simulator.run()

@@ -12,6 +12,9 @@ Hierarchy::
     │   └── SimulationHangError  the watchdog bounded a hung run
     ├── OracleMismatchError      timing run diverged from the functional
     │                            trace / a dpred invariant was violated
+    ├── TraceValidationError     a JSONL event trace failed schema
+    │                            validation or did not reconcile with
+    │                            its run's stats (repro.obs)
     └── HintValidationError      a hint table failed static validation
                                  (also a ValueError, for backward
                                  compatibility with the old loader)
@@ -64,6 +67,11 @@ class SimulationHangError(_DiagnosticMixin, SimulationError):
 class OracleMismatchError(_DiagnosticMixin, ReproError):
     """The oracle cross-checker found the timing run inconsistent with
     the functional trace, or a dynamic-predication invariant violated."""
+
+
+class TraceValidationError(ReproError):
+    """A structured event trace (``repro.obs`` JSONL) is malformed,
+    truncated, or inconsistent with the stats of the run it records."""
 
 
 class HintValidationError(ReproError, ValueError):

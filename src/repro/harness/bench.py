@@ -29,6 +29,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import math
+import os
 import platform
 import time
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -36,6 +37,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.cfg.analysis import ProgramAnalysis
 from repro.core.processors import simulate
 from repro.harness.experiment import BenchmarkContext
+from repro.obs.events import CollectorTracer
 from repro.uarch.config import MachineConfig
 
 #: JSON schema tag, bumped on incompatible report layout changes.
@@ -116,11 +118,20 @@ def run_bench(
     repeats: int = DEFAULT_REPEATS,
     cache=None,
     progress=None,
+    trace_dir: Optional[str] = None,
 ) -> Dict:
-    """Run the engine benchmark matrix and return the report dict."""
+    """Run the engine benchmark matrix and return the report dict.
+
+    Every cell also performs one *traced* fast run to prove the
+    observability layer does not perturb the simulation
+    (``traced_identical``); with ``trace_dir`` set, those runs stream
+    their JSONL event traces there instead of an in-memory collector.
+    """
     unknown = [c for c in configs if c not in CONFIG_FACTORIES]
     if unknown:
         raise ValueError(f"unknown bench configs: {', '.join(unknown)}")
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
     say = progress or (lambda msg: None)
     cells: List[Dict] = []
     for name in benchmarks:
@@ -133,17 +144,50 @@ def run_bench(
             (ref_s, fast_s, warm_s), (ref_stats, fast_stats, warm_stats) = (
                 _measure_cell(context, ref_config, fast_config, repeats)
             )
+            ref_dict = dataclasses.asdict(ref_stats)
             identical = (
-                dataclasses.asdict(ref_stats) == dataclasses.asdict(fast_stats)
-                and dataclasses.asdict(ref_stats)
-                == dataclasses.asdict(warm_stats)
+                ref_dict == dataclasses.asdict(fast_stats)
+                and ref_dict == dataclasses.asdict(warm_stats)
             )
+            # Observability contract: a traced run must not perturb the
+            # simulation (the tracer only observes).  One extra fast run
+            # with a tracer attached proves it per cell.
+            if trace_dir is not None:
+                from repro.obs.events import JsonlTracer
+                from repro.obs.runtime import trace_path
+
+                tracer = JsonlTracer(
+                    trace_path(trace_dir, name, config_name),
+                    meta={"benchmark": name, "config": config_name,
+                          "iterations": iterations, "seed": seed},
+                )
+            else:
+                tracer = CollectorTracer()
+            try:
+                traced_stats = simulate(
+                    context.program, context.trace, fast_config,
+                    hints=context.hints_for(fast_config),
+                    benchmark=context.name,
+                    warm_words=context.workload.memory.warm_words(),
+                    tracer=tracer,
+                )
+            finally:
+                tracer.close()
+            traced_identical = ref_dict == dataclasses.asdict(traced_stats)
             insts = ref_stats.retired_instructions
+            # A zero CPU-time measurement means the cell finished below
+            # the process_time tick: its speedup ratios are meaningless,
+            # not merely "0.0".  Mark it so the geomean and regression
+            # gates can exclude it instead of ingesting a fake zero.
+            degenerate = not (ref_s > 0 and fast_s > 0 and warm_s > 0)
             cell = {
                 "benchmark": name,
                 "config": config_name,
                 "retired_instructions": insts,
                 "identical": identical,
+                "traced_identical": traced_identical,
+                "traced_events": tracer.events_emitted,
+                "degenerate": degenerate,
                 "reference_cold_s": ref_s,
                 "fast_cold_s": fast_s,
                 "fast_warm_s": warm_s,
@@ -159,11 +203,18 @@ def run_bench(
                 f"warm {warm_s:6.3f}s  "
                 f"speedup {cell['speedup_cold']:.2f}x/"
                 f"{cell['speedup_warm']:.2f}x  "
-                f"identical={identical}")
+                f"identical={identical}"
+                + (" DEGENERATE" if degenerate else ""))
+    live = [c for c in cells if not c["degenerate"]]
     summary = {
-        "geomean_speedup_cold": geomean(c["speedup_cold"] for c in cells),
-        "geomean_speedup_warm": geomean(c["speedup_warm"] for c in cells),
+        "geomean_speedup_cold": geomean(c["speedup_cold"] for c in live),
+        "geomean_speedup_warm": geomean(c["speedup_warm"] for c in live),
         "all_identical": all(c["identical"] for c in cells),
+        "all_traced_identical": all(c["traced_identical"] for c in cells),
+        "degenerate_cells": [
+            f"{c['benchmark']}/{c['config']}" for c in cells
+            if c["degenerate"]
+        ],
     }
     return {
         "schema": SCHEMA,
@@ -188,6 +239,12 @@ def _cell_map(report: Dict) -> Dict:
     return {(c["benchmark"], c["config"]): c for c in report["cells"]}
 
 
+def _degenerate(cell: Dict) -> bool:
+    """Degenerate marker, inferred for pre-marker reports where a zero
+    speedup was the only (ambiguous) signal."""
+    return bool(cell.get("degenerate", cell.get("speedup_cold", 0) <= 0))
+
+
 def compare(current: Dict, baseline: Dict,
             max_regression: float = 0.25) -> List[str]:
     """Regressions of ``current`` against a ``baseline`` report.
@@ -197,8 +254,11 @@ def compare(current: Dict, baseline: Dict,
     the same moment): a cell regresses when its cold speedup falls more
     than ``max_regression`` below the baseline's for the same
     (benchmark, config) pair.  Cells present on only one side are
-    skipped; a fast/reference stats mismatch is always a failure.
-    Returns a list of human-readable violations (empty = pass).
+    skipped, as are cells marked degenerate on either side (a zero
+    CPU-time measurement carries no ratio information); a
+    fast/reference or traced/untraced stats mismatch is always a
+    failure.  Returns a list of human-readable violations (empty =
+    pass).
     """
     problems: List[str] = []
     for cell in current["cells"]:
@@ -207,10 +267,15 @@ def compare(current: Dict, baseline: Dict,
                 f"{cell['benchmark']}/{cell['config']}: fast engine stats "
                 f"diverge from the reference engine"
             )
+        if not cell.get("traced_identical", True):
+            problems.append(
+                f"{cell['benchmark']}/{cell['config']}: tracing perturbed "
+                f"the simulation stats"
+            )
     base_cells = _cell_map(baseline)
     for key, cell in _cell_map(current).items():
         base = base_cells.get(key)
-        if base is None or base["speedup_cold"] <= 0:
+        if base is None or _degenerate(base) or _degenerate(cell):
             continue
         ratio = cell["speedup_cold"] / base["speedup_cold"]
         if ratio < 1.0 - max_regression:

@@ -22,6 +22,7 @@ Two further layers sit on top (docs/performance.md):
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
@@ -383,7 +384,7 @@ class BenchmarkContext:
             )
             analysis.mark_clean()
 
-    def simulate(self, config: MachineConfig) -> SimStats:
+    def simulate(self, config: MachineConfig, tracer=None) -> SimStats:
         """Simulate under one configuration (memoized: the same config is
         returned from cache, so figure drivers can share runs).
 
@@ -392,9 +393,12 @@ class BenchmarkContext:
         differ in insertion order share one run, and every field
         participates in the key (``repr`` omissions cannot collide two
         different configs onto the same cached stats)."""
-        stats = self.cached_stats(config)
-        if stats is not None:
-            return stats
+        if tracer is None:
+            # A traced run cannot be satisfied from the memo/cache: the
+            # event stream only exists if the simulator actually runs.
+            stats = self.cached_stats(config)
+            if stats is not None:
+                return stats
         hints = self.hints_for(config)  # timed as "profile" if first use
         warm = self.workload.memory.warm_words()
         self._load_analysis()
@@ -406,6 +410,7 @@ class BenchmarkContext:
             hints=hints,
             benchmark=self.name,
             warm_words=warm,
+            tracer=tracer,
         )
         self._timed("simulate", t0)
         self.sims_run += 1
@@ -565,6 +570,7 @@ def run_suite(
     verbose: bool = False,
     jobs: int = 1,
     cache: Union[None, str, ArtifactCache] = None,
+    trace_dir: Optional[str] = None,
 ) -> SuiteResult:
     """Run every configuration over every benchmark.
 
@@ -578,9 +584,21 @@ def run_suite(
     ``cache`` (an :class:`ArtifactCache` or directory path) persists
     artifacts and stats across invocations.  Both paths return results
     bit-identical to a serial, cold run.
+
+    ``trace_dir`` (or the process-wide toggle set by
+    :func:`repro.obs.runtime.set_trace_dir` — the CLI's ``--trace``
+    flags) writes one JSONL event trace per ``(benchmark, config)``
+    cell into the directory; traced cells always simulate (never come
+    from memo or cache) and produce the same stats as untraced ones.
     """
     if jobs < 1:
         raise ReproError(f"jobs must be >= 1, got {jobs}")
+    if trace_dir is None:
+        from repro.obs.runtime import active_trace_dir
+
+        trace_dir = active_trace_dir()
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
     cache = ArtifactCache.resolve(cache)
     benchmarks = list(benchmarks)
     result = SuiteResult()
@@ -607,7 +625,8 @@ def run_suite(
         from repro.harness.parallel import run_simulations_parallel
 
         stats_map = run_simulations_parallel(
-            run_contexts, configs, jobs=jobs, verbose=verbose
+            run_contexts, configs, jobs=jobs, verbose=verbose,
+            trace_dir=trace_dir,
         )
         timings.simulate_seconds += stats_map.worker_seconds
         timings.simulations_run += stats_map.worker_runs
@@ -617,7 +636,25 @@ def run_suite(
     else:
         for context in run_contexts:
             for label, config in configs.items():
-                stats = context.simulate(config)
+                tracer = None
+                if trace_dir is not None:
+                    from repro.obs.events import JsonlTracer
+                    from repro.obs.runtime import trace_path
+
+                    tracer = JsonlTracer(
+                        trace_path(trace_dir, context.name, label),
+                        meta={
+                            "benchmark": context.name,
+                            "config": label,
+                            "iterations": context.iterations,
+                            "seed": context.seed,
+                        },
+                    )
+                try:
+                    stats = context.simulate(config, tracer=tracer)
+                finally:
+                    if tracer is not None:
+                        tracer.close()
                 result.add(context.name, label, stats)
                 if verbose:
                     print(

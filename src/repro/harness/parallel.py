@@ -44,12 +44,34 @@ def _init_worker(payload: bytes, paranoid_flag: bool) -> None:
     set_paranoid(paranoid_flag)
 
 
-def _run_cell(task: Tuple[str, str, MachineConfig]):
-    """Simulate one ``(benchmark, label)`` cell inside a worker."""
-    benchmark, label, config = task
+def _run_cell(task: Tuple[str, str, MachineConfig, str]):
+    """Simulate one ``(benchmark, label)`` cell inside a worker.
+
+    When the cell carries a trace path, the worker streams the cell's
+    event trace there itself — trace files are per-cell, so the merge
+    back in the parent needs no event shuffling and stays deterministic
+    (the parent's caller-order iteration; docs/observability.md)."""
+    benchmark, label, config, trace_file = task
     context = _WORKER_CONTEXTS[benchmark]
+    tracer = None
+    if trace_file is not None:
+        from repro.obs.events import JsonlTracer
+
+        tracer = JsonlTracer(
+            trace_file,
+            meta={
+                "benchmark": benchmark,
+                "config": label,
+                "iterations": context.iterations,
+                "seed": context.seed,
+            },
+        )
     start = time.perf_counter()
-    stats = context.simulate(config)
+    try:
+        stats = context.simulate(config, tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
     return benchmark, label, stats, time.perf_counter() - start
 
 
@@ -78,25 +100,39 @@ def run_simulations_parallel(
     configs: Dict[str, MachineConfig],
     jobs: int,
     verbose: bool = False,
+    trace_dir: str = None,
 ) -> ParallelStats:
     """Fill every ``(benchmark, label)`` cell, fanning uncached cells
-    over a ``multiprocessing`` pool of ``jobs`` workers."""
+    over a ``multiprocessing`` pool of ``jobs`` workers.
+
+    With ``trace_dir`` set, every cell runs in a worker and streams its
+    own JSONL event trace — cached stats cannot produce the event
+    stream, so stage 1's cache resolution is skipped entirely."""
     out = ParallelStats()
     by_name = {context.name: context for context in contexts}
     if len(by_name) != len(contexts):
         raise ReproError("duplicate benchmark contexts in parallel run")
+    if trace_dir is not None:
+        from repro.obs.runtime import trace_path
 
     # Stage 1: resolve cells the memo / persistent cache already has
     # (no artifacts needed to compute the keys — a fully cache-warm run
-    # skips profiling entirely).
-    pending: List[Tuple[str, str, MachineConfig]] = []
+    # skips profiling entirely).  Traced runs resolve nothing here.
+    pending: List[Tuple[str, str, MachineConfig, str]] = []
     for context in contexts:
         for label, config in configs.items():
-            stats = context.cached_stats(config)
+            stats = None if trace_dir is not None else (
+                context.cached_stats(config)
+            )
             if stats is not None:
                 out[(context.name, label)] = stats
             else:
-                pending.append((context.name, label, config))
+                trace_file = (
+                    trace_path(trace_dir, context.name, label)
+                    if trace_dir is not None
+                    else None
+                )
+                pending.append((context.name, label, config, trace_file))
 
     if not pending:
         return out
@@ -104,7 +140,7 @@ def run_simulations_parallel(
     # Stage 2: machine-independent artifacts for the contexts that still
     # have work, built (or cache-loaded) once in the parent.
     config_list = list(configs.values())
-    pending_names = {name for name, _, _ in pending}
+    pending_names = {task[0] for task in pending}
     for context in contexts:
         if context.name in pending_names:
             context.prepare(config_list)

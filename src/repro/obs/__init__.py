@@ -1,0 +1,52 @@
+"""Observability: structured event tracing and run reports.
+
+Opt-in, zero-overhead-when-off instrumentation for both simulation
+engines (see docs/observability.md):
+
+* :mod:`repro.obs.events` — the event tracer (ring buffer, JSONL
+  streaming, episode-frame exit-case attribution);
+* :mod:`repro.obs.metrics` — per-run rollups and suite run reports
+  (JSON/CSV);
+* :mod:`repro.obs.reconcile` — offline validation of trace files
+  against the run's final stats;
+* :mod:`repro.obs.runtime` — the process-wide ``--trace-out`` toggle
+  the harness consults (mirrors paranoid mode).
+"""
+
+from repro.obs.events import (
+    SCHEMA,
+    CollectorTracer,
+    JsonlTracer,
+    Tracer,
+)
+from repro.obs.metrics import REPORT_SCHEMA, RunMetrics, SuiteReport
+from repro.obs.reconcile import (
+    TraceSummary,
+    reconcile_directory,
+    reconcile_trace,
+    validate_trace_file,
+)
+from repro.obs.runtime import (
+    active_trace_dir,
+    set_trace_dir,
+    trace_path,
+    tracing,
+)
+
+__all__ = [
+    "SCHEMA",
+    "REPORT_SCHEMA",
+    "Tracer",
+    "CollectorTracer",
+    "JsonlTracer",
+    "RunMetrics",
+    "SuiteReport",
+    "TraceSummary",
+    "validate_trace_file",
+    "reconcile_trace",
+    "reconcile_directory",
+    "active_trace_dir",
+    "set_trace_dir",
+    "trace_path",
+    "tracing",
+]

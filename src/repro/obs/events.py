@@ -1,0 +1,241 @@
+"""Structured event tracing for the timing simulators.
+
+A :class:`Tracer` attached to a simulator (``simulate(...,
+tracer=...)``) receives one call per *episode-level* event — dynamic
+predication enter/exit, per-path outcomes, confidence decisions,
+pipeline flushes, dual-path forks — and never per-instruction events, so
+a traced run stays within a small constant factor of an untraced one.
+With no tracer attached every hook site is a single ``is None`` test
+(the zero-overhead-when-off contract; tests/obs assert the resulting
+:class:`~repro.uarch.stats.SimStats` are bit-identical).
+
+Event records are dicts with a type tag ``t`` and a per-run sequence
+number ``i``.  :class:`JsonlTracer` streams them to a schema-versioned
+JSONL file (one JSON object per line, first record a header, last an
+``end`` record carrying the run's full stats); the base class keeps a
+bounded ring of recent events, which the watchdog dumps into
+:class:`~repro.errors.SimulationHangError` diagnostics when a hung run
+is caught mid-episode (docs/observability.md).
+
+Exit-case attribution uses an explicit episode-frame stack mirroring the
+simulator's ``_dpred_depth`` nesting: ``note_exit_case`` charges the
+innermost open episode, so nested episodes (the Section 2.7.4 policy)
+cannot steal their parent's Table 1 exit case.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import json
+from typing import Any, Deque, Dict, List, Optional
+
+#: JSONL schema tag, bumped on incompatible record layout changes.
+SCHEMA = "repro-trace/1"
+
+#: Default ring capacity (events kept for hang diagnostics).
+DEFAULT_RING_CAPACITY = 256
+
+#: Every record type and its required payload fields (beyond ``t``/``i``),
+#: used by :func:`repro.obs.reconcile.validate_trace_file`.
+EVENT_FIELDS: Dict[str, tuple] = {
+    "header": ("schema",),
+    "machine": ("mode", "engine"),
+    "ep-enter": ("ep", "kind", "pc", "depth", "cycle", "mispredicted"),
+    "path": ("ep", "role", "outcome", "n"),
+    "ep-exit": ("ep", "kind", "cases", "restart", "selects", "cycle"),
+    "conf": ("pc", "confident", "site"),
+    "flush": ("site", "cycle"),
+    "fork": ("pc", "cycle"),
+    "end": ("stats", "events"),
+}
+
+#: Episode kinds (the three predication engines).
+EPISODE_KINDS = ("dpred", "wish", "loop")
+
+
+class _EpisodeFrame:
+    __slots__ = ("ep", "kind", "cases", "selects")
+
+    def __init__(self, ep: int, kind: str) -> None:
+        self.ep = ep
+        self.kind = kind
+        self.cases: List[int] = []
+        self.selects = 0
+
+
+class Tracer:
+    """In-memory tracer: a bounded ring of events plus the episode-frame
+    stack.  Also the test double (``capacity=None`` keeps everything)."""
+
+    def __init__(self, capacity: Optional[int] = DEFAULT_RING_CAPACITY) -> None:
+        self._ring: Deque[Dict[str, Any]] = collections.deque(maxlen=capacity)
+        self._seq = 0
+        self._frames: List[_EpisodeFrame] = []
+        self._next_ep = 0
+        self.finished = False
+
+    # -- low-level record plumbing -------------------------------------
+
+    def emit(self, event_type: str, **fields) -> None:
+        record = {"t": event_type, "i": self._seq}
+        record.update(fields)
+        self._seq += 1
+        self._ring.append(record)
+        self._write(record)
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        """Overridden by persistent tracers; the base keeps only the ring."""
+
+    @property
+    def events_emitted(self) -> int:
+        return self._seq
+
+    @property
+    def records(self) -> List[Dict[str, Any]]:
+        """The retained events (the full stream when ``capacity=None``)."""
+        return list(self._ring)
+
+    def tail(self, n: int = 32) -> List[Dict[str, Any]]:
+        """The last ``n`` retained events (hang-dump payload)."""
+        if n <= 0:
+            return []
+        ring = self._ring
+        return list(ring)[-n:] if len(ring) > n else list(ring)
+
+    # -- episode lifecycle ---------------------------------------------
+
+    def episode_enter(
+        self,
+        kind: str,
+        pc: int,
+        pos: int,
+        depth: int,
+        cycle: int,
+        mispredicted: bool,
+    ) -> None:
+        ep = self._next_ep
+        self._next_ep += 1
+        self._frames.append(_EpisodeFrame(ep, kind))
+        self.emit(
+            "ep-enter",
+            ep=ep,
+            kind=kind,
+            pc=pc,
+            pos=pos,
+            depth=depth,
+            cycle=cycle,
+            mispredicted=mispredicted,
+        )
+
+    def note_path(
+        self,
+        role: str,
+        outcome: str,
+        n: int,
+        cfm_pc: Optional[int] = None,
+    ) -> None:
+        """One predicated path finished (``role``: predicted/alternate;
+        ``n``: instructions fetched on it)."""
+        ep = self._frames[-1].ep if self._frames else None
+        self.emit("path", ep=ep, role=role, outcome=outcome, n=n, cfm_pc=cfm_pc)
+
+    def note_exit_case(self, case: int) -> None:
+        """Charge a Table 1 exit case to the innermost open episode."""
+        if self._frames:
+            self._frames[-1].cases.append(int(case))
+
+    def note_selects(self, count: int) -> None:
+        if self._frames:
+            self._frames[-1].selects += count
+
+    def episode_exit(self, restart: bool, cycle: int) -> None:
+        frame = self._frames.pop()
+        self.emit(
+            "ep-exit",
+            ep=frame.ep,
+            kind=frame.kind,
+            cases=frame.cases,
+            restart=restart,
+            selects=frame.selects,
+            cycle=cycle,
+        )
+
+    @property
+    def open_episodes(self) -> int:
+        return len(self._frames)
+
+    # -- point events ---------------------------------------------------
+
+    def note_confidence(self, pc: int, confident: bool, site: str) -> None:
+        self.emit("conf", pc=pc, confident=confident, site=site)
+
+    def note_flush(self, site: str, cycle: int, pc: Optional[int] = None) -> None:
+        self.emit("flush", site=site, cycle=cycle, pc=pc)
+
+    def note_fork(self, pc: int, cycle: int) -> None:
+        self.emit("fork", pc=pc, cycle=cycle)
+
+    # -- run boundaries --------------------------------------------------
+
+    def machine(self, **fields) -> None:
+        """Emitted once by the simulator constructor: machine metadata
+        (mode, engine, predictor/confidence description)."""
+        self.emit("machine", **fields)
+
+    def finish(self, stats) -> None:
+        """Emitted by the simulator at the end of ``run()``: the full
+        stats payload, which reconciliation checks the event stream
+        against."""
+        payload = (
+            dataclasses.asdict(stats)
+            if dataclasses.is_dataclass(stats)
+            else dict(stats)
+        )
+        self.emit("end", stats=payload, events=self._seq)
+        self.finished = True
+
+    def close(self) -> None:
+        """Release any underlying resources (idempotent)."""
+
+
+class CollectorTracer(Tracer):
+    """Unbounded in-memory tracer for tests and programmatic use."""
+
+    def __init__(self) -> None:
+        super().__init__(capacity=None)
+
+
+class JsonlTracer(Tracer):
+    """Streams every event to a JSONL file.
+
+    The first record is a schema header (``meta`` merges into it:
+    benchmark, config label, iterations, ...); the last — written by
+    :meth:`finish` — is an ``end`` record carrying the run's full
+    :class:`~repro.uarch.stats.SimStats`.  A file without an ``end``
+    record is a truncated (crashed or hung) run, and
+    :func:`repro.obs.reconcile.validate_trace_file` says so.
+    """
+
+    def __init__(
+        self,
+        path,
+        meta: Optional[Dict[str, Any]] = None,
+        capacity: Optional[int] = DEFAULT_RING_CAPACITY,
+    ) -> None:
+        super().__init__(capacity=capacity)
+        self.path = str(path)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self.emit("header", schema=SCHEMA, **(meta or {}))
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        self._handle.write(json.dumps(record, separators=(",", ":")))
+        self._handle.write("\n")
+
+    def finish(self, stats) -> None:
+        super().finish(stats)
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()

@@ -1,0 +1,201 @@
+"""Metrics registry: per-run rollups and suite-level run reports.
+
+:class:`RunMetrics` derives the figure-level quantities (exit-case
+histogram, dynamic-predication coverage, flush-avoidance rate, uop
+overhead) from one :class:`~repro.uarch.stats.SimStats` — or from the
+stats dict a trace file's ``end`` record carries, so reports can be
+built either from live suite results or from JSONL artifacts on disk.
+
+:class:`SuiteReport` collects one :class:`RunMetrics` per ``(benchmark,
+config)`` cell in deterministic caller order (benchmarks x configs, the
+same order :func:`repro.harness.experiment.run_suite` merges parallel
+results in — never worker completion order) and renders JSON or CSV.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.modes import ExitCase
+
+#: JSON report schema tag.
+REPORT_SCHEMA = "repro-report/1"
+
+
+def _as_stats_dict(stats) -> Dict:
+    if dataclasses.is_dataclass(stats):
+        return dataclasses.asdict(stats)
+    return dict(stats)
+
+
+@dataclasses.dataclass
+class RunMetrics:
+    """Derived rollups for one ``(benchmark, config)`` simulation."""
+
+    benchmark: str
+    config: str
+    cycles: int
+    retired_instructions: int
+    ipc: float
+    retired_branches: int
+    mispredictions: int
+    misprediction_rate: float
+    mpki: float
+    pipeline_flushes: int
+    #: Fraction of mispredictions that did NOT flush the pipeline (the
+    #: quantity Figure 11 plots: predication converts flushes into
+    #: predicated-FALSE work).
+    flush_avoidance_rate: float
+    dpred_entries: int
+    #: Dynamic-predication episodes per retired branch — how much of the
+    #: dynamic branch stream entered an episode.
+    dpred_coverage: float
+    dpred_restarts: int
+    early_exits: int
+    select_uops: int
+    extra_uops: int
+    #: Inserted-uop overhead relative to executed instructions (Fig 12).
+    uop_overhead: float
+    #: Table 1 exit-case histogram (Figs 8/10), keys 1..6.
+    exit_cases: Dict[int, int]
+
+    @classmethod
+    def from_stats(
+        cls, stats, benchmark: str = "", config: str = ""
+    ) -> "RunMetrics":
+        """Build from a :class:`~repro.uarch.stats.SimStats` or the
+        equivalent dict (a trace ``end`` record's ``stats`` payload,
+        whose exit-case keys JSON stringified)."""
+        d = _as_stats_dict(stats)
+        cycles = d["cycles"]
+        retired = d["retired_instructions"]
+        branches = d["retired_branches"]
+        mispredictions = d["mispredictions"]
+        flushes = d["pipeline_flushes"]
+        executed = d["executed_instructions"]
+        extra = d["extra_uops"]
+        selects = d["select_uops"]
+        exit_cases = {
+            int(case): int(count) for case, count in d["exit_cases"].items()
+        }
+        return cls(
+            benchmark=benchmark or d.get("benchmark", ""),
+            config=config or d.get("config_description", ""),
+            cycles=cycles,
+            retired_instructions=retired,
+            ipc=retired / cycles if cycles else 0.0,
+            retired_branches=branches,
+            mispredictions=mispredictions,
+            misprediction_rate=(
+                mispredictions / branches if branches else 0.0
+            ),
+            mpki=1000.0 * mispredictions / retired if retired else 0.0,
+            pipeline_flushes=flushes,
+            flush_avoidance_rate=(
+                (mispredictions - flushes) / mispredictions
+                if mispredictions
+                else 0.0
+            ),
+            dpred_entries=d["dpred_entries"],
+            dpred_coverage=(
+                d["dpred_entries"] / branches if branches else 0.0
+            ),
+            dpred_restarts=d["dpred_restarts"],
+            early_exits=d["early_exits"],
+            select_uops=selects,
+            extra_uops=extra,
+            uop_overhead=(
+                (extra + selects) / executed if executed else 0.0
+            ),
+            exit_cases=exit_cases,
+        )
+
+    #: Episodes that recorded a Table 1 exit case (restarted episodes do
+    #: not; see Section 2.7.3 and the oracle's exit accounting).
+    @property
+    def terminal_episodes(self) -> int:
+        return sum(self.exit_cases.values())
+
+
+#: CSV column order (exit cases expand to one column per enum member).
+_CSV_FIELDS = (
+    "benchmark",
+    "config",
+    "cycles",
+    "retired_instructions",
+    "ipc",
+    "retired_branches",
+    "mispredictions",
+    "misprediction_rate",
+    "mpki",
+    "pipeline_flushes",
+    "flush_avoidance_rate",
+    "dpred_entries",
+    "dpred_coverage",
+    "dpred_restarts",
+    "early_exits",
+    "select_uops",
+    "extra_uops",
+    "uop_overhead",
+)
+
+
+class SuiteReport:
+    """Deterministically ordered run report over many cells."""
+
+    def __init__(
+        self,
+        cells: Iterable[RunMetrics],
+        meta: Optional[Dict] = None,
+    ) -> None:
+        self.cells: List[RunMetrics] = list(cells)
+        self.meta: Dict = dict(meta or {})
+
+    @classmethod
+    def from_suite(cls, result, meta: Optional[Dict] = None) -> "SuiteReport":
+        """From a :class:`~repro.harness.experiment.SuiteResult` — cell
+        order is the result's insertion order, which ``run_suite`` fixes
+        to the caller's benchmarks x configs order on both the serial
+        and the parallel path."""
+        cells = [
+            RunMetrics.from_stats(stats, benchmark=benchmark, config=label)
+            for benchmark, per_config in result.results.items()
+            for label, stats in per_config.items()
+        ]
+        return cls(cells, meta=meta)
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": REPORT_SCHEMA,
+            "meta": self.meta,
+            "cells": [dataclasses.asdict(cell) for cell in self.cells],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def to_csv(self) -> str:
+        out = io.StringIO()
+        case_columns = [f"exit_case_{case.value}" for case in ExitCase]
+        out.write(",".join(_CSV_FIELDS + tuple(case_columns)) + "\n")
+        for cell in self.cells:
+            row = [getattr(cell, field) for field in _CSV_FIELDS]
+            row += [cell.exit_cases.get(case.value, 0) for case in ExitCase]
+            out.write(
+                ",".join(
+                    f"{value:.6f}" if isinstance(value, float) else str(value)
+                    for value in row
+                )
+                + "\n"
+            )
+        return out.getvalue()
+
+    def render(self, fmt: str = "json") -> str:
+        if fmt == "json":
+            return self.to_json()
+        if fmt == "csv":
+            return self.to_csv()
+        raise ValueError(f"unknown report format {fmt!r}")

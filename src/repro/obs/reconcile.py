@@ -1,0 +1,256 @@
+"""Trace-file validation and event-vs-stats reconciliation.
+
+Two layers of checking over a ``repro-trace/1`` JSONL file:
+
+* :func:`validate_trace_file` — structural: well-formed JSON lines, a
+  schema header first, known record types with their required fields,
+  strictly increasing sequence numbers, and a terminating ``end``
+  record (its absence marks a truncated — crashed or hung — run);
+* :func:`reconcile_trace` — semantic: every dynamic-predication episode
+  in the stream must balance (enter/exit pairs), every *terminal*
+  episode must record exactly one Table 1 exit case (restarted episodes
+  exactly zero), and the event-derived histograms must equal the run's
+  final :class:`~repro.uarch.stats.SimStats` — the same accounting the
+  PR-1 oracle enforces online, re-established offline from artifacts.
+
+Violations raise :class:`~repro.errors.TraceValidationError` with the
+offending record's sequence number in the message.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional
+
+from repro.errors import TraceValidationError
+from repro.obs.events import EVENT_FIELDS, SCHEMA
+
+
+def read_trace(path) -> List[Dict]:
+    """Parse a JSONL trace into records (structure unchecked)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise TraceValidationError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(record, dict):
+                raise TraceValidationError(
+                    f"{path}:{lineno}: record is not a JSON object"
+                )
+            records.append(record)
+    return records
+
+
+def validate_trace_file(path) -> Dict:
+    """Structural validation; returns the header record."""
+    records = read_trace(path)
+    if not records:
+        raise TraceValidationError(f"{path}: empty trace file")
+    header = records[0]
+    if header.get("t") != "header":
+        raise TraceValidationError(
+            f"{path}: first record must be a header, got {header.get('t')!r}"
+        )
+    if header.get("schema") != SCHEMA:
+        raise TraceValidationError(
+            f"{path}: unsupported trace schema {header.get('schema')!r} "
+            f"(expected {SCHEMA!r})"
+        )
+    last_seq = -1
+    for record in records:
+        kind = record.get("t")
+        if kind not in EVENT_FIELDS:
+            raise TraceValidationError(
+                f"{path}: unknown record type {kind!r} at i={record.get('i')}"
+            )
+        seq = record.get("i")
+        if not isinstance(seq, int) or seq <= last_seq:
+            raise TraceValidationError(
+                f"{path}: sequence numbers must strictly increase "
+                f"(got {seq!r} after {last_seq})"
+            )
+        last_seq = seq
+        missing = [
+            field for field in EVENT_FIELDS[kind] if field not in record
+        ]
+        if missing:
+            raise TraceValidationError(
+                f"{path}: {kind!r} record i={seq} is missing "
+                f"field(s) {', '.join(missing)}"
+            )
+    if records[-1].get("t") != "end":
+        raise TraceValidationError(
+            f"{path}: no end record — the traced run was truncated "
+            "(crashed or hung before finishing)"
+        )
+    return header
+
+
+@dataclasses.dataclass
+class TraceSummary:
+    """What reconciliation established about one trace file."""
+
+    path: str
+    benchmark: str
+    config: str
+    events: int
+    episodes: int
+    terminal_episodes: int
+    restarted_episodes: int
+    exit_cases: Dict[int, int]
+    flushes: int
+    forks: int
+    select_uops: int
+    stats: Dict
+
+    def describe(self) -> str:
+        cases = " ".join(
+            f"c{case}={count}" for case, count in sorted(self.exit_cases.items())
+        )
+        return (
+            f"{self.benchmark}/{self.config}: {self.events} events, "
+            f"{self.episodes} episodes ({self.terminal_episodes} terminal, "
+            f"{self.restarted_episodes} restarted)  {cases}  "
+            f"flushes={self.flushes}"
+        )
+
+
+def reconcile_trace(path) -> TraceSummary:
+    """Validate ``path`` structurally, then reconcile its episode events
+    against the final stats in its ``end`` record."""
+    header = validate_trace_file(path)
+    records = read_trace(path)
+    stats = records[-1]["stats"]
+
+    def fail(message: str, **context) -> None:
+        detail = "".join(f" {k}={v!r}" for k, v in context.items())
+        raise TraceValidationError(f"{path}: {message}{detail}")
+
+    open_frames: Dict[int, Dict] = {}
+    episodes = terminal = restarted = flushes = forks = selects = 0
+    histogram: Dict[int, int] = {}
+    for record in records:
+        kind = record["t"]
+        if kind == "ep-enter":
+            ep = record["ep"]
+            if ep in open_frames:
+                fail("duplicate episode id", ep=ep, i=record["i"])
+            open_frames[ep] = record
+            episodes += 1
+        elif kind == "ep-exit":
+            ep = record["ep"]
+            if open_frames.pop(ep, None) is None:
+                fail("episode exit without enter", ep=ep, i=record["i"])
+            cases = record["cases"]
+            if record["restart"]:
+                restarted += 1
+                if cases:
+                    fail(
+                        "restarted episode recorded an exit case",
+                        ep=ep, cases=cases,
+                    )
+            else:
+                terminal += 1
+                if len(cases) != 1:
+                    fail(
+                        "terminal episode must record exactly one exit case",
+                        ep=ep, cases=cases,
+                    )
+                histogram[cases[0]] = histogram.get(cases[0], 0) + 1
+            selects += record["selects"]
+        elif kind == "path":
+            ep = record["ep"]
+            if ep is not None and ep not in open_frames:
+                fail("path event outside its episode", ep=ep, i=record["i"])
+        elif kind == "flush":
+            flushes += 1
+        elif kind == "fork":
+            forks += 1
+    if open_frames:
+        fail("episode(s) never exited", open=sorted(open_frames))
+
+    stats_cases = {
+        int(case): int(count)
+        for case, count in stats["exit_cases"].items()
+        if count
+    }
+    if histogram != stats_cases:
+        fail(
+            "episode exit cases disagree with the run's histogram",
+            from_events=histogram, from_stats=stats_cases,
+        )
+    if episodes != stats["dpred_entries"]:
+        fail(
+            "episode count disagrees with dpred_entries",
+            episodes=episodes, dpred_entries=stats["dpred_entries"],
+        )
+    if terminal != sum(stats_cases.values()):
+        fail(
+            "terminal episode count disagrees with the exit-case total",
+            terminal=terminal, exit_case_total=sum(stats_cases.values()),
+        )
+    if flushes != stats["pipeline_flushes"]:
+        fail(
+            "flush events disagree with pipeline_flushes",
+            events=flushes, counter=stats["pipeline_flushes"],
+        )
+    if forks != stats["dualpath_forks"]:
+        fail(
+            "fork events disagree with dualpath_forks",
+            events=forks, counter=stats["dualpath_forks"],
+        )
+    if selects != stats["select_uops"]:
+        fail(
+            "episode select counts disagree with select_uops",
+            events=selects, counter=stats["select_uops"],
+        )
+
+    return TraceSummary(
+        path=str(path),
+        benchmark=str(header.get("benchmark", stats.get("benchmark", ""))),
+        config=str(header.get("config", "")),
+        events=records[-1]["events"],
+        episodes=episodes,
+        terminal_episodes=terminal,
+        restarted_episodes=restarted,
+        exit_cases=histogram,
+        flushes=flushes,
+        forks=forks,
+        select_uops=selects,
+        stats=stats,
+    )
+
+
+def reconcile_directory(directory) -> List[TraceSummary]:
+    """Reconcile every ``*.jsonl`` file under ``directory`` (sorted by
+    name, so output order is deterministic)."""
+    import os
+
+    summaries = []
+    names = sorted(
+        name for name in os.listdir(directory) if name.endswith(".jsonl")
+    )
+    if not names:
+        raise TraceValidationError(f"{directory}: no *.jsonl trace files")
+    for name in names:
+        summaries.append(reconcile_trace(os.path.join(directory, name)))
+    return summaries
+
+
+def trace_metrics(summary: TraceSummary, config: Optional[str] = None):
+    """A :class:`~repro.obs.metrics.RunMetrics` from a reconciled trace."""
+    from repro.obs.metrics import RunMetrics
+
+    return RunMetrics.from_stats(
+        summary.stats,
+        benchmark=summary.benchmark,
+        config=config or summary.config,
+    )

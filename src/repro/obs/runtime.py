@@ -1,0 +1,59 @@
+"""Process-wide trace destination.
+
+The CLI's ``--trace`` / ``--trace-out DIR`` flags must instrument *every*
+simulation a command runs — including ones buried inside figure drivers
+that never see the parsed arguments.  Mirroring
+:mod:`repro.validation.runtime` (paranoid mode), the harness consults
+this toggle instead of threading a tracer through every driver
+signature: when a trace directory is active, :func:`repro.harness
+.experiment.run_suite` opens one JSONL tracer per ``(benchmark,
+config)`` cell underneath it.
+
+Tracing only ever *adds* observation; it never changes timing results
+(asserted by tests/obs), so memoized simulation caches keyed on the
+config stay valid — although traced cells deliberately bypass the memo
+so every requested trace file is actually produced.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import re
+from typing import Optional
+
+_TRACE_DIR: Optional[str] = None
+
+
+def set_trace_dir(path: Optional[str]) -> Optional[str]:
+    """Set the process-wide trace directory (``None`` disables tracing);
+    returns the previous value."""
+    global _TRACE_DIR
+    previous = _TRACE_DIR
+    _TRACE_DIR = str(path) if path else None
+    return previous
+
+
+def active_trace_dir() -> Optional[str]:
+    return _TRACE_DIR
+
+
+def trace_path(directory: str, benchmark: str, label: str) -> str:
+    """The canonical trace-file path for one ``(benchmark, config)``
+    cell: ``<dir>/<benchmark>__<label>.jsonl``, with filesystem-hostile
+    label characters replaced.  Shared by the serial and parallel suite
+    paths so the two produce identical trees."""
+    safe = re.sub(r"[^A-Za-z0-9._-]", "-", label)
+    return os.path.join(directory, f"{benchmark}__{safe}.jsonl")
+
+
+@contextlib.contextmanager
+def tracing(path: Optional[str]):
+    """Context manager: trace into ``path`` inside the ``with`` block
+    (a ``None`` path is a no-op, so callers can pass the flag through
+    unconditionally)."""
+    previous = set_trace_dir(path)
+    try:
+        yield
+    finally:
+        set_trace_dir(previous)

@@ -5,6 +5,12 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict
 
+from repro.core.modes import ExitCase
+
+#: The valid Table 1 exit-case codes, derived from the enum — the stats
+#: layer must never hardcode its own copy of the range.
+_VALID_EXIT_CASES = frozenset(int(case) for case in ExitCase)
+
 
 @dataclasses.dataclass
 class SimStats:
@@ -50,7 +56,7 @@ class SimStats:
     # Dynamic predication accounting
     dpred_entries: int = 0
     exit_cases: Dict[int, int] = dataclasses.field(
-        default_factory=lambda: {case: 0 for case in range(1, 7)}
+        default_factory=lambda: {int(case): 0 for case in ExitCase}
     )
     early_exits: int = 0
     dpred_restarts: int = 0   # multiple-diverge-branch re-entries
@@ -108,8 +114,12 @@ class SimStats:
         return self.executed_instructions + self.extra_uops + self.select_uops
 
     def record_exit_case(self, case: int) -> None:
-        if case not in self.exit_cases:
-            raise ValueError(f"exit case must be 1..6, got {case}")
+        if case not in _VALID_EXIT_CASES:
+            raise ValueError(
+                f"exit case must be an ExitCase value "
+                f"({min(_VALID_EXIT_CASES)}..{max(_VALID_EXIT_CASES)}), "
+                f"got {case}"
+            )
         self.exit_cases[case] += 1
 
     def summary(self) -> str:

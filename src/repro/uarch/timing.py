@@ -93,11 +93,17 @@ class TimingSimulator:
         hints: Optional[HintTable] = None,
         benchmark: str = "",
         warm_words=None,
+        tracer=None,
     ) -> None:
         self.program = program
         self.trace = trace
         self.config = config or MachineConfig()
         self.hints = hints or HintTable()
+        # Observability (docs/observability.md).  The tracer is duck-typed
+        # and injected by the caller — the simulator never imports
+        # repro.obs — and every hook site below is a single ``is None``
+        # test when tracing is off.
+        self.tracer = tracer
         self.stats = SimStats(
             benchmark=benchmark or trace.program_name,
             config_description=self.config.describe(),
@@ -119,6 +125,14 @@ class TimingSimulator:
             self.confidence, PerfectConfidenceEstimator
         )
         self._is_dualpath = self.config.mode == "dualpath"
+        if tracer is not None:
+            tracer.machine(
+                mode=self.config.mode,
+                engine=self.config.engine,
+                benchmark=self.stats.benchmark,
+                predictor=self.config.predictor_kind,
+                confidence=self.confidence.describe(),
+            )
         # Memory system
         self.hierarchy = CacheHierarchy(
             memory=MainMemory(latency=self.config.memory_latency),
@@ -222,6 +236,8 @@ class TimingSimulator:
         self.stats.retired_instructions = self.trace.instruction_count
         if oracle is not None:
             oracle.finalize(self.stats, self.trace)
+        if self.tracer is not None:
+            self.tracer.finish(self.stats)
         return self.stats
 
     def _run_fast(self) -> SimStats:
@@ -266,6 +282,8 @@ class TimingSimulator:
         self.stats.retired_instructions = self.trace.instruction_count
         if oracle is not None:
             oracle.finalize(self.stats, self.trace)
+        if self.tracer is not None:
+            self.tracer.finish(self.stats)
         return self.stats
 
     # ------------------------------------------------------------------
@@ -691,6 +709,8 @@ class TimingSimulator:
         low_confidence = not self.confidence.is_confident(
             instr.pc, history_snapshot
         )
+        if self.tracer is not None:
+            self.tracer.note_confidence(instr.pc, not low_confidence, "branch")
         self._train_branch(context)
 
         if (
@@ -760,6 +780,8 @@ class TimingSimulator:
         low_confidence = not self.confidence.is_confident(
             instr.pc, history_snapshot
         )
+        if self.tracer is not None:
+            self.tracer.note_confidence(instr.pc, not low_confidence, "branch")
         predictor.train(prediction, actual)
         self.confidence.update(
             instr.pc, history_snapshot, was_correct=not mispredicted
@@ -803,6 +825,10 @@ class TimingSimulator:
     ) -> None:
         """Fetch the wrong path until resolution, then flush and redirect."""
         self.stats.pipeline_flushes += 1
+        if self.tracer is not None:
+            self.tracer.note_flush(
+                "mispredict", self.cycle, pc=context.instr.pc
+            )
         self._walk_wrong_path(
             context.record,
             context.prediction.taken,
@@ -1052,6 +1078,8 @@ class TimingSimulator:
         path's consumption is accounted by a cycle-neutral walk so the two
         "concurrent" fetch streams are not serialized."""
         self.stats.dualpath_forks += 1
+        if self.tracer is not None:
+            self.tracer.note_fork(context.instr.pc, self.cycle)
         self.dual_until = context.resolution
         if context.mispredicted:
             self.stats.mispredictions += 1

@@ -101,4 +101,10 @@ class Watchdog:
             "benchmark": sim.stats.benchmark,
         }
         diagnostics.update(extra)
+        tracer = getattr(sim, "tracer", None)
+        if tracer is not None:
+            # The tracer's ring buffer holds the last events before the
+            # hang — the flight recorder for postmortems
+            # (docs/observability.md).
+            diagnostics["recent_events"] = tracer.tail()
         raise SimulationHangError(f"watchdog: {reason}", diagnostics)

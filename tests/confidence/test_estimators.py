@@ -59,6 +59,53 @@ class TestJRS:
             JRSConfidenceEstimator(table_size=100)
 
 
+class TestJRSPaperPreset:
+    """The Table 2 instance: 1KB = 2048 x 4-bit MDCs, 12-bit history,
+    full-saturation confidence threshold."""
+
+    def test_paper_parameters(self):
+        jrs = JRSConfidenceEstimator.paper()
+        assert jrs.table_size == 2048
+        assert jrs.history_bits == 12
+        assert jrs.counter_max == 15          # 4-bit counters
+        assert jrs.threshold == jrs.counter_max  # full saturation
+        # 2048 counters x 4 bits = 1KB of state.
+        assert jrs.table_size * 4 // 8 == 1024
+
+    def test_paper_requires_full_saturation(self):
+        jrs = JRSConfidenceEstimator.paper()
+        for _ in range(14):
+            jrs.update(0x1000, 0, was_correct=True)
+        assert not jrs.is_confident(0x1000, 0)
+        jrs.update(0x1000, 0, was_correct=True)
+        assert jrs.is_confident(0x1000, 0)
+
+    def test_paper_uses_twelve_history_bits(self):
+        jrs = JRSConfidenceEstimator.paper()
+        # History bit 10 lands inside both the 12-bit history mask and
+        # the 2048-entry table index, so it selects a different counter;
+        # bit 12 is masked off entirely, so that context aliases.
+        for _ in range(15):
+            jrs.update(0x1000, 0, was_correct=True)
+        assert jrs.is_confident(0x1000, 1 << 12)
+        assert not jrs.is_confident(0x1000, 1 << 10)
+
+    def test_defaults_differ_from_paper(self):
+        """The constructor defaults are deliberately NOT the Table 2
+        instance (shorter history, sub-saturation threshold)."""
+        default = JRSConfidenceEstimator()
+        paper = JRSConfidenceEstimator.paper()
+        assert default.table_size == paper.table_size == 2048
+        assert default.history_bits == 4
+        assert paper.history_bits == 12
+        assert default.threshold == 12
+        assert paper.threshold == 15
+
+    def test_describe_mentions_parameters(self):
+        text = JRSConfidenceEstimator.paper().describe()
+        assert "2048" in text and "12" in text
+
+
 class TestOracles:
     def test_perfect_tracks_oracle(self):
         est = PerfectConfidenceEstimator()

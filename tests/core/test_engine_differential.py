@@ -12,6 +12,7 @@ import dataclasses
 import pytest
 
 from repro.harness.experiment import BenchmarkContext
+from repro.obs.events import CollectorTracer
 from repro.uarch.config import MachineConfig
 from repro.workloads.suite import BENCHMARK_NAMES
 
@@ -66,6 +67,61 @@ def test_loop_predication_differential(bench_name):
     """Loop predication exercises the episode-restart paths."""
     config = MachineConfig.dmp(loop_predication=True).hardened()
     _assert_identical(_context(bench_name), config)
+
+
+def _traced_run(ctx: BenchmarkContext, config: MachineConfig):
+    tracer = CollectorTracer()
+    stats = ctx.simulate(config, tracer=tracer)
+    assert tracer.finished and tracer.open_episodes == 0
+    return stats, tracer.records
+
+
+@pytest.mark.parametrize("config_name", ("dmp", "dhp"))
+@pytest.mark.parametrize("bench_name", ("parser", "gzip", "twolf"))
+def test_episodes_record_exactly_one_terminal_exit_case(
+    bench_name, config_name
+):
+    """Every predication episode ends in exactly one of Table 1's six
+    exit cases — on both engines.  A restarted episode (Section 2.7.3)
+    charges no case of its own: its re-execution does.
+    """
+    ctx = _context(bench_name)
+    config = CONFIGS[config_name]().hardened()
+    for engine in ("reference", "fast"):
+        stats, records = _traced_run(ctx, config.replace(engine=engine))
+        exits = [r for r in records if r["t"] == "ep-exit"]
+        assert len(exits) == stats.dpred_entries
+        for record in exits:
+            if record["restart"]:
+                assert record["cases"] == [], record
+            else:
+                assert len(record["cases"]) == 1, record
+        charged = [case for r in exits for case in r["cases"]]
+        assert len(charged) == sum(stats.exit_cases.values())
+
+
+@pytest.mark.parametrize("bench_name", ("parser", "mcf"))
+def test_event_streams_are_engine_identical(bench_name):
+    """Stronger than stats bit-identity: the two engines must emit the
+    *same event stream*, record for record (cycles included)."""
+    config = CONFIGS["dmp"]().hardened()
+    ctx = _context(bench_name)
+    ref_stats, ref_records = _traced_run(
+        ctx, config.replace(engine="reference")
+    )
+    fast_stats, fast_records = _traced_run(ctx, config.replace(engine="fast"))
+    assert dataclasses.asdict(fast_stats) == dataclasses.asdict(ref_stats)
+
+    def scrub(records):
+        # The machine record names the engine that produced the stream —
+        # the one field that differs by construction.
+        return [
+            {k: v for k, v in r.items() if k != "engine"}
+            if r["t"] == "machine" else r
+            for r in records
+        ]
+
+    assert scrub(fast_records) == scrub(ref_records)
 
 
 def test_fast_engine_is_the_default():

@@ -7,16 +7,20 @@ import pytest
 from repro.harness import bench
 
 
-def _cell(benchmark="parser", config="base", speedup=2.0, identical=True):
+def _cell(benchmark="parser", config="base", speedup=2.0, identical=True,
+          traced_identical=True, degenerate=False):
     return {
         "benchmark": benchmark,
         "config": config,
         "retired_instructions": 1000,
         "identical": identical,
+        "traced_identical": traced_identical,
+        "traced_events": 10,
+        "degenerate": degenerate,
         "reference_cold_s": speedup,
         "fast_cold_s": 1.0,
         "fast_warm_s": 1.0,
-        "reference_cold_ips": 1000 / speedup,
+        "reference_cold_ips": 1000 / speedup if speedup else 0.0,
         "fast_cold_ips": 1000.0,
         "fast_warm_ips": 1000.0,
         "speedup_cold": speedup,
@@ -25,6 +29,7 @@ def _cell(benchmark="parser", config="base", speedup=2.0, identical=True):
 
 
 def _report(cells):
+    live = [c for c in cells if not c.get("degenerate")]
     return {
         "schema": bench.SCHEMA,
         "parameters": {},
@@ -32,12 +37,19 @@ def _report(cells):
         "cells": cells,
         "summary": {
             "geomean_speedup_cold": bench.geomean(
-                c["speedup_cold"] for c in cells
+                c["speedup_cold"] for c in live
             ),
             "geomean_speedup_warm": bench.geomean(
-                c["speedup_warm"] for c in cells
+                c["speedup_warm"] for c in live
             ),
             "all_identical": all(c["identical"] for c in cells),
+            "all_traced_identical": all(
+                c.get("traced_identical", True) for c in cells
+            ),
+            "degenerate_cells": [
+                f"{c['benchmark']}/{c['config']}" for c in cells
+                if c.get("degenerate")
+            ],
         },
     }
 
@@ -92,6 +104,57 @@ class TestCompare:
         baseline = _report([_cell(speedup=2.0)])
         assert bench.compare(current, baseline) == []
 
+    def test_traced_mismatch_always_fails(self):
+        current = _report([_cell(traced_identical=False)])
+        problems = bench.compare(current, current)
+        assert any("tracing perturbed" in p for p in problems)
+
+
+class TestDegenerateCells:
+    """Cells that finished below the process_time tick carry no ratio
+    information and must be excluded rather than ingested as 0.0."""
+
+    def test_degenerate_current_cell_is_not_a_regression(self):
+        # A degenerate current cell would read as an (impossible)
+        # speedup collapse if its fake zero ratio were compared.
+        current = _report([_cell(speedup=0.0, degenerate=True),
+                           _cell(config="dhp", speedup=2.0)])
+        baseline = _report([_cell(speedup=2.0),
+                            _cell(config="dhp", speedup=2.0)])
+        assert bench.compare(current, baseline, max_regression=0.25) == []
+
+    def test_degenerate_baseline_cell_is_skipped(self):
+        current = _report([_cell(speedup=0.5)])
+        baseline = _report([_cell(speedup=0.0, degenerate=True)])
+        assert bench.compare(current, baseline, max_regression=0.25) == []
+
+    def test_geomean_excludes_degenerate(self):
+        report = _report([_cell(speedup=4.0),
+                          _cell(config="dhp", speedup=0.0, degenerate=True)])
+        assert report["summary"]["geomean_speedup_cold"] == pytest.approx(4.0)
+        assert report["summary"]["degenerate_cells"] == ["parser/dhp"]
+
+    def test_pre_marker_reports_infer_from_zero_speedup(self):
+        # Reports written before the marker existed signalled a dead
+        # cell only through a 0.0 speedup; compare() must still skip it.
+        old_cell = {k: v for k, v in _cell(speedup=0.0).items()
+                    if k not in ("degenerate", "traced_identical",
+                                 "traced_events")}
+        assert bench._degenerate(old_cell)
+        current = _report([_cell(speedup=2.0)])
+        baseline = _report([old_cell])
+        assert bench.compare(current, baseline, max_regression=0.25) == []
+
+    def test_pre_marker_live_cell_still_compared(self):
+        old_cell = {k: v for k, v in _cell(speedup=2.0).items()
+                    if k not in ("degenerate", "traced_identical",
+                                 "traced_events")}
+        assert not bench._degenerate(old_cell)
+        current = _report([_cell(speedup=1.0)])
+        problems = bench.compare(current, _report([old_cell]),
+                                 max_regression=0.25)
+        assert any("parser/base" in p for p in problems)
+
 
 class TestReportIO:
     def test_save_load_round_trip(self, tmp_path):
@@ -122,11 +185,16 @@ class TestRunBench:
         assert report["schema"] == bench.SCHEMA
         (cell,) = report["cells"]
         assert cell["identical"] is True
+        assert cell["traced_identical"] is True
+        assert cell["traced_events"] > 0
+        assert cell["degenerate"] is False
         assert cell["retired_instructions"] > 0
         assert cell["fast_cold_ips"] > 0
         assert cell["speedup_cold"] > 0
         summary = report["summary"]
         assert summary["all_identical"] is True
+        assert summary["all_traced_identical"] is True
+        assert summary["degenerate_cells"] == []
         assert summary["geomean_speedup_cold"] == pytest.approx(
             cell["speedup_cold"]
         )

@@ -1,0 +1,147 @@
+"""The tracer primitives (repro.obs.events) and the watchdog hang dump."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationHangError
+from repro.obs.events import (
+    DEFAULT_RING_CAPACITY,
+    SCHEMA,
+    CollectorTracer,
+    JsonlTracer,
+    Tracer,
+)
+from repro.obs.reconcile import validate_trace_file
+from repro.uarch.stats import SimStats
+from repro.validation.watchdog import Watchdog
+
+
+class TestRing:
+    def test_capacity_bounds_retention(self):
+        tracer = Tracer(capacity=4)
+        for pc in range(10):
+            tracer.note_fork(pc, cycle=pc)
+        assert tracer.events_emitted == 10
+        kept = tracer.records
+        assert len(kept) == 4
+        assert [r["pc"] for r in kept] == [6, 7, 8, 9]
+
+    def test_default_capacity(self):
+        assert Tracer()._ring.maxlen == DEFAULT_RING_CAPACITY
+
+    def test_tail(self):
+        tracer = Tracer(capacity=None)
+        for pc in range(5):
+            tracer.note_fork(pc, cycle=0)
+        assert [r["pc"] for r in tracer.tail(2)] == [3, 4]
+        assert len(tracer.tail(100)) == 5
+        assert tracer.tail(0) == []
+
+    def test_sequence_numbers_strictly_increase(self):
+        tracer = CollectorTracer()
+        tracer.note_flush("mispredict", cycle=1)
+        tracer.note_fork(0x10, cycle=2)
+        seqs = [r["i"] for r in tracer.records]
+        assert seqs == sorted(set(seqs))
+
+
+class TestEpisodeFrames:
+    def test_exit_case_charged_to_innermost_episode(self):
+        tracer = CollectorTracer()
+        tracer.episode_enter("dpred", pc=0x10, pos=0, depth=1, cycle=5,
+                             mispredicted=True)
+        tracer.episode_enter("dpred", pc=0x20, pos=3, depth=2, cycle=9,
+                             mispredicted=False)
+        tracer.note_exit_case(4)      # inner episode's case
+        tracer.note_selects(2)
+        tracer.episode_exit(restart=False, cycle=12)
+        tracer.note_exit_case(3)      # now charged to the outer one
+        tracer.episode_exit(restart=False, cycle=20)
+        inner, outer = [r for r in tracer.records if r["t"] == "ep-exit"]
+        assert inner["ep"] == 1 and inner["cases"] == [4]
+        assert inner["selects"] == 2
+        assert outer["ep"] == 0 and outer["cases"] == [3]
+        assert tracer.open_episodes == 0
+
+    def test_restarted_episode_keeps_empty_cases(self):
+        tracer = CollectorTracer()
+        tracer.episode_enter("loop", pc=0x10, pos=0, depth=1, cycle=0,
+                             mispredicted=False)
+        tracer.episode_exit(restart=True, cycle=4)
+        (record,) = [r for r in tracer.records if r["t"] == "ep-exit"]
+        assert record["restart"] is True and record["cases"] == []
+
+
+class TestJsonlTracer:
+    def _emit_run(self, path):
+        tracer = JsonlTracer(path, meta={"benchmark": "gzip", "config": "dmp"})
+        tracer.machine(mode="dmp", engine="fast")
+        tracer.episode_enter("dpred", pc=0x40, pos=1, depth=1, cycle=3,
+                             mispredicted=True)
+        tracer.note_path("predicted", "cfm", 7)
+        tracer.note_exit_case(3)
+        tracer.episode_exit(restart=False, cycle=9)
+        stats = SimStats()
+        stats.dpred_entries = 1
+        stats.record_exit_case(3)
+        tracer.finish(stats)
+        tracer.close()
+        return tracer
+
+    def test_round_trip_validates(self, tmp_path):
+        path = tmp_path / "gzip__dmp.jsonl"
+        self._emit_run(path)
+        header = validate_trace_file(path)
+        assert header["schema"] == SCHEMA
+        assert header["benchmark"] == "gzip"
+
+    def test_header_first_end_last(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = self._emit_run(path)
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["t"] == "header"
+        assert records[-1]["t"] == "end"
+        # The end record reports the events preceding it (itself excluded).
+        assert records[-1]["events"] == tracer.events_emitted - 1
+        assert records[-1]["stats"]["dpred_entries"] == 1
+
+    def test_close_is_idempotent(self, tmp_path):
+        tracer = self._emit_run(tmp_path / "t.jsonl")
+        tracer.close()
+        tracer.close()
+
+
+class TestWatchdogHangDump:
+    class _FakeConfig:
+        mode = "dmp"
+        watchdog_cycle_limit = None
+
+    class _FakeSim:
+        def __init__(self, tracer):
+            self.config = TestWatchdogHangDump._FakeConfig()
+            self.stats = SimStats()
+            self.cycle = 0
+            self.seq = 0
+            self.last_retire_cycle = 0
+            self.tracer = tracer
+
+    def test_trip_dumps_recent_events(self):
+        tracer = Tracer(capacity=8)
+        for pc in range(20):
+            tracer.note_fork(pc, cycle=pc)
+        sim = self._FakeSim(tracer)
+        sim.cycle = 200
+        with pytest.raises(SimulationHangError) as exc_info:
+            Watchdog(sim, cycle_limit=100).check(sim, where="dpred-fetch")
+        recent = exc_info.value.report()["recent_events"]
+        assert recent == tracer.tail()
+        assert recent[-1]["pc"] == 19
+
+    def test_untraced_sim_dumps_nothing(self):
+        sim = self._FakeSim(tracer=None)
+        sim.cycle = 200
+        with pytest.raises(SimulationHangError) as exc_info:
+            Watchdog(sim, cycle_limit=100).check(sim)
+        assert "recent_events" not in exc_info.value.report()

@@ -1,0 +1,100 @@
+"""Run-report rollups (repro.obs.metrics)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.modes import ExitCase
+from repro.obs.metrics import REPORT_SCHEMA, RunMetrics, SuiteReport
+from repro.uarch.stats import SimStats
+
+
+def _stats(**overrides):
+    stats = SimStats()
+    defaults = dict(
+        cycles=1000,
+        retired_instructions=2000,
+        executed_instructions=2500,
+        retired_branches=200,
+        mispredictions=40,
+        pipeline_flushes=10,
+        dpred_entries=25,
+        dpred_restarts=2,
+        select_uops=30,
+        extra_uops=20,
+    )
+    defaults.update(overrides)
+    for name, value in defaults.items():
+        setattr(stats, name, value)
+    return stats
+
+
+class TestRunMetrics:
+    def test_derived_quantities(self):
+        m = RunMetrics.from_stats(_stats(), benchmark="gzip", config="dmp")
+        assert m.ipc == pytest.approx(2.0)
+        assert m.misprediction_rate == pytest.approx(0.2)
+        assert m.mpki == pytest.approx(20.0)
+        # 40 mispredictions, 10 flushed -> 75% converted to predication.
+        assert m.flush_avoidance_rate == pytest.approx(0.75)
+        assert m.dpred_coverage == pytest.approx(25 / 200)
+        assert m.uop_overhead == pytest.approx((20 + 30) / 2500)
+
+    def test_zero_denominators_yield_zero(self):
+        m = RunMetrics.from_stats(SimStats())
+        assert m.ipc == 0.0
+        assert m.mpki == 0.0
+        assert m.flush_avoidance_rate == 0.0
+        assert m.dpred_coverage == 0.0
+        assert m.uop_overhead == 0.0
+
+    def test_accepts_json_round_tripped_dict(self):
+        # A trace end record's stats payload: keys stringified by JSON.
+        payload = json.loads(json.dumps(dataclasses.asdict(_stats())))
+        m = RunMetrics.from_stats(payload, benchmark="mcf", config="dhp")
+        assert set(m.exit_cases) == {int(case) for case in ExitCase}
+        assert m.ipc == pytest.approx(2.0)
+
+    def test_terminal_episodes(self):
+        stats = _stats()
+        stats.record_exit_case(1)
+        stats.record_exit_case(6)
+        stats.record_exit_case(6)
+        m = RunMetrics.from_stats(stats)
+        assert m.terminal_episodes == 3
+
+
+class TestSuiteReport:
+    def _report(self):
+        cells = [
+            RunMetrics.from_stats(_stats(), benchmark=b, config=c)
+            for b in ("parser", "gzip")
+            for c in ("base", "dmp")
+        ]
+        return SuiteReport(cells, meta={"iterations": 800})
+
+    def test_json_round_trip(self):
+        payload = json.loads(self._report().to_json())
+        assert payload["schema"] == REPORT_SCHEMA
+        assert payload["meta"] == {"iterations": 800}
+        assert len(payload["cells"]) == 4
+        assert payload["cells"][0]["benchmark"] == "parser"
+
+    def test_csv_layout(self):
+        lines = self._report().to_csv().splitlines()
+        header = lines[0].split(",")
+        assert header[0] == "benchmark"
+        # One exit-case column per enum member, at the tail.
+        assert header[-len(ExitCase):] == [
+            f"exit_case_{case.value}" for case in ExitCase
+        ]
+        assert len(lines) == 1 + 4
+        assert all(len(line.split(",")) == len(header) for line in lines[1:])
+
+    def test_render_dispatch(self):
+        report = self._report()
+        assert report.render("json") == report.to_json()
+        assert report.render("csv") == report.to_csv()
+        with pytest.raises(ValueError):
+            report.render("yaml")

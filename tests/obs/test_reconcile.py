@@ -1,0 +1,202 @@
+"""Trace validation and event-vs-stats reconciliation (repro.obs.reconcile)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import TraceValidationError
+from repro.obs.events import SCHEMA
+from repro.obs.reconcile import (
+    reconcile_directory,
+    reconcile_trace,
+    trace_metrics,
+    validate_trace_file,
+)
+from repro.uarch.stats import SimStats
+
+
+def _stats_dict(**overrides):
+    stats = SimStats()
+    for name, value in overrides.items():
+        setattr(stats, name, value)
+    return dataclasses.asdict(stats)
+
+
+def _records(stats=None):
+    """A minimal well-formed trace: one terminal dpred episode ending in
+    exit case 3, one flush, one fork."""
+    if stats is None:
+        stats = _stats_dict(
+            dpred_entries=1,
+            pipeline_flushes=1,
+            dualpath_forks=1,
+            select_uops=2,
+            exit_cases={1: 0, 2: 0, 3: 1, 4: 0, 5: 0, 6: 0},
+        )
+    return [
+        {"t": "header", "schema": SCHEMA, "benchmark": "gzip", "config": "dmp"},
+        {"t": "machine", "mode": "dmp", "engine": "fast"},
+        {"t": "ep-enter", "ep": 0, "kind": "dpred", "pc": 64, "depth": 1,
+         "cycle": 3, "mispredicted": True},
+        {"t": "path", "ep": 0, "role": "predicted", "outcome": "cfm", "n": 7},
+        {"t": "flush", "site": "mispredict", "cycle": 5},
+        {"t": "fork", "pc": 128, "cycle": 6},
+        {"t": "ep-exit", "ep": 0, "kind": "dpred", "cases": [3],
+         "restart": False, "selects": 2, "cycle": 9},
+        {"t": "end", "stats": stats, "events": 8},
+    ]
+
+
+def _write(tmp_path, records, name="trace.jsonl"):
+    path = tmp_path / name
+    with open(path, "w", encoding="utf-8") as handle:
+        for seq, record in enumerate(records):
+            record = dict(record)
+            record.setdefault("i", seq)
+            handle.write(json.dumps(record) + "\n")
+    return path
+
+
+class TestValidate:
+    def test_well_formed_trace_passes(self, tmp_path):
+        header = validate_trace_file(_write(tmp_path, _records()))
+        assert header["benchmark"] == "gzip"
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceValidationError, match="empty"):
+            validate_trace_file(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"t": "header"\n')
+        with pytest.raises(TraceValidationError, match="not valid JSON"):
+            validate_trace_file(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = _write(tmp_path, _records()[1:])
+        with pytest.raises(TraceValidationError, match="header"):
+            validate_trace_file(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        records = _records()
+        records[0]["schema"] = "other-trace/9"
+        with pytest.raises(TraceValidationError, match="schema"):
+            validate_trace_file(_write(tmp_path, records))
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        records = _records()
+        records.insert(2, {"t": "telemetry"})
+        with pytest.raises(TraceValidationError, match="unknown record type"):
+            validate_trace_file(_write(tmp_path, records))
+
+    def test_non_increasing_sequence_rejected(self, tmp_path):
+        records = [dict(r, i=0) for r in _records()]
+        with pytest.raises(TraceValidationError, match="strictly increase"):
+            validate_trace_file(_write(tmp_path, records))
+
+    def test_missing_required_field_rejected(self, tmp_path):
+        records = _records()
+        del records[2]["pc"]
+        with pytest.raises(TraceValidationError, match="missing"):
+            validate_trace_file(_write(tmp_path, records))
+
+    def test_truncated_trace_rejected(self, tmp_path):
+        path = _write(tmp_path, _records()[:-1])
+        with pytest.raises(TraceValidationError, match="truncated"):
+            validate_trace_file(path)
+
+
+class TestReconcile:
+    def test_well_formed_trace_reconciles(self, tmp_path):
+        summary = reconcile_trace(_write(tmp_path, _records()))
+        assert summary.benchmark == "gzip"
+        assert summary.config == "dmp"
+        assert summary.episodes == 1
+        assert summary.terminal_episodes == 1
+        assert summary.restarted_episodes == 0
+        assert summary.exit_cases == {3: 1}
+        assert summary.flushes == 1 and summary.forks == 1
+        assert summary.select_uops == 2
+        assert "gzip/dmp" in summary.describe()
+
+    def test_stringified_exit_case_keys_reconcile(self, tmp_path):
+        # JSON round trips stringify the histogram's int keys.
+        records = _records()
+        records[-1]["stats"]["exit_cases"] = {
+            str(k): v for k, v in records[-1]["stats"]["exit_cases"].items()
+        }
+        assert reconcile_trace(_write(tmp_path, records)).exit_cases == {3: 1}
+
+    def test_terminal_episode_with_no_case_rejected(self, tmp_path):
+        records = _records()
+        records[6]["cases"] = []
+        with pytest.raises(TraceValidationError, match="exactly one"):
+            reconcile_trace(_write(tmp_path, records))
+
+    def test_restarted_episode_with_case_rejected(self, tmp_path):
+        records = _records()
+        records[6]["restart"] = True
+        with pytest.raises(TraceValidationError, match="restarted episode"):
+            reconcile_trace(_write(tmp_path, records))
+
+    def test_unbalanced_episode_rejected(self, tmp_path):
+        records = _records()
+        del records[6]  # drop the ep-exit
+        with pytest.raises(TraceValidationError, match="never exited"):
+            reconcile_trace(_write(tmp_path, records))
+
+    def test_exit_without_enter_rejected(self, tmp_path):
+        records = _records()
+        del records[3]  # its path event would trip the episode check first
+        del records[2]  # drop the ep-enter
+        with pytest.raises(TraceValidationError, match="without enter"):
+            reconcile_trace(_write(tmp_path, records))
+
+    def test_path_outside_episode_rejected(self, tmp_path):
+        records = _records()
+        del records[2]  # drop the ep-enter; the path event is now orphaned
+        with pytest.raises(TraceValidationError, match="outside"):
+            reconcile_trace(_write(tmp_path, records))
+
+    def test_histogram_mismatch_rejected(self, tmp_path):
+        records = _records()
+        records[6]["cases"] = [5]  # stats say case 3
+        with pytest.raises(TraceValidationError, match="histogram"):
+            reconcile_trace(_write(tmp_path, records))
+
+    def test_flush_count_mismatch_rejected(self, tmp_path):
+        records = _records()
+        records[-1]["stats"]["pipeline_flushes"] = 7
+        with pytest.raises(TraceValidationError, match="pipeline_flushes"):
+            reconcile_trace(_write(tmp_path, records))
+
+    def test_select_count_mismatch_rejected(self, tmp_path):
+        records = _records()
+        records[-1]["stats"]["select_uops"] = 99
+        with pytest.raises(TraceValidationError, match="select_uops"):
+            reconcile_trace(_write(tmp_path, records))
+
+
+class TestDirectoryAndMetrics:
+    def test_directory_reconciles_sorted(self, tmp_path):
+        _write(tmp_path, _records(), name="b__dmp.jsonl")
+        _write(tmp_path, _records(), name="a__dmp.jsonl")
+        summaries = reconcile_directory(tmp_path)
+        assert [s.path.endswith("a__dmp.jsonl") for s in summaries] == \
+            [True, False]
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(TraceValidationError, match="no .*jsonl"):
+            reconcile_directory(tmp_path)
+
+    def test_trace_metrics_from_summary(self, tmp_path):
+        summary = reconcile_trace(_write(tmp_path, _records()))
+        metrics = trace_metrics(summary)
+        assert metrics.benchmark == "gzip"
+        assert metrics.config == "dmp"
+        assert metrics.dpred_entries == 1
+        assert metrics.exit_cases[3] == 1
+        assert metrics.terminal_episodes == 1

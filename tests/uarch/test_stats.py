@@ -1,0 +1,31 @@
+"""Unit tests for SimStats bookkeeping, chiefly the exit-case table."""
+
+import pytest
+
+from repro.core.modes import ExitCase
+from repro.uarch.stats import SimStats
+
+
+class TestExitCases:
+    def test_default_keys_match_enum(self):
+        stats = SimStats()
+        assert set(stats.exit_cases) == {int(case) for case in ExitCase}
+        assert all(count == 0 for count in stats.exit_cases.values())
+
+    def test_record_accepts_enum_member(self):
+        stats = SimStats()
+        stats.record_exit_case(ExitCase.REDIRECT_TO_CFM)
+        assert stats.exit_cases[int(ExitCase.REDIRECT_TO_CFM)] == 1
+
+    def test_record_accepts_plain_int(self):
+        stats = SimStats()
+        for case in ExitCase:
+            stats.record_exit_case(int(case))
+        assert all(count == 1 for count in stats.exit_cases.values())
+
+    @pytest.mark.parametrize("bogus", [0, 7, -1, 42])
+    def test_record_rejects_non_enum_values(self, bogus):
+        stats = SimStats()
+        with pytest.raises(ValueError, match="ExitCase"):
+            stats.record_exit_case(bogus)
+        assert all(count == 0 for count in stats.exit_cases.values())
