@@ -19,6 +19,11 @@ Commands
 ``report``    render per-cell run reports (JSON/CSV rollups: exit-case
               histograms, dpred coverage, flush avoidance) from trace
               artifacts on disk or from a fresh suite run
+``fuzz``      differential fuzzing: sweep seeded random programs across
+              every engine x machine-mode cell with the oracle and
+              watchdog armed; ``--minimize`` shrinks findings to small
+              reproducers and ``--corpus-dir`` commits them to the
+              regression corpus (docs/robustness.md)
 ``list``      list available benchmarks and machine configurations
 
 ``suite`` and ``figure`` accept ``--paranoid``: every simulation then
@@ -217,8 +222,25 @@ def cmd_validate(args) -> int:
     bound, or missing exit-case coverage); 2 — injected faults were
     detected (the expected outcome of ``--inject``).  ``--expect-faults``
     flips the convention for CI: exit 0 iff faults were both survived
-    AND detected.
+    AND detected.  ``--list-faults`` prints the corruption catalog and
+    exits.
     """
+    if args.list_faults:
+        print(f"hint-corruption fault classes "
+              f"({len(fault_injection.FAULT_CLASSES)}):")
+        for fault in fault_injection.FAULT_CLASSES:
+            if fault.statically_detectable is True:
+                detect = "static "
+            elif fault.statically_detectable is False:
+                detect = "runtime"
+            else:
+                detect = "varies "
+            print(f"  {fault.name:24s} [{detect}] {fault.description}")
+        print("\n[static]  caught by hint-table validation before any "
+              "simulation\n[runtime] caught by the armed oracle/watchdog "
+              "during the run\n[varies]  detection depends on the "
+              "benchmark/profile")
+        return 0
     benchmarks = (
         _parse_benchmarks(args.benchmarks)
         if args.benchmarks
@@ -485,6 +507,62 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _parse_seeds(raw: str) -> List[int]:
+    """``A:B`` (half-open range), ``a,b,c``, or a single seed."""
+    raw = raw.strip()
+    if ":" in raw:
+        lo_text, hi_text = raw.split(":", 1)
+        try:
+            lo, hi = int(lo_text), int(hi_text)
+        except ValueError:
+            raise SystemExit(f"bad seed range {raw!r}; expected A:B")
+        if hi <= lo:
+            raise SystemExit(f"empty seed range {raw!r}")
+        return list(range(lo, hi))
+    try:
+        return [int(part) for part in raw.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"bad seeds {raw!r}; expected A:B or a,b,c")
+
+
+def cmd_fuzz(args) -> int:
+    """Differential fuzzing sweep (docs/robustness.md).
+
+    Every seed's program runs across {reference, fast} engines x every
+    machine mode, hardened.  Exit codes: 0 — every seed clean; 1 — at
+    least one finding (its JSON report and, with ``--minimize
+    --corpus-dir``, its corpus reproducer carry the evidence).
+    """
+    import json as json_mod
+
+    from repro.fuzz import FuzzKnobs, run_fuzz, save_reproducer
+
+    seeds = _parse_seeds(args.seeds)
+    knobs = FuzzKnobs(
+        max_gadgets=args.max_gadgets, iterations=args.iterations
+    )
+    report = run_fuzz(
+        seeds,
+        budget=args.budget or None,
+        jobs=args.jobs,
+        minimize=args.minimize,
+        knobs=knobs,
+        progress=lambda line: print(f"  {line}"),
+    )
+    print(report.summary())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json_mod.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if report.findings and args.minimize and args.corpus_dir:
+        for finding in report.findings:
+            if finding.spec is not None:
+                path = save_reproducer(finding, directory=args.corpus_dir)
+                print(f"saved reproducer {path}")
+    return 1 if report.findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -570,7 +648,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_val.add_argument("--expect-faults", action="store_true",
                        help="CI mode: exit 0 iff injected faults were "
                             "both survived and detected")
+    p_val.add_argument("--list-faults", action="store_true",
+                       help="print the hint-corruption fault catalog "
+                            "and exit")
     p_val.set_defaults(func=cmd_validate)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of the engines across machine modes",
+    )
+    p_fuzz.add_argument("--seeds", default="0:50",
+                        help="seed range A:B (half-open) or list a,b,c "
+                             "(default 0:50)")
+    p_fuzz.add_argument("--budget", type=int, default=0,
+                        help="cap on seeds actually checked "
+                             "(0 = the whole range)")
+    p_fuzz.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan seeds out over N worker processes "
+                             "(findings are reported in seed order "
+                             "regardless)")
+    p_fuzz.add_argument("--minimize", action="store_true",
+                        help="delta-minimize each finding's program to a "
+                             "small reproducer")
+    p_fuzz.add_argument("--corpus-dir", default="", metavar="DIR",
+                        help="with --minimize: save each reproducer as a "
+                             "corpus JSON entry under DIR (the committed "
+                             "corpus lives in tests/fuzz/corpus/)")
+    p_fuzz.add_argument("--iterations", type=int, default=120,
+                        help="outer-loop iterations per generated program")
+    p_fuzz.add_argument("--max-gadgets", type=int, default=4,
+                        help="max control-flow gadgets per program")
+    p_fuzz.add_argument("--output", default="", metavar="PATH",
+                        help="write the schema-versioned JSON finding "
+                             "report here")
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_bench = sub.add_parser(
         "bench",

@@ -1,0 +1,81 @@
+"""Differential fuzzing of the simulation engines (docs/robustness.md).
+
+The repo carries several correctness contracts that are cheap to state
+and expensive to trust:
+
+* the ``fast`` and ``reference`` engines must produce bit-identical
+  :class:`~repro.uarch.stats.SimStats` under every machine mode;
+* every hardened run must satisfy the oracle cross-checker (the timing
+  run retires the exact functional trace, dpred invariants hold);
+* no structurally-valid program may hang or crash the simulator.
+
+The 15 hand-built benchmarks exercise these contracts on *curated*
+control flow.  This package exercises them on *adversarial* control
+flow: a seeded random program generator
+(:mod:`repro.fuzz.generator`) emits structurally-valid mini-ISA
+programs full of nested/overlapping hammocks, multi-exit loops,
+short-leg diverge regions and dispatch chains; a differential harness
+(:mod:`repro.fuzz.harness`) runs each one across every
+``engine x machine-mode`` cell with the oracle and watchdog armed and
+records any divergence, oracle failure, hang or crash as a *finding*;
+a delta-debugging minimizer (:mod:`repro.fuzz.minimize`) shrinks a
+failing program to a small reproducer; and :mod:`repro.fuzz.corpus`
+persists minimized reproducers under ``tests/fuzz/corpus/`` where they
+replay forever as ordinary tier-1 regression tests.
+
+Entry points: ``python -m repro fuzz`` (CLI) or
+:func:`repro.fuzz.harness.run_fuzz` (library).
+"""
+
+from repro.fuzz.generator import (
+    FUZZ_GADGET_KINDS,
+    FuzzGadget,
+    FuzzKnobs,
+    FuzzSpec,
+    build_fuzz_workload,
+    draw_spec,
+    static_instruction_count,
+)
+from repro.fuzz.harness import (
+    FUZZ_MODES,
+    Finding,
+    FuzzProgram,
+    FuzzReport,
+    check_spec,
+    mode_configs,
+    run_fuzz,
+)
+from repro.fuzz.minimize import minimize_finding, minimize_spec
+from repro.fuzz.corpus import (
+    CORPUS_SCHEMA,
+    DEFAULT_CORPUS_DIR,
+    load_corpus,
+    save_reproducer,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+__all__ = [
+    "FUZZ_GADGET_KINDS",
+    "FUZZ_MODES",
+    "CORPUS_SCHEMA",
+    "DEFAULT_CORPUS_DIR",
+    "Finding",
+    "FuzzGadget",
+    "FuzzKnobs",
+    "FuzzProgram",
+    "FuzzReport",
+    "FuzzSpec",
+    "build_fuzz_workload",
+    "check_spec",
+    "draw_spec",
+    "load_corpus",
+    "minimize_finding",
+    "minimize_spec",
+    "mode_configs",
+    "run_fuzz",
+    "save_reproducer",
+    "spec_from_dict",
+    "spec_to_dict",
+    "static_instruction_count",
+]

@@ -1,0 +1,146 @@
+"""The committed counterexample corpus (``tests/fuzz/corpus/``).
+
+Every minimized reproducer the fuzzer finds is committed as one small
+JSON file — the *spec*, not the program: specs are a few hundred bytes,
+diff cleanly in review, and rebuild bit-identically through the
+generator.  The tier-1 suite replays every corpus entry through the full
+differential check on every run (tests/fuzz/test_corpus_replay.py), so a
+bug class that was found once can never silently return.
+
+File layout (schema ``repro-fuzz-corpus/1``)::
+
+    {
+      "schema": "repro-fuzz-corpus/1",
+      "spec": {"seed": ..., "iterations": ..., "name": ...,
+               "gadgets": [{"kind": ..., ...}, ...]},
+      "finding": {"kind": ..., "mode": ..., "engine": ..., "detail": ...},
+      "static_instructions": ...,
+      "notes": "free-form triage context"
+    }
+
+Triage workflow: see docs/robustness.md ("Fuzzing & counterexample
+corpus").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.fuzz.generator import FuzzGadget, FuzzSpec
+
+CORPUS_SCHEMA = "repro-fuzz-corpus/1"
+
+#: Repo-relative home of the committed reproducers.
+DEFAULT_CORPUS_DIR = os.path.join("tests", "fuzz", "corpus")
+
+
+def _listify(value):
+    if isinstance(value, tuple):
+        return [_listify(v) for v in value]
+    return value
+
+
+def _tupleize(value):
+    if isinstance(value, list):
+        return tuple(_tupleize(v) for v in value)
+    return value
+
+
+def spec_to_dict(spec: FuzzSpec) -> Dict:
+    """JSON-ready dict for a spec (tuples become lists)."""
+    out = dataclasses.asdict(spec)
+    for gadget in out["gadgets"]:
+        gadget["data"] = _listify(gadget["data"])
+        gadget["inner_data"] = _listify(gadget["inner_data"])
+    return out
+
+
+def spec_from_dict(data: Dict) -> FuzzSpec:
+    """Rebuild a spec from its JSON dict (inverse of
+    :func:`spec_to_dict`; round-trips exactly)."""
+    gadgets = []
+    for raw in data.get("gadgets", ()):
+        fields = dict(raw)
+        fields["data"] = _tupleize(fields.get("data", ["uniform"]))
+        fields["inner_data"] = _tupleize(fields.get("inner_data", ["uniform"]))
+        known = {f.name for f in dataclasses.fields(FuzzGadget)}
+        unknown = set(fields) - known
+        if unknown:
+            raise ReproError(
+                f"corpus gadget carries unknown field(s) {sorted(unknown)}"
+            )
+        gadgets.append(FuzzGadget(**fields))
+    return FuzzSpec(
+        seed=int(data["seed"]),
+        iterations=int(data["iterations"]),
+        gadgets=gadgets,
+        name=str(data.get("name", "")),
+    )
+
+
+def save_reproducer(
+    finding,
+    directory: str = DEFAULT_CORPUS_DIR,
+    notes: str = "",
+) -> str:
+    """Write one finding's reproducer into the corpus; returns the path.
+
+    The filename encodes kind/mode/seed so a directory listing reads as
+    a triage log; an existing entry for the same coordinates is
+    overwritten (re-minimizing an old finding updates it in place)."""
+    if finding.spec is None:
+        raise ReproError("finding carries no spec; nothing to save")
+    from repro.fuzz.generator import static_instruction_count
+
+    os.makedirs(directory, exist_ok=True)
+    name = f"{finding.kind}-{finding.mode}-seed{finding.seed}.json"
+    path = os.path.join(directory, name)
+    entry = {
+        "schema": CORPUS_SCHEMA,
+        "spec": spec_to_dict(finding.spec),
+        "finding": {
+            "kind": finding.kind,
+            "mode": finding.mode,
+            "engine": finding.engine,
+            "detail": finding.detail,
+            "stat_diff": list(finding.stat_diff),
+            "minimized": finding.minimized,
+        },
+        "static_instructions": (
+            finding.static_instructions
+            or static_instruction_count(finding.spec)
+        ),
+        "notes": notes,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(entry, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_corpus(directory: str = DEFAULT_CORPUS_DIR) -> List[Dict]:
+    """Load every corpus entry, sorted by filename (deterministic
+    replay order).  Each returned dict gains a ``"path"`` key; a file
+    with the wrong schema raises :class:`ReproError` rather than being
+    skipped — a corrupt corpus should fail loudly in CI."""
+    if not os.path.isdir(directory):
+        return []
+    entries: List[Dict] = []
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        with open(path, "r", encoding="utf-8") as handle:
+            entry = json.load(handle)
+        if entry.get("schema") != CORPUS_SCHEMA:
+            raise ReproError(
+                f"corpus entry {path} has schema "
+                f"{entry.get('schema')!r}, expected {CORPUS_SCHEMA!r}"
+            )
+        entry["path"] = path
+        entries.append(entry)
+    return entries

@@ -1,0 +1,473 @@
+"""Differential harness: one fuzz program across every engine x mode cell.
+
+For each generated program the harness derives the full hint stack with
+the production profiling pipeline (the same postdominator/reconvergence
+machinery the benchmarks use — no fuzz-only shortcuts), then simulates
+every machine mode on both engines with the oracle cross-checker and
+watchdog armed.  Anything abnormal becomes a :class:`Finding`:
+
+``divergence``   the two engines disagree on any SimStats field
+``oracle``       the oracle cross-checker tripped (OracleMismatchError)
+``hang``         the watchdog tripped (SimulationHangError)
+``crash``        any other exception out of hint derivation or simulation
+``generator``    the spec failed to build or run functionally (a bug in
+                 the fuzzer itself, reported rather than swallowed)
+
+:func:`run_fuzz` sweeps a seed range, optionally fanning seeds over a
+process pool (the PR-2 initializer pattern: knobs travel once per
+worker, results merge in caller order), optionally delta-minimizing each
+finding, and returns a schema-versioned :class:`FuzzReport`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import pickle
+import time
+import traceback
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.processors import simulate
+from repro.errors import (
+    OracleMismatchError,
+    ReproError,
+    SimulationHangError,
+)
+from repro.fuzz.generator import (
+    FuzzKnobs,
+    FuzzSpec,
+    build_fuzz_workload,
+    draw_spec,
+)
+from repro.isa.encoding import HintTable
+from repro.profiling.diverge_selection import (
+    SelectionThresholds,
+    build_hint_table,
+    candidate_branch_pcs,
+    select_diverge_branches,
+)
+from repro.profiling.hammock import find_simple_hammocks
+from repro.profiling.loop_selection import (
+    merge_hint_tables,
+    select_diverge_loop_branches,
+)
+from repro.profiling.profiler import collect_reconvergence, profile_trace
+from repro.uarch.config import MachineConfig
+from repro.uarch.stats import SimStats
+
+#: Report schema identifier (bump on incompatible layout changes).
+REPORT_SCHEMA = "repro-fuzz/1"
+
+#: The machine modes every fuzz program is checked under.
+FUZZ_MODES = ("baseline", "dualpath", "dmp", "dhp", "wish", "loop-pred")
+
+#: Engines compared per mode.
+_ENGINES = ("reference", "fast")
+
+
+def mode_configs() -> Dict[str, MachineConfig]:
+    """One un-hardened, engine-unspecified configuration per fuzz mode.
+
+    ``dmp`` runs fully enhanced (multiple CFM + early exit + multiple
+    diverge) and ``loop-pred`` adds loop predication on top — the widest
+    predication surface the simulator has, which is what the fuzzer
+    should be hammering."""
+    return {
+        "baseline": MachineConfig.baseline(),
+        "dualpath": MachineConfig.dualpath(),
+        "dmp": MachineConfig.dmp(enhanced=True),
+        "dhp": MachineConfig.dhp(),
+        "wish": MachineConfig.wish(),
+        "loop-pred": MachineConfig.dmp(enhanced=True, loop_predication=True),
+    }
+
+
+@dataclasses.dataclass
+class Finding:
+    """One abnormal result from one ``(seed, mode, engine)`` cell."""
+
+    seed: int
+    kind: str  # divergence | oracle | hang | crash | generator
+    mode: str  # machine mode, or "build" for generator findings
+    engine: str  # engine that failed; "both" for divergences
+    detail: str
+    #: SimStats fields that differ (divergence findings only).
+    stat_diff: List[str] = dataclasses.field(default_factory=list)
+    #: The spec that reproduces the finding (minimized when the harness
+    #: ran the minimizer; the original draw otherwise).
+    spec: Optional[FuzzSpec] = None
+    minimized: bool = False
+    static_instructions: int = 0
+
+    def summary(self) -> str:
+        extra = f" fields={','.join(self.stat_diff)}" if self.stat_diff else ""
+        size = (
+            f" [{self.static_instructions} static insns"
+            + (", minimized]" if self.minimized else "]")
+            if self.static_instructions
+            else ""
+        )
+        return (
+            f"seed={self.seed} {self.kind} mode={self.mode} "
+            f"engine={self.engine}{extra}{size}: {self.detail}"
+        )
+
+
+class FuzzProgram:
+    """One fuzz spec's machine-independent artifacts, lazily built.
+
+    The shape mirrors :class:`repro.harness.experiment.BenchmarkContext`
+    but is keyed by a :class:`FuzzSpec` instead of a benchmark name, and
+    derives the loop-pred hint table (forward diverge hints merged with
+    loop-exit hints) that the benchmark context leaves to ablation
+    drivers."""
+
+    def __init__(
+        self,
+        spec: FuzzSpec,
+        thresholds: Optional[SelectionThresholds] = None,
+    ) -> None:
+        self.spec = spec
+        self.thresholds = thresholds or SelectionThresholds()
+        self._workload = None
+        self._trace = None
+        self._profile = None
+        self._hints: Dict[str, Optional[HintTable]] = {}
+
+    @property
+    def workload(self):
+        if self._workload is None:
+            self._workload = build_fuzz_workload(self.spec)
+        return self._workload
+
+    @property
+    def program(self):
+        return self.workload.program
+
+    @property
+    def trace(self):
+        if self._trace is None:
+            self._trace = self.workload.run()
+        return self._trace
+
+    @property
+    def profile(self):
+        if self._profile is None:
+            self._profile = profile_trace(self.program, self.trace)
+        return self._profile
+
+    def _diverge_hints(self) -> HintTable:
+        candidates = candidate_branch_pcs(self.profile, self.thresholds)
+        reconvergence = collect_reconvergence(
+            self.program,
+            self.trace,
+            candidates,
+            max_distance=self.thresholds.max_cfm_distance,
+        )
+        selections = select_diverge_branches(
+            self.profile, reconvergence, self.thresholds
+        )
+        return build_hint_table(selections, self.thresholds, multiple_cfm=True)
+
+    def hints_for(self, mode: str) -> Optional[HintTable]:
+        """The hint table for a fuzz mode (memoized per mode family)."""
+        if mode in ("baseline", "dualpath"):
+            return None
+        if mode not in self._hints:
+            if mode == "dmp":
+                self._hints[mode] = self._diverge_hints()
+            elif mode == "loop-pred":
+                loop = select_diverge_loop_branches(
+                    self.program, self.trace, self.profile, self.thresholds
+                )
+                self._hints[mode] = merge_hint_tables(
+                    self.hints_for("dmp"), loop
+                )
+            elif mode == "dhp":
+                self._hints[mode] = find_simple_hammocks(
+                    self.program,
+                    profile=self.profile,
+                    min_misprediction_rate=(
+                        self.thresholds.min_misprediction_rate
+                    ),
+                )
+            elif mode == "wish":
+                from repro.profiling.wish_selection import select_wish_branches
+
+                table, _ = select_wish_branches(
+                    self.program,
+                    profile=self.profile,
+                    min_misprediction_rate=(
+                        self.thresholds.min_misprediction_rate
+                    ),
+                )
+                self._hints[mode] = table
+            else:
+                raise ValueError(f"unknown fuzz mode {mode!r}")
+        return self._hints[mode]
+
+    def simulate(
+        self, mode: str, config: MachineConfig, tracer=None
+    ) -> SimStats:
+        return simulate(
+            self.program,
+            self.trace,
+            config,
+            hints=self.hints_for(mode),
+            benchmark=self.spec.name,
+            warm_words=self.workload.memory.warm_words(),
+            tracer=tracer,
+        )
+
+
+def _stat_diff(ref: SimStats, fast: SimStats) -> List[str]:
+    a, b = dataclasses.asdict(ref), dataclasses.asdict(fast)
+    return sorted(field for field in a if a[field] != b[field])
+
+
+def check_spec(
+    spec: FuzzSpec,
+    modes: Sequence[str] = FUZZ_MODES,
+    thresholds: Optional[SelectionThresholds] = None,
+    cycle_limit: Optional[int] = None,
+) -> List[Finding]:
+    """Differential-check one spec; the empty list means it passed.
+
+    Every simulation runs hardened (oracle + watchdog).  The first
+    failure per ``(mode, engine)`` cell is recorded and the sweep
+    continues, so one bad mode does not mask another."""
+    findings: List[Finding] = []
+    ctx = FuzzProgram(spec, thresholds)
+    try:
+        _ = ctx.trace  # build + functional run
+    except Exception as exc:  # pragma: no cover - generator bugs only
+        return [
+            Finding(
+                seed=spec.seed,
+                kind="generator",
+                mode="build",
+                engine="-",
+                detail=f"{type(exc).__name__}: {exc}",
+                spec=spec,
+            )
+        ]
+
+    configs = mode_configs()
+    for mode in modes:
+        base = configs[mode].hardened(cycle_limit)
+        try:
+            ctx.hints_for(mode)
+        except Exception as exc:
+            findings.append(
+                Finding(
+                    seed=spec.seed,
+                    kind="crash",
+                    mode=mode,
+                    engine="-",
+                    detail=(
+                        f"hint derivation failed: "
+                        f"{type(exc).__name__}: {exc}"
+                    ),
+                    spec=spec,
+                )
+            )
+            continue
+        stats: Dict[str, Optional[SimStats]] = {}
+        for engine in _ENGINES:
+            config = base.replace(engine=engine)
+            try:
+                stats[engine] = ctx.simulate(mode, config)
+            except SimulationHangError as exc:
+                stats[engine] = None
+                findings.append(
+                    Finding(
+                        seed=spec.seed, kind="hang", mode=mode,
+                        engine=engine, detail=str(exc), spec=spec,
+                    )
+                )
+            except OracleMismatchError as exc:
+                stats[engine] = None
+                findings.append(
+                    Finding(
+                        seed=spec.seed, kind="oracle", mode=mode,
+                        engine=engine, detail=str(exc), spec=spec,
+                    )
+                )
+            except Exception as exc:
+                stats[engine] = None
+                tb = traceback.format_exc(limit=3)
+                findings.append(
+                    Finding(
+                        seed=spec.seed, kind="crash", mode=mode,
+                        engine=engine,
+                        detail=f"{type(exc).__name__}: {exc} | {tb.strip()}",
+                        spec=spec,
+                    )
+                )
+        ref, fast = stats.get("reference"), stats.get("fast")
+        if ref is not None and fast is not None:
+            diff = _stat_diff(ref, fast)
+            if diff:
+                findings.append(
+                    Finding(
+                        seed=spec.seed,
+                        kind="divergence",
+                        mode=mode,
+                        engine="both",
+                        detail=(
+                            f"engines disagree on {len(diff)} "
+                            f"SimStats field(s)"
+                        ),
+                        stat_diff=diff,
+                        spec=spec,
+                    )
+                )
+    return findings
+
+
+@dataclasses.dataclass
+class FuzzReport:
+    """Result of one fuzz sweep (JSON layout: ``REPORT_SCHEMA``)."""
+
+    seeds: List[int]
+    checked: int
+    findings: List[Finding]
+    elapsed_seconds: float = 0.0
+    jobs: int = 1
+    minimized: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict:
+        from repro.fuzz.corpus import spec_to_dict
+
+        return {
+            "schema": REPORT_SCHEMA,
+            "seeds": self.seeds,
+            "checked": self.checked,
+            "jobs": self.jobs,
+            "minimized": self.minimized,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "findings": [
+                {
+                    "seed": f.seed,
+                    "kind": f.kind,
+                    "mode": f.mode,
+                    "engine": f.engine,
+                    "detail": f.detail,
+                    "stat_diff": list(f.stat_diff),
+                    "minimized": f.minimized,
+                    "static_instructions": f.static_instructions,
+                    "spec": spec_to_dict(f.spec) if f.spec else None,
+                }
+                for f in self.findings
+            ],
+        }
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz: {self.checked} seed(s) checked, "
+            f"{len(self.findings)} finding(s), "
+            f"{self.elapsed_seconds:.1f}s (jobs={self.jobs})"
+        ]
+        lines.extend("  " + f.summary() for f in self.findings)
+        return "\n".join(lines)
+
+
+# -- process-pool plumbing (the repro.harness.parallel pattern) -----------
+
+_WORKER_ARGS: Tuple = ()
+
+
+def _init_fuzz_worker(payload: bytes) -> None:
+    global _WORKER_ARGS
+    _WORKER_ARGS = pickle.loads(payload)
+
+
+def _check_seed(seed: int) -> Tuple[int, List[Finding]]:
+    knobs, modes, thresholds, cycle_limit = _WORKER_ARGS
+    spec = draw_spec(seed, knobs)
+    return seed, check_spec(
+        spec, modes=modes, thresholds=thresholds, cycle_limit=cycle_limit
+    )
+
+
+def run_fuzz(
+    seeds: Iterable[int],
+    budget: Optional[int] = None,
+    jobs: int = 1,
+    minimize: bool = False,
+    knobs: Optional[FuzzKnobs] = None,
+    modes: Sequence[str] = FUZZ_MODES,
+    thresholds: Optional[SelectionThresholds] = None,
+    cycle_limit: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Sweep ``seeds`` (capped at ``budget``) through the differential
+    check; optionally shrink each finding's spec with the delta
+    minimizer.  ``jobs > 1`` fans seeds over a process pool; findings
+    merge in seed order, so a parallel sweep reports identically to a
+    serial one."""
+    if jobs < 1:
+        raise ReproError(f"jobs must be >= 1, got {jobs}")
+    seed_list = list(seeds)
+    if budget is not None:
+        seed_list = seed_list[:budget]
+    knobs = knobs or FuzzKnobs()
+    start = time.perf_counter()
+    by_seed: Dict[int, List[Finding]] = {}
+
+    if jobs > 1 and len(seed_list) > 1:
+        payload = pickle.dumps(
+            (knobs, tuple(modes), thresholds, cycle_limit), protocol=4
+        )
+        with multiprocessing.Pool(
+            processes=min(jobs, len(seed_list)),
+            initializer=_init_fuzz_worker,
+            initargs=(payload,),
+        ) as pool:
+            for seed, findings in pool.imap_unordered(
+                _check_seed, seed_list, chunksize=4
+            ):
+                by_seed[seed] = findings
+                if progress and findings:
+                    progress(f"seed {seed}: {len(findings)} finding(s)")
+    else:
+        for seed in seed_list:
+            spec = draw_spec(seed, knobs)
+            findings = check_spec(
+                spec, modes=modes, thresholds=thresholds,
+                cycle_limit=cycle_limit,
+            )
+            by_seed[seed] = findings
+            if progress and findings:
+                progress(f"seed {seed}: {len(findings)} finding(s)")
+
+    findings: List[Finding] = []
+    for seed in seed_list:  # caller order, not completion order
+        findings.extend(by_seed.get(seed, []))
+
+    if minimize and findings:
+        from repro.fuzz.minimize import minimize_finding
+
+        findings = [
+            minimize_finding(
+                finding,
+                modes=modes,
+                thresholds=thresholds,
+                cycle_limit=cycle_limit,
+            )
+            for finding in findings
+        ]
+
+    return FuzzReport(
+        seeds=seed_list,
+        checked=len(seed_list),
+        findings=findings,
+        elapsed_seconds=time.perf_counter() - start,
+        jobs=jobs,
+        minimized=minimize,
+    )

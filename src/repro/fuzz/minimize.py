@@ -1,0 +1,223 @@
+"""Delta-debugging minimizer for failing fuzz specs.
+
+Shrinks at the *spec* level, never the instruction level: every
+candidate is rebuilt through the generator, so each shrink step yields a
+structurally valid program (sealed CFG, bounded loops, matching data
+arrays) — the minimizer cannot manufacture a malformed reproducer that
+fails for a different reason than the original.
+
+Greedy fixpoint over four move families, cheapest-win first:
+
+1. **drop** — remove whole gadgets one at a time;
+2. **straighten** — replace a gnarly gadget (nest/overlap/dispatch/
+   multi-exit loop/...) with a plain hammock, and failing that a
+   straight-line block (turning branches into fall-through);
+3. **shrink** — drive numeric knobs to their floors (work, merge work,
+   nesting depth, ladder arms, loop trips, memory footprint);
+4. **shorten** — cut ``iterations`` (the dynamic trace) toward a floor
+   that still clears the profiler's ``min_executions`` gate.
+
+Every move must keep the caller's failure predicate true, so the result
+reproduces the original finding by construction.  The move order and
+tie-breaks are deterministic: one failing spec always minimizes to the
+same reproducer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence
+
+from repro.fuzz.generator import (
+    FuzzGadget,
+    FuzzSpec,
+    static_instruction_count,
+)
+
+#: Keep enough dynamic executions for the profiler's selection gates
+#: (SelectionThresholds.min_executions = 32) to stay open.
+_ITERATION_FLOOR = 40
+
+#: Simplification rank: straighten moves strictly downward.
+_KIND_RANK = {"straight": 0, "hammock": 1, "shortleg": 1}
+
+#: Numeric knobs driven toward their floors, in shrink order.
+_FIELD_FLOORS = (
+    ("work", 1),
+    ("merge_work", 1),
+    ("depth", 1),
+    ("arms", 2),
+    ("trips", 1),
+    ("footprint", 64),
+)
+
+
+def _with_gadget(spec: FuzzSpec, index: int, gadget: FuzzGadget) -> FuzzSpec:
+    gadgets = list(spec.gadgets)
+    gadgets[index] = gadget
+    return spec.replace(gadgets=gadgets)
+
+
+def minimize_spec(
+    spec: FuzzSpec,
+    predicate: Callable[[FuzzSpec], bool],
+    max_checks: int = 400,
+) -> FuzzSpec:
+    """Shrink ``spec`` while ``predicate`` (the failure) stays true.
+
+    ``predicate`` is typically "re-running the differential check still
+    produces a finding"; it must hold for the input spec (raises
+    :class:`ValueError` otherwise, so a flaky predicate is caught at the
+    door instead of silently returning the unshrunk spec).  ``max_checks``
+    bounds total predicate evaluations — each one re-simulates the
+    candidate, so this is the minimizer's time budget."""
+    if not predicate(spec):
+        raise ValueError(
+            "failure predicate does not hold on the input spec; "
+            "nothing to minimize"
+        )
+    checks = 0
+
+    def holds(candidate: FuzzSpec) -> bool:
+        nonlocal checks
+        if checks >= max_checks:
+            return False
+        checks += 1
+        try:
+            return predicate(candidate)
+        except Exception:
+            # A shrink candidate that breaks the *checker* itself is not
+            # a smaller instance of the original failure.
+            return False
+
+    changed = True
+    while changed and checks < max_checks:
+        changed = False
+
+        # 1. drop gadgets (largest static footprint first, so the big
+        # wins come before the budget runs out).
+        while len(spec.gadgets) > 1:
+            order = sorted(
+                range(len(spec.gadgets)),
+                key=lambda i: -static_instruction_count(
+                    spec.replace(gadgets=[spec.gadgets[i]])
+                ),
+            )
+            dropped = False
+            for index in order:
+                gadgets = list(spec.gadgets)
+                del gadgets[index]
+                candidate = spec.replace(gadgets=gadgets)
+                if holds(candidate):
+                    spec = candidate
+                    changed = dropped = True
+                    break
+            if not dropped:
+                break
+
+        # 2. straighten: gnarly kind -> hammock -> straight (only ever
+        # moving down the rank, so a straight-line gadget cannot
+        # "simplify" into a branch).
+        for index, gadget in enumerate(spec.gadgets):
+            rank = _KIND_RANK.get(gadget.kind, 2)
+            for simpler in ("straight", "hammock"):
+                if _KIND_RANK[simpler] >= rank:
+                    continue
+                candidate = _with_gadget(
+                    spec, index, dataclasses.replace(gadget, kind=simpler)
+                )
+                if holds(candidate):
+                    spec = candidate
+                    gadget = spec.gadgets[index]
+                    rank = _KIND_RANK.get(gadget.kind, 2)
+                    changed = True
+                    break
+
+        # 2b. canonicalize data to plain coin flips.
+        for index, gadget in enumerate(spec.gadgets):
+            for field in ("data", "inner_data"):
+                if getattr(gadget, field) != ("uniform",):
+                    candidate = _with_gadget(
+                        spec,
+                        index,
+                        dataclasses.replace(gadget, **{field: ("uniform",)}),
+                    )
+                    if holds(candidate):
+                        spec = candidate
+                        gadget = spec.gadgets[index]
+                        changed = True
+
+        # 3. shrink numeric knobs straight to their floors.
+        for index, gadget in enumerate(spec.gadgets):
+            for field, floor in _FIELD_FLOORS:
+                if getattr(gadget, field) > floor:
+                    candidate = _with_gadget(
+                        spec,
+                        index,
+                        dataclasses.replace(gadget, **{field: floor}),
+                    )
+                    if holds(candidate):
+                        spec = candidate
+                        gadget = spec.gadgets[index]
+                        changed = True
+
+        # 4. shorten the dynamic trace.
+        while spec.iterations > _ITERATION_FLOOR:
+            target = max(_ITERATION_FLOOR, spec.iterations // 2)
+            candidate = spec.replace(iterations=target)
+            if holds(candidate):
+                spec = candidate
+                changed = True
+            else:
+                break
+
+    return spec
+
+
+def minimize_finding(
+    finding,
+    modes: Optional[Sequence[str]] = None,
+    thresholds=None,
+    cycle_limit: Optional[int] = None,
+    max_checks: int = 400,
+):
+    """Minimize one harness :class:`~repro.fuzz.harness.Finding`.
+
+    The predicate is "re-checking the candidate still yields a finding
+    of the same kind in the same mode" — tighter than "any finding", so
+    minimizing an oracle failure cannot drift into reporting an
+    unrelated divergence's reproducer.  Returns a copy of the finding
+    carrying the shrunk spec and its static instruction count."""
+    from repro.fuzz.harness import FUZZ_MODES, check_spec
+
+    if finding.spec is None or finding.kind == "generator":
+        return finding
+    modes = tuple(modes) if modes is not None else FUZZ_MODES
+    check_modes = (finding.mode,) if finding.mode in modes else modes
+
+    def still_fails(candidate: FuzzSpec) -> bool:
+        found = check_spec(
+            candidate,
+            modes=check_modes,
+            thresholds=thresholds,
+            cycle_limit=cycle_limit,
+        )
+        return any(
+            f.kind == finding.kind and f.mode == finding.mode for f in found
+        )
+
+    try:
+        spec = minimize_spec(finding.spec, still_fails, max_checks=max_checks)
+    except ValueError:
+        # Not reproducible under the tightened predicate (e.g. an
+        # intermittent environment failure): keep the original evidence.
+        return dataclasses.replace(
+            finding,
+            static_instructions=static_instruction_count(finding.spec),
+        )
+    return dataclasses.replace(
+        finding,
+        spec=spec,
+        minimized=True,
+        static_instructions=static_instruction_count(spec),
+    )

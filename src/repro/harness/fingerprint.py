@@ -81,3 +81,17 @@ def context_fingerprint(
     """Canonical key for one benchmark context's machine-independent
     artifacts: ``(benchmark, iterations, seed, selection thresholds)``."""
     return fingerprint(("context", name, iterations, seed, thresholds))
+
+
+def workload_fingerprint(spec: Any) -> str:
+    """Canonical key for one workload *specification* (a
+    :class:`~repro.workloads.generator.WorkloadSpec` or a
+    :class:`~repro.fuzz.generator.FuzzSpec`).
+
+    The canonicalizer walks every dataclass field — the generation
+    ``seed`` included — so two specs that differ only in seed (or in any
+    gadget knob) can never alias one cached artifact.  This is the
+    determinism-audit contract for generated programs: everything the
+    builder's ``random.Random`` streams descend from is in the key
+    (tests/fuzz/test_determinism.py)."""
+    return fingerprint(("workload", spec))

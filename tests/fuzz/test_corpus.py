@@ -1,0 +1,98 @@
+"""Corpus persistence: spec round-trips, reproducer files, schema."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ReproError
+from repro.fuzz import (
+    CORPUS_SCHEMA,
+    FuzzGadget,
+    FuzzSpec,
+    draw_spec,
+    load_corpus,
+    save_reproducer,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.fuzz.harness import Finding
+
+
+def _finding(spec):
+    return Finding(
+        seed=spec.seed,
+        kind="divergence",
+        mode="dmp",
+        engine="both",
+        detail="engines disagree on 1 SimStats field(s)",
+        stat_diff=["select_uops"],
+        spec=spec,
+        minimized=True,
+        static_instructions=9,
+    )
+
+
+class TestSpecRoundTrip:
+    def test_drawn_specs_round_trip(self):
+        for seed in range(8):
+            spec = draw_spec(seed)
+            assert spec_from_dict(spec_to_dict(spec)) == spec
+
+    def test_tuples_survive_json(self):
+        spec = FuzzSpec(
+            seed=2,
+            iterations=60,
+            gadgets=[
+                FuzzGadget(
+                    kind="nest",
+                    data=("periodic", (1, 0, 0), 0.1),
+                    inner_data=("biased", 0.9),
+                )
+            ],
+        )
+        wire = json.loads(json.dumps(spec_to_dict(spec)))
+        assert spec_from_dict(wire) == spec
+
+    def test_unknown_gadget_field_rejected(self):
+        data = spec_to_dict(draw_spec(0))
+        data["gadgets"][0]["turbo"] = True
+        with pytest.raises(ReproError):
+            spec_from_dict(data)
+
+
+class TestSaveAndLoad:
+    def test_save_then_load(self, tmp_path):
+        spec = draw_spec(7)
+        path = save_reproducer(
+            _finding(spec), directory=str(tmp_path), notes="unit test"
+        )
+        assert os.path.basename(path) == "divergence-dmp-seed7.json"
+        entries = load_corpus(str(tmp_path))
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry["schema"] == CORPUS_SCHEMA
+        assert entry["notes"] == "unit test"
+        assert entry["static_instructions"] == 9
+        assert spec_from_dict(entry["spec"]) == spec
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = save_reproducer(_finding(draw_spec(1)), directory=str(tmp_path))
+        with open(path) as handle:
+            entry = json.load(handle)
+        entry["schema"] = "repro-fuzz-corpus/0"
+        with open(path, "w") as handle:
+            json.dump(entry, handle)
+        with pytest.raises(ReproError):
+            load_corpus(str(tmp_path))
+
+    def test_load_order_is_stable(self, tmp_path):
+        for seed in (5, 3, 9):
+            save_reproducer(_finding(draw_spec(seed)), directory=str(tmp_path))
+        names = [
+            os.path.basename(e["path"]) for e in load_corpus(str(tmp_path))
+        ]
+        assert names == sorted(names)
+
+    def test_empty_directory_loads_empty(self, tmp_path):
+        assert load_corpus(str(tmp_path)) == []

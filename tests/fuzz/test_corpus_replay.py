@@ -1,0 +1,46 @@
+"""Tier-1 replay of the committed counterexample corpus.
+
+Every file under ``tests/fuzz/corpus/`` is a minimized reproducer of a
+bug class the differential harness once caught (or, for bootstrap
+entries, a known injected mutation). Replaying them on every run makes
+sure none of those bug classes silently returns: each spec must run the
+full engine x mode differential matrix with **zero** findings on HEAD.
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz import check_spec, load_corpus, spec_from_dict
+
+_CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+_ENTRIES = load_corpus(_CORPUS_DIR)
+
+
+def test_corpus_is_committed_and_nonempty():
+    assert _ENTRIES, f"no corpus entries found in {_CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "entry", _ENTRIES, ids=[os.path.basename(e["path"]) for e in _ENTRIES]
+)
+def test_reproducer_is_clean_on_head(entry):
+    spec = spec_from_dict(entry["spec"])
+    findings = check_spec(spec)
+    assert findings == [], [f.summary() for f in findings]
+
+
+@pytest.mark.parametrize(
+    "entry", _ENTRIES, ids=[os.path.basename(e["path"]) for e in _ENTRIES]
+)
+def test_entry_metadata_is_complete(entry):
+    # Triage provenance must never be stripped from a committed entry.
+    assert entry["notes"], entry["path"]
+    assert entry["finding"]["kind"] in (
+        "divergence",
+        "oracle",
+        "hang",
+        "crash",
+        "generator",
+    )
+    assert entry["static_instructions"] > 0

@@ -1,0 +1,99 @@
+"""Generator determinism audit (the ISSUE-6 satellite).
+
+Two layers:
+
+1. a *static* audit that no ``random.Random`` in the workload / fuzz
+   generators is ever constructed without an explicit seed argument
+   (an unseeded RNG would silently destroy bit-reproducibility); and
+2. *fingerprint* coverage: :func:`repro.harness.fingerprint.
+   workload_fingerprint` canonicalizes the complete spec — seed
+   included — so cached artifacts keyed by it can never alias across
+   seeds or across any other generation knob.
+"""
+
+import dataclasses
+import inspect
+import re
+
+from repro.fuzz import FuzzGadget, FuzzSpec, draw_spec
+from repro.fuzz import generator as fuzz_generator
+from repro.harness.fingerprint import workload_fingerprint
+from repro.workloads import behaviors
+from repro.workloads import generator as workload_generator
+from repro.workloads.generator import GadgetSpec, WorkloadSpec
+
+_UNSEEDED = re.compile(r"random\.Random\(\s*\)")
+
+
+class TestNoUnseededRandomness:
+    def test_behaviors_module(self):
+        assert not _UNSEEDED.search(inspect.getsource(behaviors))
+
+    def test_workload_generator_module(self):
+        assert not _UNSEEDED.search(inspect.getsource(workload_generator))
+
+    def test_fuzz_generator_module(self):
+        assert not _UNSEEDED.search(inspect.getsource(fuzz_generator))
+
+    def test_no_module_level_random_calls(self):
+        # random.randrange()/random.random() at module scope would use
+        # the process-global RNG; every use must go through a seeded
+        # random.Random instance.
+        pattern = re.compile(r"(?<!\.)\brandom\.(randrange|random|randint|choice)\(")
+        for module in (behaviors, workload_generator, fuzz_generator):
+            assert not pattern.search(inspect.getsource(module)), module
+
+
+class TestWorkloadFingerprint:
+    def _workload_spec(self, seed=0):
+        return WorkloadSpec(
+            name="fp-audit",
+            iterations=200,
+            gadgets=[GadgetSpec(kind="if"), GadgetSpec(kind="mem")],
+            seed=seed,
+        )
+
+    def test_equal_specs_share_a_fingerprint(self):
+        assert workload_fingerprint(
+            self._workload_spec()
+        ) == workload_fingerprint(self._workload_spec())
+
+    def test_seed_is_in_the_key(self):
+        # The audit's core claim: artifacts cached under this key can
+        # never alias across generation seeds.
+        assert workload_fingerprint(
+            self._workload_spec(seed=0)
+        ) != workload_fingerprint(self._workload_spec(seed=1))
+
+    def test_every_gadget_knob_is_in_the_key(self):
+        base = self._workload_spec()
+        for field, value in (
+            ("threshold", 96),
+            ("work", 9),
+            ("data", ("biased", 0.25)),
+        ):
+            changed = dataclasses.replace(
+                base,
+                gadgets=[
+                    dataclasses.replace(base.gadgets[0], **{field: value}),
+                    base.gadgets[1],
+                ],
+            )
+            assert workload_fingerprint(base) != workload_fingerprint(
+                changed
+            ), field
+
+    def test_fuzz_specs_fingerprint_too(self):
+        a = draw_spec(4)
+        b = dataclasses.replace(a, seed=5)
+        assert workload_fingerprint(a) == workload_fingerprint(draw_spec(4))
+        assert workload_fingerprint(a) != workload_fingerprint(b)
+
+    def test_fuzz_gadget_fields_are_in_the_key(self):
+        spec = FuzzSpec(
+            seed=1, iterations=60, gadgets=[FuzzGadget(kind="hammock")]
+        )
+        changed = spec.replace(
+            gadgets=[FuzzGadget(kind="hammock", threshold=96)]
+        )
+        assert workload_fingerprint(spec) != workload_fingerprint(changed)

@@ -1,0 +1,107 @@
+"""The delta-debugging minimizer (predicate-only tests: no simulation,
+so these exercise the shrink moves themselves, fast)."""
+
+import pytest
+
+from repro.fuzz import (
+    FuzzGadget,
+    FuzzSpec,
+    minimize_spec,
+    static_instruction_count,
+)
+
+
+def _spec(*kinds, iterations=160, seed=11):
+    return FuzzSpec(
+        seed=seed,
+        iterations=iterations,
+        gadgets=[
+            FuzzGadget(kind=kind, work=5, depth=3, arms=4, trips=4)
+            for kind in kinds
+        ],
+    )
+
+
+class TestMinimizeSpec:
+    def test_predicate_must_hold_on_input(self):
+        spec = _spec("hammock")
+        with pytest.raises(ValueError):
+            minimize_spec(spec, lambda s: False)
+
+    def test_drops_irrelevant_gadgets(self):
+        spec = _spec("mem", "dispatch", "fp", "loop")
+        out = minimize_spec(
+            spec, lambda s: any(g.kind == "dispatch" for g in s.gadgets)
+        )
+        assert [g.kind for g in out.gadgets] == ["dispatch"]
+
+    def test_shrinks_knobs_to_floors(self):
+        spec = _spec("dispatch")
+        out = minimize_spec(
+            spec, lambda s: any(g.kind == "dispatch" for g in s.gadgets)
+        )
+        gadget = out.gadgets[0]
+        assert gadget.work == 1 and gadget.merge_work == 1
+        assert gadget.arms == 2 and gadget.trips == 1 and gadget.depth == 1
+        assert out.iterations == 40  # the min_executions-safe floor
+
+    def test_straightens_gnarly_kinds(self):
+        spec = _spec("nest", "overlap")
+        # Failure only needs *some* branchy gadget: everything should
+        # collapse to a single plain hammock.
+        out = minimize_spec(
+            spec,
+            lambda s: any(
+                g.kind not in ("straight", "mem", "fp") for g in s.gadgets
+            ),
+        )
+        assert [g.kind for g in out.gadgets] == ["hammock"]
+
+    def test_never_up_ranks_a_straight_gadget(self):
+        spec = _spec("straight")
+        out = minimize_spec(spec, lambda s: True)
+        assert [g.kind for g in out.gadgets] == ["straight"]
+
+    def test_canonicalizes_data_to_uniform(self):
+        spec = FuzzSpec(
+            seed=3,
+            iterations=80,
+            gadgets=[FuzzGadget(kind="hammock", data=("biased", 0.85))],
+        )
+        out = minimize_spec(spec, lambda s: True)
+        assert out.gadgets[0].data == ("uniform",)
+
+    def test_deterministic(self):
+        spec = _spec("dispatch", "mem", "nest")
+        predicate = lambda s: any(g.kind == "nest" for g in s.gadgets)
+        assert minimize_spec(spec, predicate) == minimize_spec(
+            spec, predicate
+        )
+
+    def test_result_is_no_larger_than_input(self):
+        spec = _spec("nest", "dispatch", "overlap")
+        out = minimize_spec(spec, lambda s: True)
+        assert static_instruction_count(out) <= static_instruction_count(spec)
+
+    def test_check_budget_bounds_work(self):
+        spec = _spec("nest", "dispatch", "overlap", "loop")
+        calls = []
+
+        def predicate(s):
+            calls.append(1)
+            return True
+
+        minimize_spec(spec, predicate, max_checks=5)
+        # 1 entry check + at most max_checks shrink probes.
+        assert len(calls) <= 6
+
+    def test_exploding_predicate_treated_as_not_failing(self):
+        spec = _spec("hammock", "mem")
+
+        def fragile(s):
+            if len(s.gadgets) < 2:
+                raise RuntimeError("checker crashed on the candidate")
+            return True
+
+        out = minimize_spec(spec, fragile)
+        assert len(out.gadgets) == 2  # crash candidates were rejected

@@ -1,0 +1,72 @@
+"""Watchdog flight recorder on the fast engine (the ISSUE-6 satellite).
+
+When a fuzz-generated runaway loop trips the cycle limit, the
+:class:`~repro.errors.SimulationHangError` must carry the tracer's
+ring-buffer tail (``recent_events``) with schema-valid records — the
+postmortem a dead CI job turns into."""
+
+import pytest
+
+from repro.errors import SimulationHangError
+from repro.fuzz import FuzzGadget, FuzzSpec, check_spec
+from repro.fuzz.harness import FuzzProgram, mode_configs
+from repro.obs.events import EVENT_FIELDS, CollectorTracer
+
+#: A loop-heavy program whose full run needs far more than the tiny
+#: cycle budget below — from the watchdog's point of view, an infinite
+#: loop (the budget trips long before the program would end).
+_SPEC = FuzzSpec(
+    seed=23,
+    iterations=400,
+    gadgets=[FuzzGadget(kind="multiexit_loop", trips=4, work=4)],
+)
+
+_TINY_CYCLE_LIMIT = 64
+
+
+class TestFlightRecorder:
+    def _trip(self, mode="dmp", engine="fast"):
+        ctx = FuzzProgram(_SPEC)
+        config = (
+            mode_configs()[mode]
+            .hardened(_TINY_CYCLE_LIMIT)
+            .replace(engine=engine)
+        )
+        tracer = CollectorTracer()
+        with pytest.raises(SimulationHangError) as exc_info:
+            ctx.simulate(mode, config, tracer=tracer)
+        return exc_info.value
+
+    def test_fast_engine_hang_carries_recent_events(self):
+        error = self._trip(engine="fast")
+        diagnostics = error.report()
+        events = diagnostics["recent_events"]
+        assert events, "flight recorder is empty"
+        for record in events:
+            kind = record.get("t")
+            assert kind in EVENT_FIELDS, record
+            missing = set(EVENT_FIELDS[kind]) - set(record)
+            assert not missing, (kind, missing)
+
+    def test_diagnostics_identify_the_trip(self):
+        error = self._trip(engine="fast")
+        diagnostics = error.report()
+        assert diagnostics["cycle"] > _TINY_CYCLE_LIMIT
+        assert diagnostics["cycle_limit"] == _TINY_CYCLE_LIMIT
+        assert diagnostics["mode"] == "dmp"
+        assert diagnostics["benchmark"] == _SPEC.name
+
+    def test_reference_engine_records_the_same_shape(self):
+        # The flight recorder is engine-independent; the differential
+        # harness relies on both sides failing loudly and identically.
+        fast = self._trip(engine="fast").report()
+        ref = self._trip(engine="reference").report()
+        assert ref["cycle_limit"] == fast["cycle_limit"]
+        assert bool(ref["recent_events"]) == bool(fast["recent_events"])
+
+    def test_check_spec_reports_hangs_as_findings(self):
+        findings = check_spec(
+            _SPEC, modes=("dmp",), cycle_limit=_TINY_CYCLE_LIMIT
+        )
+        hangs = [f for f in findings if f.kind == "hang"]
+        assert {f.engine for f in hangs} == {"reference", "fast"}

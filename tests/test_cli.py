@@ -201,3 +201,56 @@ class TestParallelCacheFlags:
         ]) == 0
         assert "wrong" in capsys.readouterr().out
         assert (tmp_path / "sim").exists()
+
+
+class TestListFaults:
+    def test_lists_every_fault_class(self, capsys):
+        from repro.validation.faults import FAULT_NAMES
+
+        assert main(["validate", "--list-faults"]) == 0
+        out = capsys.readouterr().out
+        for name in FAULT_NAMES:
+            assert name in out
+        # Detection-channel legend markers are present.
+        assert "static" in out and "runtime" in out
+
+    def test_list_faults_runs_no_simulation(self, capsys):
+        # --list-faults must return before any benchmark work; keep it
+        # instant so `repro validate --list-faults | grep` is a shell
+        # reflex, not a coffee break.
+        import time
+
+        start = time.perf_counter()
+        assert main(["validate", "--list-faults"]) == 0
+        assert time.perf_counter() - start < 1.0
+        capsys.readouterr()
+
+
+class TestFuzzCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fuzz"])
+        assert args.seeds == "0:50"
+        assert args.jobs == 1 and not args.minimize
+        assert args.iterations == 120 and args.max_gadgets == 4
+
+    def test_seed_range_and_list_syntax(self):
+        from repro.cli import _parse_seeds
+
+        assert _parse_seeds("0:4") == [0, 1, 2, 3]
+        assert _parse_seeds("7,3,7") == [7, 3, 7]
+        with pytest.raises(SystemExit):
+            _parse_seeds("4:4")
+        with pytest.raises(SystemExit):
+            _parse_seeds("banana")
+
+    def test_clean_sweep_exits_zero(self, tmp_path, capsys):
+        out_file = tmp_path / "report.json"
+        assert main([
+            "fuzz", "--seeds", "0:2", "--output", str(out_file),
+        ]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+        import json
+
+        payload = json.loads(out_file.read_text())
+        assert payload["schema"] == "repro-fuzz/1"
+        assert payload["checked"] == 2
