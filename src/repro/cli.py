@@ -135,6 +135,11 @@ def cmd_suite(args) -> int:
         raise SystemExit(f"unknown configs: {', '.join(unknown)}")
     benchmarks = _parse_benchmarks(args.benchmarks)
     configs = {name: CONFIG_FACTORIES[name]() for name in config_names}
+    if args.engine:
+        configs = {
+            name: config.replace(engine=args.engine)
+            for name, config in configs.items()
+        }
     cache = _resolve_cache(args)
     with paranoid(args.paranoid or paranoid_enabled()), \
             tracing(_trace_dir(args)):
@@ -186,6 +191,7 @@ def cmd_figure(args) -> int:
                 iterations=args.iterations,
                 jobs=args.jobs,
                 cache=_resolve_cache(args),
+                engine=args.engine,
             )
     print(result.format())
     return 0
@@ -341,12 +347,18 @@ def cmd_bench(args) -> int:
         cache=_resolve_cache(args),
         progress=print,
         trace_dir=_trace_dir(args),
+        batch=(
+            "off" if args.no_batch else "smoke" if args.smoke else "full"
+        ),
     )
     summary = report["summary"]
     print(f"\ngeomean speedup: {summary['geomean_speedup_cold']:.2f}x cold, "
           f"{summary['geomean_speedup_warm']:.2f}x cache-warm; "
           f"all stats identical: {summary['all_identical']}; "
           f"tracing non-perturbing: {summary['all_traced_identical']}")
+    if summary.get("geomean_batch_speedup"):
+        print(f"batch sweep geomean speedup: "
+              f"{summary['geomean_batch_speedup']:.2f}x vs reference")
     if summary["degenerate_cells"]:
         print("degenerate cells (excluded from geomean): "
               + ", ".join(summary["degenerate_cells"]))
@@ -520,18 +532,26 @@ def _parse_seeds(raw: str) -> List[int]:
             raise SystemExit(f"empty seed range {raw!r}")
         return list(range(lo, hi))
     try:
-        return [int(part) for part in raw.split(",") if part.strip()]
+        seeds = [int(part) for part in raw.split(",") if part.strip()]
     except ValueError:
         raise SystemExit(f"bad seeds {raw!r}; expected A:B or a,b,c")
+    if not seeds:
+        # An empty seed list must be loud: ``repro fuzz --seeds ""``
+        # would otherwise run zero seeds and exit 0 with a "clean"
+        # report, silently disabling a nightly fuzz job.
+        raise SystemExit(f"no seeds in {raw!r}; expected A:B or a,b,c")
+    return seeds
 
 
 def cmd_fuzz(args) -> int:
     """Differential fuzzing sweep (docs/robustness.md).
 
     Every seed's program runs across {reference, fast} engines x every
-    machine mode, hardened.  Exit codes: 0 — every seed clean; 1 — at
-    least one finding (its JSON report and, with ``--minimize
-    --corpus-dir``, its corpus reproducer carry the evidence).
+    machine mode, hardened; ``--engines reference,batch --no-harden``
+    instead diffs the vectorized batch engine's vector path against the
+    reference.  Exit codes: 0 — every seed clean; 1 — at least one
+    finding (its JSON report and, with ``--minimize --corpus-dir``, its
+    corpus reproducer carry the evidence).
     """
     import json as json_mod
 
@@ -541,6 +561,17 @@ def cmd_fuzz(args) -> int:
     knobs = FuzzKnobs(
         max_gadgets=args.max_gadgets, iterations=args.iterations
     )
+    kwargs = {}
+    if args.engines:
+        engines = [e.strip() for e in args.engines.split(",") if e.strip()]
+        if len(engines) < 2:
+            raise SystemExit(
+                f"--engines needs a reference plus at least one engine "
+                f"to diff, got {args.engines!r}"
+            )
+        kwargs["engines"] = tuple(engines)
+    if args.no_harden:
+        kwargs["harden"] = False
     report = run_fuzz(
         seeds,
         budget=args.budget or None,
@@ -548,6 +579,7 @@ def cmd_fuzz(args) -> int:
         minimize=args.minimize,
         knobs=knobs,
         progress=lambda line: print(f"  {line}"),
+        **kwargs,
     )
     print(report.summary())
     if args.output:
@@ -588,6 +620,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="fan simulations out over N worker processes "
                               "(results are bit-identical to --jobs 1)")
+    p_suite.add_argument("--engine", default="",
+                         choices=["", "fast", "reference", "batch"],
+                         help="simulation engine override; 'batch' runs "
+                              "every cell through the vectorized lockstep "
+                              "engine (bit-identical, much faster for "
+                              "sweeps)")
     p_suite.add_argument("--cache-dir", default=None, metavar="PATH",
                          help="persist traces/profiles/hints/stats under "
                               "PATH and reuse them on later runs (default: "
@@ -610,6 +648,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "on every simulation")
     p_fig.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="fan simulations out over N worker processes")
+    p_fig.add_argument("--engine", default="",
+                       choices=["", "fast", "reference", "batch"],
+                       help="simulation engine override; 'batch' runs "
+                            "every cell through the vectorized lockstep "
+                            "engine (bit-identical, much faster for "
+                            "sweeps)")
     p_fig.add_argument("--cache-dir", default=None, metavar="PATH",
                        help="persist traces/profiles/hints/stats under "
                             "PATH and reuse them on later runs (default: "
@@ -674,6 +718,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="with --minimize: save each reproducer as a "
                              "corpus JSON entry under DIR (the committed "
                              "corpus lives in tests/fuzz/corpus/)")
+    p_fuzz.add_argument("--engines", default="",
+                        help="comma-separated engine list; the first is "
+                             "the trusted reference the rest are diffed "
+                             "against (default reference,fast)")
+    p_fuzz.add_argument("--no-harden", action="store_true",
+                        help="run configs without the oracle/watchdog "
+                             "(required for the batch engine's vector "
+                             "path: hardened cells always take the "
+                             "scalar fallback)")
     p_fuzz.add_argument("--iterations", type=int, default=120,
                         help="outer-loop iterations per generated program")
     p_fuzz.add_argument("--max-gadgets", type=int, default=4,
@@ -711,6 +764,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--min-speedup", type=float, default=0.0,
                          help="fail unless the geomean cold speedup "
                               "reaches this bound")
+    p_bench.add_argument("--no-batch", action="store_true",
+                         help="skip the lockstep batch-engine sweep "
+                              "cells")
     p_bench.add_argument("--cache-dir", default=None, metavar="PATH",
                          help="artifact cache for traces/profiles/hints")
     p_bench.add_argument("--no-cache", action="store_true",

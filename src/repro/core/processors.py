@@ -137,6 +137,19 @@ def simulate(
     config = config or MachineConfig()
     if paranoid_enabled() and not (config.oracle_checks and config.watchdog):
         config = config.hardened()
+    if config.engine == "batch":
+        # Batch-of-one through the vectorized lockstep engine; cells
+        # outside its vector envelope (predicating modes, hardened runs,
+        # tracers, exotic structure sizes) fall back to the fast engine
+        # inside run_batch, so this route accepts every configuration.
+        from repro.uarch.batch import BatchCell, run_batch
+
+        return run_batch([
+            BatchCell(
+                program=program, trace=trace, config=config, hints=hints,
+                benchmark=benchmark, warm_words=warm_words, tracer=tracer,
+            )
+        ])[0]
     if config.is_predicating:
         if hints is None:
             raise ValueError(f"mode {config.mode!r} requires a hint table")

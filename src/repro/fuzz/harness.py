@@ -231,10 +231,16 @@ def check_spec(
     modes: Sequence[str] = FUZZ_MODES,
     thresholds: Optional[SelectionThresholds] = None,
     cycle_limit: Optional[int] = None,
+    engines: Sequence[str] = _ENGINES,
+    harden: bool = True,
 ) -> List[Finding]:
     """Differential-check one spec; the empty list means it passed.
 
-    Every simulation runs hardened (oracle + watchdog).  The first
+    ``engines[0]`` is the trusted reference; every other engine is
+    diffed against it.  By default every simulation runs hardened
+    (oracle + watchdog); pass ``harden=False`` to run the configs as-is
+    — that is how the batch engine's *vector* path gets covered, since
+    a hardened config always takes its scalar fallback.  The first
     failure per ``(mode, engine)`` cell is recorded and the sweep
     continues, so one bad mode does not mask another."""
     findings: List[Finding] = []
@@ -255,7 +261,9 @@ def check_spec(
 
     configs = mode_configs()
     for mode in modes:
-        base = configs[mode].hardened(cycle_limit)
+        base = configs[mode]
+        if harden:
+            base = base.hardened(cycle_limit)
         try:
             ctx.hints_for(mode)
         except Exception as exc:
@@ -274,7 +282,7 @@ def check_spec(
             )
             continue
         stats: Dict[str, Optional[SimStats]] = {}
-        for engine in _ENGINES:
+        for engine in engines:
             config = base.replace(engine=engine)
             try:
                 stats[engine] = ctx.simulate(mode, config)
@@ -305,24 +313,29 @@ def check_spec(
                         spec=spec,
                     )
                 )
-        ref, fast = stats.get("reference"), stats.get("fast")
-        if ref is not None and fast is not None:
-            diff = _stat_diff(ref, fast)
-            if diff:
-                findings.append(
-                    Finding(
-                        seed=spec.seed,
-                        kind="divergence",
-                        mode=mode,
-                        engine="both",
-                        detail=(
-                            f"engines disagree on {len(diff)} "
-                            f"SimStats field(s)"
-                        ),
-                        stat_diff=diff,
-                        spec=spec,
+        ref = stats.get(engines[0])
+        if ref is not None:
+            for engine in engines[1:]:
+                other = stats.get(engine)
+                if other is None:
+                    continue
+                diff = _stat_diff(ref, other)
+                if diff:
+                    findings.append(
+                        Finding(
+                            seed=spec.seed,
+                            kind="divergence",
+                            mode=mode,
+                            engine="both",
+                            detail=(
+                                f"engines disagree ({engines[0]} vs "
+                                f"{engine}) on {len(diff)} "
+                                f"SimStats field(s)"
+                            ),
+                            stat_diff=diff,
+                            spec=spec,
+                        )
                     )
-                )
     return findings
 
 
@@ -388,10 +401,11 @@ def _init_fuzz_worker(payload: bytes) -> None:
 
 
 def _check_seed(seed: int) -> Tuple[int, List[Finding]]:
-    knobs, modes, thresholds, cycle_limit = _WORKER_ARGS
+    knobs, modes, thresholds, cycle_limit, engines, harden = _WORKER_ARGS
     spec = draw_spec(seed, knobs)
     return seed, check_spec(
-        spec, modes=modes, thresholds=thresholds, cycle_limit=cycle_limit
+        spec, modes=modes, thresholds=thresholds, cycle_limit=cycle_limit,
+        engines=engines, harden=harden,
     )
 
 
@@ -404,6 +418,8 @@ def run_fuzz(
     modes: Sequence[str] = FUZZ_MODES,
     thresholds: Optional[SelectionThresholds] = None,
     cycle_limit: Optional[int] = None,
+    engines: Sequence[str] = _ENGINES,
+    harden: bool = True,
     progress: Optional[Callable[[str], None]] = None,
 ) -> FuzzReport:
     """Sweep ``seeds`` (capped at ``budget``) through the differential
@@ -422,7 +438,9 @@ def run_fuzz(
 
     if jobs > 1 and len(seed_list) > 1:
         payload = pickle.dumps(
-            (knobs, tuple(modes), thresholds, cycle_limit), protocol=4
+            (knobs, tuple(modes), thresholds, cycle_limit, tuple(engines),
+             harden),
+            protocol=4,
         )
         with multiprocessing.Pool(
             processes=min(jobs, len(seed_list)),
@@ -440,7 +458,7 @@ def run_fuzz(
             spec = draw_spec(seed, knobs)
             findings = check_spec(
                 spec, modes=modes, thresholds=thresholds,
-                cycle_limit=cycle_limit,
+                cycle_limit=cycle_limit, engines=engines, harden=harden,
             )
             by_seed[seed] = findings
             if progress and findings:
@@ -459,6 +477,8 @@ def run_fuzz(
                 modes=modes,
                 thresholds=thresholds,
                 cycle_limit=cycle_limit,
+                engines=engines,
+                harden=harden,
             )
             for finding in findings
         ]

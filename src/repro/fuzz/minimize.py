@@ -179,6 +179,8 @@ def minimize_finding(
     modes: Optional[Sequence[str]] = None,
     thresholds=None,
     cycle_limit: Optional[int] = None,
+    engines: Optional[Sequence[str]] = None,
+    harden: bool = True,
     max_checks: int = 400,
 ):
     """Minimize one harness :class:`~repro.fuzz.harness.Finding`.
@@ -188,12 +190,13 @@ def minimize_finding(
     minimizing an oracle failure cannot drift into reporting an
     unrelated divergence's reproducer.  Returns a copy of the finding
     carrying the shrunk spec and its static instruction count."""
-    from repro.fuzz.harness import FUZZ_MODES, check_spec
+    from repro.fuzz.harness import _ENGINES, FUZZ_MODES, check_spec
 
     if finding.spec is None or finding.kind == "generator":
         return finding
     modes = tuple(modes) if modes is not None else FUZZ_MODES
     check_modes = (finding.mode,) if finding.mode in modes else modes
+    engines = tuple(engines) if engines is not None else _ENGINES
 
     def still_fails(candidate: FuzzSpec) -> bool:
         found = check_spec(
@@ -201,6 +204,8 @@ def minimize_finding(
             modes=check_modes,
             thresholds=thresholds,
             cycle_limit=cycle_limit,
+            engines=engines,
+            harden=harden,
         )
         return any(
             f.kind == finding.kind and f.mode == finding.mode for f in found

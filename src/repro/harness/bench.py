@@ -13,6 +13,12 @@ configuration in three cells:
     the fast engine with the program-scoped analysis (block plans,
     postdominators, reconvergence points) already built.
 
+On top of the per-cell matrix, the harness times the vectorized batch
+engine on a lockstep design-space sweep (``suite/batch-sweep`` and the
+CI-sized ``suite/batch-smoke`` cells — see :func:`_run_batch_group`),
+with per-cell bit-identity asserted against the reference engine on a
+deterministic sample of the grid.
+
 Every fast cell is differentially checked against the reference stats —
 a cell is only reported with ``identical: true`` if the two engines'
 :class:`~repro.uarch.stats.SimStats` match bit for bit.
@@ -65,6 +71,24 @@ SMOKE_CONFIGS = ("base", "dmp-enhanced")
 SMOKE_ITERATIONS = 300
 SMOKE_REPEATS = 2
 
+#: The design-space sweep the batch engine is measured on: every
+#: benchmark in the suite at a grid of frontend/backend sizings, all
+#: advanced as one lockstep group (the paper's figure 13/14 workload —
+#: many configurations, few seeds).  Timing the reference engine on the
+#: full grid is exactly what the batch engine exists to avoid, so the
+#: reference is timed — and bit-identity asserted — on a deterministic
+#: sample of cells, and the batch side is charged its uniform per-cell
+#: share of one cold group run (arena + analysis caches cleared first).
+BATCH_CONFIGS = ("base", "dualpath")
+BATCH_WIDTHS = (4, 8)
+BATCH_DEPTHS = (10, 30)
+BATCH_ROBS = (128, 512)
+BATCH_RETIRES = (4, 8)
+BATCH_SWEEP_SEEDS = (0, 1)
+BATCH_SWEEP_SAMPLE = 10
+BATCH_SMOKE_SEEDS = (0,)
+BATCH_SMOKE_SAMPLE = 4
+
 
 def geomean(values: Iterable[float]) -> float:
     vals = [v for v in values if v > 0]
@@ -110,6 +134,117 @@ def _measure_cell(context: BenchmarkContext, ref_config: MachineConfig,
     return best, stats
 
 
+def _batch_grid() -> List[MachineConfig]:
+    """The 32-configuration sweep grid (2 modes x 16 sizings)."""
+    grid = []
+    for config_name in BATCH_CONFIGS:
+        base = CONFIG_FACTORIES[config_name]()
+        for width in BATCH_WIDTHS:
+            for depth in BATCH_DEPTHS:
+                for rob in BATCH_ROBS:
+                    for retire in BATCH_RETIRES:
+                        grid.append(base.replace(
+                            engine="batch", fetch_width=width,
+                            pipeline_depth=depth, rob_size=rob,
+                            retire_width=retire,
+                        ))
+    return grid
+
+
+def _run_batch_group(label: str, benchmarks: Sequence[str],
+                     iterations: int, seeds: Sequence[int], sample: int,
+                     cache, say) -> Optional[Dict]:
+    """One cold lockstep run of the batch sweep; returns a report cell.
+
+    ``speedup_cold`` is the geomean, over the sampled cells, of the
+    reference engine's per-cell time against the batch engine's uniform
+    per-cell share (group total / cell count) — lockstep execution has
+    no per-cell attribution finer than that.  Every sampled cell's
+    :class:`~repro.uarch.stats.SimStats` must match the batch result
+    bit for bit (``identical``).  Returns ``None`` when numpy is
+    unavailable (the batch engine then degrades to the fast engine, and
+    a throughput claim for it would be meaningless).
+    """
+    from repro.uarch.batch import BatchCell, batch_supported, run_batch
+
+    if not batch_supported():
+        say(f"{label}: numpy unavailable, batch sweep skipped")
+        return None
+    from repro.uarch.batch.arena import clear_arena_caches
+
+    cells: List[BatchCell] = []
+    programs = []
+    for name in benchmarks:
+        for seed in seeds:
+            context = BenchmarkContext(
+                name, iterations=iterations, seed=seed, cache=cache
+            )
+            program, trace = context.program, context.trace
+            warm_words = context.workload.memory.warm_words()
+            programs.append(program)
+            for config in _batch_grid():
+                cells.append(BatchCell(
+                    program, trace, config, hints=None,
+                    benchmark=name, warm_words=warm_words,
+                ))
+    # Cold: the batch run pays for its own arenas and block plans.
+    for program in programs:
+        ProgramAnalysis.reset(program)
+    clear_arena_caches()
+    t0 = time.process_time()
+    results = run_batch(cells)
+    batch_s = time.process_time() - t0
+    percell = batch_s / len(cells)
+
+    stride = max(1, len(cells) // sample)
+    sampled = list(range(0, len(cells), stride))[:sample]
+    identical = True
+    ref_times: List[float] = []
+    speedups: List[float] = []
+    for index in sampled:
+        cell = cells[index]
+        t0 = time.process_time()
+        ref_stats = simulate(
+            cell.program, cell.trace,
+            cell.config.replace(engine="reference"), hints=None,
+            benchmark=cell.benchmark, warm_words=cell.warm_words,
+        )
+        ref_s = time.process_time() - t0
+        if dataclasses.asdict(ref_stats) != dataclasses.asdict(
+                results[index]):
+            identical = False
+            say(f"{label}: stats mismatch on sampled cell {index} "
+                f"({cell.benchmark}/{cell.config.mode})")
+        if ref_s > 0:
+            ref_times.append(ref_s)
+            if percell > 0:
+                speedups.append(ref_s / percell)
+    degenerate = not (percell > 0 and speedups)
+    cell_dict = {
+        "benchmark": "suite",
+        "config": label,
+        "retired_instructions": sum(
+            r.retired_instructions for r in results
+        ),
+        "identical": identical,
+        "degenerate": degenerate,
+        "sweep_cells": len(cells),
+        "sampled_reference_cells": len(sampled),
+        "batch_total_s": batch_s,
+        "batch_percell_s": percell,
+        "reference_percell_s": geomean(ref_times),
+        "speedup_cold": geomean(speedups),
+    }
+    say(f"{'suite':8s} {label:12s} "
+        f"batch {batch_s:6.1f}s / {len(cells)} cells = "
+        f"{1000 * percell:6.1f} ms/cell  "
+        f"ref sample {geomean(ref_times):6.3f} s/cell  "
+        f"speedup {cell_dict['speedup_cold']:.2f}x  "
+        f"identical={identical}"
+        + (" DEGENERATE" if degenerate else ""))
+    return cell_dict
+
+
 def run_bench(
     benchmarks: Sequence[str] = DEFAULT_BENCHMARKS,
     configs: Sequence[str] = DEFAULT_CONFIGS,
@@ -119,6 +254,7 @@ def run_bench(
     cache=None,
     progress=None,
     trace_dir: Optional[str] = None,
+    batch: str = "full",
 ) -> Dict:
     """Run the engine benchmark matrix and return the report dict.
 
@@ -126,7 +262,16 @@ def run_bench(
     observability layer does not perturb the simulation
     (``traced_identical``); with ``trace_dir`` set, those runs stream
     their JSONL event traces there instead of an in-memory collector.
+
+    ``batch`` controls the lockstep-sweep cells: ``"full"`` times both
+    the full-suite sweep (``suite/batch-sweep``) and the quick CI shape
+    (``suite/batch-smoke``, so a committed full report doubles as the
+    smoke baseline), ``"smoke"`` only the latter, ``"off"`` neither.
+    Batch cells are excluded from the fast-engine geomeans and
+    summarized under ``geomean_batch_speedup``.
     """
+    if batch not in ("full", "smoke", "off"):
+        raise ValueError(f"unknown batch mode {batch!r}")
     unknown = [c for c in configs if c not in CONFIG_FACTORIES]
     if unknown:
         raise ValueError(f"unknown bench configs: {', '.join(unknown)}")
@@ -205,12 +350,41 @@ def run_bench(
                 f"{cell['speedup_warm']:.2f}x  "
                 f"identical={identical}"
                 + (" DEGENERATE" if degenerate else ""))
-    live = [c for c in cells if not c["degenerate"]]
+    if batch != "off":
+        from repro.workloads.suite import BENCHMARK_NAMES
+
+        if batch == "full":
+            sweep = _run_batch_group(
+                "batch-sweep", BENCHMARK_NAMES, iterations,
+                BATCH_SWEEP_SEEDS, BATCH_SWEEP_SAMPLE, cache, say,
+            )
+            if sweep is not None:
+                cells.append(sweep)
+        smoke = _run_batch_group(
+            "batch-smoke", SMOKE_BENCHMARKS, SMOKE_ITERATIONS,
+            BATCH_SMOKE_SEEDS, BATCH_SMOKE_SAMPLE, cache, say,
+        )
+        if smoke is not None:
+            cells.append(smoke)
+    is_batch = [c["config"].startswith("batch-") for c in cells]
+    live = [
+        c for c, bat in zip(cells, is_batch)
+        if not (bat or c["degenerate"])
+    ]
+    batch_live = [
+        c for c, bat in zip(cells, is_batch)
+        if bat and not c["degenerate"]
+    ]
     summary = {
         "geomean_speedup_cold": geomean(c["speedup_cold"] for c in live),
         "geomean_speedup_warm": geomean(c["speedup_warm"] for c in live),
+        "geomean_batch_speedup": geomean(
+            c["speedup_cold"] for c in batch_live
+        ),
         "all_identical": all(c["identical"] for c in cells),
-        "all_traced_identical": all(c["traced_identical"] for c in cells),
+        "all_traced_identical": all(
+            c.get("traced_identical", True) for c in cells
+        ),
         "degenerate_cells": [
             f"{c['benchmark']}/{c['config']}" for c in cells
             if c["degenerate"]
@@ -224,6 +398,7 @@ def run_bench(
             "iterations": iterations,
             "seed": seed,
             "repeats": repeats,
+            "batch": batch,
         },
         "host": {
             "python": platform.python_version(),
@@ -241,8 +416,16 @@ def _cell_map(report: Dict) -> Dict:
 
 def _degenerate(cell: Dict) -> bool:
     """Degenerate marker, inferred for pre-marker reports where a zero
-    speedup was the only (ambiguous) signal."""
-    return bool(cell.get("degenerate", cell.get("speedup_cold", 0) <= 0))
+    speedup was the only (ambiguous) signal.
+
+    A non-positive speedup is treated as degenerate even when the cell
+    carries an explicit ``degenerate: false`` marker: such a cell holds
+    no ratio information, and feeding it to the per-cell regression
+    check would divide by zero.
+    """
+    if bool(cell.get("degenerate", False)):
+        return True
+    return cell.get("speedup_cold", 0) <= 0
 
 
 def compare(current: Dict, baseline: Dict,

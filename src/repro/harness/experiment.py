@@ -561,6 +561,154 @@ def _accumulate_deltas(
         timings.sim_cache_hits += context.sim_cache_hits - disk
 
 
+def _cell_tracer(context: BenchmarkContext, label: str, trace_dir):
+    """A JSONL tracer for one suite cell, or ``None`` when untraced."""
+    if trace_dir is None:
+        return None
+    from repro.obs.events import JsonlTracer
+    from repro.obs.runtime import trace_path
+
+    return JsonlTracer(
+        trace_path(trace_dir, context.name, label),
+        meta={
+            "benchmark": context.name,
+            "config": label,
+            "iterations": context.iterations,
+            "seed": context.seed,
+        },
+    )
+
+
+def _simulate_cell(
+    context: BenchmarkContext, label: str, config: MachineConfig,
+    trace_dir, verbose: bool,
+) -> SimStats:
+    """One (benchmark, config) cell through the context (memo/cache
+    aware), with optional event tracing."""
+    tracer = _cell_tracer(context, label, trace_dir)
+    try:
+        stats = context.simulate(config, tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if verbose:
+        print(
+            f"  {context.name:8s} {label:24s} IPC={stats.ipc:.3f} "
+            f"flushes={stats.pipeline_flushes}"
+        )
+    return stats
+
+
+def _execute_serial(
+    run_contexts, configs, *, jobs, verbose, trace_dir, result, timings
+) -> None:
+    """One cell at a time, in deterministic order."""
+    for context in run_contexts:
+        for label, config in configs.items():
+            stats = _simulate_cell(context, label, config, trace_dir, verbose)
+            result.add(context.name, label, stats)
+
+
+def _execute_pool(
+    run_contexts, configs, *, jobs, verbose, trace_dir, result, timings
+) -> None:
+    """Fan the cells out over a process pool (repro.harness.parallel)."""
+    from repro.harness.parallel import run_simulations_parallel
+
+    stats_map = run_simulations_parallel(
+        run_contexts, configs, jobs=max(jobs, 2), verbose=verbose,
+        trace_dir=trace_dir,
+    )
+    timings.simulate_seconds += stats_map.worker_seconds
+    timings.simulations_run += stats_map.worker_runs
+    for context in run_contexts:
+        for label, config in configs.items():
+            result.add(context.name, label, stats_map[(context.name, label)])
+
+
+def _execute_batch(
+    run_contexts, configs, *, jobs, verbose, trace_dir, result, timings
+) -> None:
+    """All cells through the vectorized lockstep engine in one group.
+
+    Every config is run with ``engine="batch"`` (the engine is
+    bit-identical, and cells outside the vector envelope fall back to
+    the fast engine inside ``run_batch``).  Memoized / disk-cached cells
+    are served without simulating; traced cells cannot batch (the event
+    stream needs a live scalar simulator) and run serially instead.
+    """
+    from repro.uarch.batch import BatchCell, run_batch
+
+    cells: List = []
+    meta: List[Tuple[BenchmarkContext, str, MachineConfig]] = []
+    for context in run_contexts:
+        for label, config in configs.items():
+            effective = (
+                config if config.engine == "batch"
+                else config.replace(engine="batch")
+            )
+            if trace_dir is not None:
+                stats = _simulate_cell(
+                    context, label, effective, trace_dir, verbose
+                )
+                result.add(context.name, label, stats)
+                continue
+            stats = context.cached_stats(effective)
+            if stats is not None:
+                result.add(context.name, label, stats)
+                continue
+            hints = context.hints_for(effective)
+            warm = context.workload.memory.warm_words()
+            context._load_analysis()
+            cells.append(BatchCell(
+                context.program, context.trace, effective, hints=hints,
+                benchmark=context.name, warm_words=warm,
+            ))
+            meta.append((context, label, effective))
+    if not cells:
+        return
+    t0 = time.perf_counter()
+    stats_list = run_batch(cells)
+    per_cell = (time.perf_counter() - t0) / len(cells)
+    for (context, label, effective), stats in zip(meta, stats_list):
+        context.stage_seconds["simulate"] += per_cell
+        context.sims_run += 1
+        context._store_analysis()
+        context.store_stats(effective, stats)
+        result.add(context.name, label, stats)
+        if verbose:
+            print(
+                f"  {context.name:8s} {label:24s} IPC={stats.ipc:.3f} "
+                f"flushes={stats.pipeline_flushes}"
+            )
+
+
+#: Pluggable suite executors: how the (benchmark, config) cells of one
+#: suite run are simulated.  All three produce bit-identical results;
+#: tests/harness/test_parallel.py and tests/core/test_engine_batch.py
+#: hold them to it.
+SUITE_EXECUTORS = {
+    "serial": _execute_serial,
+    "pool": _execute_pool,
+    "batch": _execute_batch,
+}
+
+
+def _resolve_executor(
+    executor: Optional[str], configs: Dict[str, MachineConfig], jobs: int
+) -> str:
+    if executor is not None:
+        if executor not in SUITE_EXECUTORS:
+            raise ReproError(
+                f"unknown executor {executor!r}; expected one of "
+                f"{sorted(SUITE_EXECUTORS)}"
+            )
+        return executor
+    if any(config.engine == "batch" for config in configs.values()):
+        return "batch"
+    return "pool" if jobs > 1 else "serial"
+
+
 def run_suite(
     configs: Dict[str, MachineConfig],
     benchmarks: Iterable[str] = BENCHMARK_NAMES,
@@ -571,6 +719,7 @@ def run_suite(
     jobs: int = 1,
     cache: Union[None, str, ArtifactCache] = None,
     trace_dir: Optional[str] = None,
+    executor: Optional[str] = None,
 ) -> SuiteResult:
     """Run every configuration over every benchmark.
 
@@ -580,10 +729,17 @@ def run_suite(
     raises :class:`~repro.errors.ReproError` instead of silently
     returning stats for different parameters.
 
-    ``jobs > 1`` fans the simulations out over a process pool;
+    The cells are dispatched through a pluggable *executor*
+    (``SUITE_EXECUTORS``): ``"serial"`` simulates one cell at a time,
+    ``"pool"`` fans out over a process pool, and ``"batch"`` runs every
+    cell through the vectorized lockstep engine
+    (:mod:`repro.uarch.batch`) in one group.  When ``executor`` is not
+    given it is inferred: ``"batch"`` if any config selects
+    ``engine="batch"``, else ``"pool"`` when ``jobs > 1``, else
+    ``"serial"``.  All executors return bit-identical results.
+
     ``cache`` (an :class:`ArtifactCache` or directory path) persists
-    artifacts and stats across invocations.  Both paths return results
-    bit-identical to a serial, cold run.
+    artifacts and stats across invocations.
 
     ``trace_dir`` (or the process-wide toggle set by
     :func:`repro.obs.runtime.set_trace_dir` — the CLI's ``--trace``
@@ -621,46 +777,11 @@ def run_suite(
     before = [_context_snapshot(context) for context in run_contexts]
     timings = SuiteTimings(jobs=jobs)
 
-    if jobs > 1:
-        from repro.harness.parallel import run_simulations_parallel
-
-        stats_map = run_simulations_parallel(
-            run_contexts, configs, jobs=jobs, verbose=verbose,
-            trace_dir=trace_dir,
-        )
-        timings.simulate_seconds += stats_map.worker_seconds
-        timings.simulations_run += stats_map.worker_runs
-        for context in run_contexts:
-            for label, config in configs.items():
-                result.add(context.name, label, stats_map[(context.name, label)])
-    else:
-        for context in run_contexts:
-            for label, config in configs.items():
-                tracer = None
-                if trace_dir is not None:
-                    from repro.obs.events import JsonlTracer
-                    from repro.obs.runtime import trace_path
-
-                    tracer = JsonlTracer(
-                        trace_path(trace_dir, context.name, label),
-                        meta={
-                            "benchmark": context.name,
-                            "config": label,
-                            "iterations": context.iterations,
-                            "seed": context.seed,
-                        },
-                    )
-                try:
-                    stats = context.simulate(config, tracer=tracer)
-                finally:
-                    if tracer is not None:
-                        tracer.close()
-                result.add(context.name, label, stats)
-                if verbose:
-                    print(
-                        f"  {context.name:8s} {label:24s} IPC={stats.ipc:.3f} "
-                        f"flushes={stats.pipeline_flushes}"
-                    )
+    execute = SUITE_EXECUTORS[_resolve_executor(executor, configs, jobs)]
+    execute(
+        run_contexts, configs, jobs=jobs, verbose=verbose,
+        trace_dir=trace_dir, result=result, timings=timings,
+    )
 
     _accumulate_deltas(timings, run_contexts, before)
     timings.wall_seconds = time.perf_counter() - wall_start
@@ -715,10 +836,13 @@ def run_multi_seed(
     iterations: Optional[int] = None,
     jobs: int = 1,
     cache: Union[None, str, ArtifactCache] = None,
+    executor: Optional[str] = None,
 ) -> MultiSeedResult:
     """Run the suite once per seed (each seed regenerates every data
     array, so traces and profiles differ while CFG shapes stay fixed).
-    ``jobs``/``cache`` are forwarded to each per-seed :func:`run_suite`."""
+    ``jobs``/``cache``/``executor`` are forwarded to each per-seed
+    :func:`run_suite` — multi-seed sweeps are exactly the shape the
+    ``"batch"`` executor exists for."""
     out = MultiSeedResult()
     benchmarks = list(benchmarks)
     for seed in seeds:
@@ -731,6 +855,7 @@ def run_multi_seed(
                 seed=seed,
                 jobs=jobs,
                 cache=cache,
+                executor=executor,
             ),
         )
     return out

@@ -82,9 +82,17 @@ def _suite(
     iterations: Optional[int],
     jobs: int = 1,
     cache=None,
+    engine: str = "",
 ) -> SuiteResult:
     """Run one config sweep through the shared contexts (parallel/cached
-    when asked)."""
+    when asked).  ``engine`` overrides every config's simulation engine
+    (the CLI's ``--engine`` flag); results are bit-identical across
+    engines, so this only changes how fast the sweep runs."""
+    if engine:
+        configs = {
+            label: config.replace(engine=engine)
+            for label, config in configs.items()
+        }
     return run_suite(
         configs,
         benchmarks,
@@ -109,12 +117,13 @@ def fig1(
     iterations: Optional[int] = None,
     jobs: int = 1,
     cache=None,
+    engine: str = "",
 ) -> FigureResult:
     cache = ArtifactCache.resolve(cache)
     contexts = _contexts(contexts, benchmarks, iterations, cache)
     suite = _suite(
         {"base": MachineConfig.baseline()},
-        contexts, benchmarks, iterations, jobs, cache,
+        contexts, benchmarks, iterations, jobs, cache, engine,
     )
     rows = []
     cd_col, ci_col = [], []
@@ -194,12 +203,13 @@ def table3(
     iterations: Optional[int] = None,
     jobs: int = 1,
     cache=None,
+    engine: str = "",
 ) -> FigureResult:
     cache = ArtifactCache.resolve(cache)
     contexts = _contexts(contexts, benchmarks, iterations, cache)
     suite = _suite(
         {"base": MachineConfig.baseline()},
-        contexts, benchmarks, iterations, jobs, cache,
+        contexts, benchmarks, iterations, jobs, cache, engine,
     )
     rows = []
     for name in benchmarks:
@@ -231,6 +241,7 @@ def fig6(
     iterations: Optional[int] = None,
     jobs: int = 1,
     cache=None,
+    engine: str = "",
 ) -> FigureResult:
     # No timing simulations here — only profiles and hint tables, which
     # the artifact cache covers; ``jobs`` is accepted for driver
@@ -284,10 +295,13 @@ def _improvement_figure(
     notes: str = "",
     jobs: int = 1,
     cache=None,
+    engine: str = "",
 ) -> FigureResult:
     cache = ArtifactCache.resolve(cache)
     contexts = _contexts(contexts, benchmarks, iterations, cache)
-    suite = _suite(configs, contexts, benchmarks, iterations, jobs, cache)
+    suite = _suite(
+        configs, contexts, benchmarks, iterations, jobs, cache, engine
+    )
     labels = [label for label in configs if label != "base"]
     rows = []
     columns = {label: [] for label in labels}
@@ -311,7 +325,7 @@ def _improvement_figure(
 
 
 def fig7(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None,
-         jobs=1, cache=None):
+         jobs=1, cache=None, engine=""):
     return _improvement_figure(
         "Figure 7: % IPC improvement over base (basic DMP study)",
         figure7_configs(),
@@ -322,11 +336,12 @@ def fig7(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None,
                "well above JRS for DMP; perfect-cbp far above everything."),
         jobs=jobs,
         cache=cache,
+        engine=engine,
     )
 
 
 def fig9(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None,
-         jobs=1, cache=None):
+         jobs=1, cache=None, engine=""):
     return _improvement_figure(
         "Figure 9: % IPC improvement, enhanced DMP (cumulative)",
         figure9_configs(),
@@ -336,6 +351,7 @@ def fig9(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None,
         notes="Paper: enhanced-mcfm-eexit-mdb averages +10.8% over base.",
         jobs=jobs,
         cache=cache,
+        engine=engine,
     )
 
 
@@ -351,11 +367,13 @@ def _exit_case_figure(
     iterations,
     jobs: int = 1,
     cache=None,
+    engine: str = "",
 ) -> FigureResult:
     cache = ArtifactCache.resolve(cache)
     contexts = _contexts(contexts, benchmarks, iterations, cache)
     suite = _suite(
-        {"dmp": config}, contexts, benchmarks, iterations, jobs, cache
+        {"dmp": config}, contexts, benchmarks, iterations, jobs, cache,
+        engine
     )
     rows = []
     cols = [[] for _ in range(6)]
@@ -378,20 +396,20 @@ def _exit_case_figure(
 
 
 def fig8(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None,
-         jobs=1, cache=None):
+         jobs=1, cache=None, engine=""):
     return _exit_case_figure(
         "Figure 8: exit-case distribution, basic DMP",
         MachineConfig.dmp(),
-        contexts, benchmarks, iterations, jobs, cache,
+        contexts, benchmarks, iterations, jobs, cache, engine,
     )
 
 
 def fig10(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None,
-          jobs=1, cache=None):
+          jobs=1, cache=None, engine=""):
     return _exit_case_figure(
         "Figure 10: exit-case distribution, enhanced DMP",
         MachineConfig.dmp(enhanced=True),
-        contexts, benchmarks, iterations, jobs, cache,
+        contexts, benchmarks, iterations, jobs, cache, engine,
     )
 
 
@@ -400,7 +418,7 @@ def fig10(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None,
 # ---------------------------------------------------------------------------
 
 def fig11(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None,
-          jobs=1, cache=None):
+          jobs=1, cache=None, engine=""):
     cache = ArtifactCache.resolve(cache)
     contexts = _contexts(contexts, benchmarks, iterations, cache)
     suite = _suite(
@@ -408,7 +426,7 @@ def fig11(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None,
             "base": MachineConfig.baseline(),
             "enhanced": MachineConfig.dmp(enhanced=True),
         },
-        contexts, benchmarks, iterations, jobs, cache,
+        contexts, benchmarks, iterations, jobs, cache, engine,
     )
     rows = []
     col = []
@@ -437,7 +455,7 @@ def fig11(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None,
 # ---------------------------------------------------------------------------
 
 def fig12(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None,
-          jobs=1, cache=None):
+          jobs=1, cache=None, engine=""):
     cache = ArtifactCache.resolve(cache)
     contexts = _contexts(contexts, benchmarks, iterations, cache)
     suite = _suite(
@@ -445,7 +463,7 @@ def fig12(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None,
             "base": MachineConfig.baseline(),
             "dmp": MachineConfig.dmp(enhanced=True),
         },
-        contexts, benchmarks, iterations, jobs, cache,
+        contexts, benchmarks, iterations, jobs, cache, engine,
     )
     rows = []
     fetch_ratio, exec_ratio = [], []
@@ -492,6 +510,7 @@ def fig13(
     sweep_rob=512,
     jobs=1,
     cache=None,
+    engine="",
 ) -> FigureResult:
     cache = ArtifactCache.resolve(cache)
     contexts = _contexts(contexts, benchmarks, iterations, cache)
@@ -510,7 +529,9 @@ def fig13(
         configs[f"{kind}-{value}-dmp"] = MachineConfig.dmp(
             enhanced=True, **overrides
         )
-    suite = _suite(configs, contexts, benchmarks, iterations, jobs, cache)
+    suite = _suite(
+        configs, contexts, benchmarks, iterations, jobs, cache, engine
+    )
     rows = []
     for kind, value, _ in points:
         means = []

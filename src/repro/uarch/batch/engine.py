@@ -1,0 +1,1089 @@
+"""The vectorized lockstep batch engine (``engine="batch"``).
+
+One :class:`_Group` advances many independent simulation cells —
+(program, trace, config, seed) combinations — in lockstep over numpy
+struct-of-arrays.  Each driver iteration advances every live cell by
+exactly one trace record: the per-record arithmetic of
+:class:`repro.uarch.timing.TimingSimulator` (fetch slots, reorder-buffer
+stalls, register dependences, load latencies, retirement) runs once per
+*row position* across all cells instead of once per row per cell.  All
+per-cell architectural state (fetch cycle, fetch slots, register-ready
+times, retirement ring, perceptron weights, JRS counters, BTB seen-bits,
+store-ready times) lives in arrays indexed by cell.
+
+Bit-identity contract
+---------------------
+
+Every cell's :class:`~repro.uarch.stats.SimStats` equals the reference
+engine's field-for-field (tests/core/test_engine_batch.py).  There is no
+approximation anywhere: the vector body loop replays the reference
+engine's inlined per-row sequence literally (ROB-window stall, slot
+exhaustion, dual-path fetch-width selection, dependence wakeup,
+retirement), with `where` masks in place of branches.
+
+The one deliberately *scalar* piece is the wrong-path walk: when a cell
+mispredicts (or dual-path forks), its walk runs synchronously in plain
+Python — an exact transcription of ``_walk_wrong_path_fast`` — before
+the lockstep loop continues.  Walks touch only the fetch-cycle
+accounting and the speculative global history (never caches, store
+buffer, BTB, RAS or ROB), are rare (one per misprediction), and are
+cheap integer arithmetic; vectorizing them would force every cell to
+wait one driver iteration per walked *block*, which measures far slower
+than stepping the few walking cells inline.
+
+The static tables come from :mod:`repro.uarch.batch.arena`: per-program
+block decode plus a per-trace replay of everything timing-independent
+(icache stalls, load latencies and forwarding sources, store-buffer
+contents, RAS underflows, the architectural call context).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.uarch.batch.arena import (
+    JREG,
+    NO_UPC,
+    ZREG,
+    ProgramArena,
+    TraceArena,
+    program_arena,
+    trace_arena,
+)
+from repro.uarch.plan import (
+    KIND_LOAD,
+    KIND_STORE,
+    TERM_BR,
+    TERM_CALL,
+    TERM_JMP,
+    TERM_NONE,
+    TERM_RET,
+)
+from repro.uarch.stats import SimStats
+
+#: Perceptron constants for the default predictor instance the vector
+#: path supports (``make_predictor("perceptron")`` with no overrides).
+_NPERC = 1021
+_HBITS = 31
+_THETA = int(1.93 * _HBITS + 14)  # 73
+_WMAX, _WMIN = 127, -128
+_M31 = (1 << _HBITS) - 1
+#: JRS constants (``make_estimator("jrs")`` table geometry).
+_JTAB = 2048
+_JMAX = 15
+_JHMASK = 0xF
+#: Walk block guard, mirroring ``_walk_wrong_path_fast``.
+_WALK_GUARD = 10_000
+#: Lookahead window for the control-independence classification.
+_CI_LOOKAHEAD = 32
+
+_TRACE, _DONE = 0, 2
+
+
+class _WalkPath:
+    """Structural wrong-path walk shared by every cell on one trace.
+
+    The block sequence a walk visits — and the predictions steering it —
+    depends only on the start block, the history register, the
+    perceptron weights and the reconvergence targets, never on per-cell
+    cycle accounting.  All cells of one trace hold bit-identical
+    predictor state at every step (training is outcome-driven), so on a
+    config-grid sweep the structural walk is computed once and each cell
+    replays only its own slot/cycle arithmetic over the cached blocks.
+    Blocks are appended lazily: a cell with more cycle headroom extends
+    the shared path where the previous cell's replay stopped."""
+
+    __slots__ = (
+        "blocks", "cur", "ghr", "node", "local", "reached", "guard",
+        "reconv", "upcoming", "weights", "replays",
+    )
+
+    def __init__(self, start, ghr, node, reconv, upcoming, weights):
+        self.blocks: List[Tuple[int, bool, bool, bool]] = []
+        self.cur = start
+        self.ghr = ghr
+        self.node = node
+        self.local: List[int] = []
+        self.reached = False
+        self.guard = 0
+        self.reconv = reconv
+        self.upcoming = upcoming
+        self.weights = weights
+        #: (rel, slots, branches, width, maxb) -> (dcycle, cd, ci): the
+        #: replay outcome is a pure function of the *relative* cycle
+        #: budget whenever the fetch-width regime is uniform, and cells
+        #: of a config grid frequently collide on it.
+        self.replays: Dict[tuple, Tuple[int, int, int]] = {}
+
+
+class BatchCell:
+    """One (program, trace, config) simulation the batch engine runs."""
+
+    __slots__ = (
+        "program", "trace", "config", "hints", "benchmark", "warm_words",
+        "tracer",
+    )
+
+    def __init__(self, program, trace, config, hints=None, benchmark="",
+                 warm_words=None, tracer=None):
+        self.program = program
+        self.trace = trace
+        self.config = config
+        self.hints = hints
+        self.benchmark = benchmark
+        self.warm_words = warm_words
+        self.tracer = tracer
+
+
+def cell_supported(cell: BatchCell) -> Tuple[bool, str]:
+    """Whether the vector path can run this cell bit-identically.
+
+    Anything outside the envelope is not an error — ``run_batch`` falls
+    back to the fast engine per cell — but the reason string feeds the
+    differential tests and ``docs/performance.md``.
+    """
+    from repro.validation.runtime import paranoid_enabled
+
+    config = cell.config
+    if cell.tracer is not None:
+        return False, "event tracer attached"
+    if config.mode not in ("baseline", "dualpath"):
+        return False, f"mode {config.mode!r} (predication is scalar-only)"
+    if config.oracle_checks or config.watchdog or paranoid_enabled():
+        return False, "oracle/watchdog instrumentation"
+    if config.predictor_kind != "perceptron" or config.predictor_args:
+        return False, "non-default direction predictor"
+    if config.confidence_kind != "jrs" or (
+        set(config.confidence_args) - {"threshold"}
+    ):
+        return False, "non-default confidence estimator"
+    if config.btb_entries != 4096 or config.ras_depth != 64:
+        return False, "non-default BTB/RAS geometry"
+    if config.store_buffer_size != 128:
+        return False, "non-default store buffer"
+    if config.memory_latency != 300 or config.prefetch_lines != 0:
+        return False, "non-default memory system"
+    parena = program_arena(cell.program)
+    if not parena.vector_ok:
+        return False, parena.reason
+    return True, ""
+
+
+def _fallback(cell: BatchCell) -> SimStats:
+    from repro.core.processors import simulate
+
+    return simulate(
+        cell.program,
+        cell.trace,
+        cell.config.replace(engine="fast"),
+        hints=cell.hints,
+        benchmark=cell.benchmark,
+        warm_words=cell.warm_words,
+        tracer=cell.tracer,
+    )
+
+
+def run_batch(cells: List[BatchCell]) -> List[SimStats]:
+    """Simulate every cell; vector-eligible cells run in one lockstep
+    group, the rest fall back to the fast engine (bit-identical either
+    way)."""
+    results: List[Optional[SimStats]] = [None] * len(cells)
+    vec: List[int] = []
+    for i, cell in enumerate(cells):
+        ok, _ = cell_supported(cell)
+        if ok:
+            vec.append(i)
+        else:
+            results[i] = _fallback(cell)
+    if vec:
+        group = _Group([cells[i] for i in vec])
+        for i, stats in zip(vec, group.run()):
+            results[i] = stats
+    return results  # type: ignore[return-value]
+
+
+def _jrs_threshold(config) -> int:
+    threshold = config.confidence_args.get("threshold", 12)
+    if threshold is None:
+        return _JMAX
+    return min(threshold, _JMAX)
+
+
+class _Group:
+    """All vector-eligible cells, advanced in lockstep."""
+
+    def __init__(self, cells: List[BatchCell]) -> None:
+        self.cells = cells
+        n = len(cells)
+        self.n = n
+        i8 = np.int64
+
+        # -- shared static tables (concatenated across programs/traces)
+        parenas: Dict[int, Tuple[ProgramArena, int]] = {}
+        tarenas: Dict[int, Tuple[TraceArena, int, int, int, int]] = {}
+        p_list: List[ProgramArena] = []
+        t_list: List[Tuple[TraceArena, int]] = []  # (tarena, boff)
+        boffs = np.zeros(n, i8)
+        roffs = np.zeros(n, i8)
+        rends = np.zeros(n, i8)
+        loffs = np.zeros(n, i8)
+        noffs = np.zeros(n, i8)
+        nblk = nrec = nload = nnode = 0
+        for ci, cell in enumerate(cells):
+            pa = program_arena(cell.program)
+            key = id(pa)
+            if key not in parenas:
+                parenas[key] = (pa, nblk)
+                p_list.append(pa)
+                nblk += pa.n
+            boff = parenas[key][1]
+            ta = trace_arena(pa, cell.program, cell.trace, cell.warm_words)
+            tkey = id(ta)
+            if tkey not in tarenas:
+                tarenas[tkey] = (ta, nrec, nload, nnode, boff)
+                t_list.append((ta, boff))
+                nrec += ta.nrec
+                nload += ta.nloads
+                nnode += ta.nnodes
+            _, roff, loff, noff, _ = tarenas[tkey]
+            boffs[ci] = boff
+            roffs[ci] = roff
+            rends[ci] = roff + ta.nrec
+            loffs[ci] = loff
+            noffs[ci] = noff
+
+        L = max(pa.L for pa in p_list)
+        K = max(pa.K for pa in p_list)
+        self.L, self.K = L, K
+
+        def cat1(name, fill=0):
+            out = np.full(nblk, fill, i8)
+            pos = 0
+            for pa in p_list:
+                out[pos:pos + pa.n] = getattr(pa, name)
+                pos += pa.n
+            return out
+
+        def cat_gid(name):
+            # Successor gids: offset valid entries into group block space.
+            out = np.full(nblk, -1, i8)
+            pos = 0
+            for pa in p_list:
+                local = getattr(pa, name)
+                out[pos:pos + pa.n] = np.where(local >= 0, local + pos, -1)
+                pos += pa.n
+            return out
+
+        self.NROWS = cat1("NROWS")
+        self.NBODY = cat1("NBODY")
+        self.FPC = cat1("FPC")
+        self.TERM = cat1("TERM")
+        self.TAKEN = cat_gid("TAKEN")
+        self.FALL = cat_gid("FALL")
+        self.TARGET = cat_gid("TARGET")
+        self.CALLEE = cat_gid("CALLEE")
+        self.SITE = cat1("SITE", -1)
+        self.PCT = cat1("PCT")
+        self.JPC = cat1("JPC")
+        self.RECONV = cat1("RECONV")
+        self.BRLAT = cat1("BRLAT")
+        self.BRSRC = np.full((nblk, K), ZREG, i8)
+        self.RKIND = np.zeros((nblk, L), i8)
+        self.RLAT = np.zeros((nblk, L), i8)
+        self.RDEST = np.full((nblk, L), JREG, i8)
+        self.RSRC = np.full((nblk, L, K), ZREG, i8)
+        self.RLORD = np.full((nblk, L), -1, i8)
+        self.RSTORD = np.full((nblk, L), -1, i8)
+        pos = 0
+        for pa in p_list:
+            self.BRSRC[pos:pos + pa.n, :pa.K] = pa.BRSRC
+            self.RKIND[pos:pos + pa.n, :pa.L] = pa.RKIND
+            self.RLAT[pos:pos + pa.n, :pa.L] = pa.RLAT
+            self.RDEST[pos:pos + pa.n, :pa.L] = pa.RDEST
+            self.RSRC[pos:pos + pa.n, :pa.L, :pa.K] = pa.RSRC
+            self.RLORD[pos:pos + pa.n, :pa.L] = pa.RLORD
+            self.RSTORD[pos:pos + pa.n, :pa.L] = pa.RSTORD
+            pos += pa.n
+
+        self.RECBLK = np.zeros(nrec, i8)
+        self.REXTRA = np.zeros(nrec, i8)
+        self.RTAKEN = np.zeros(nrec, i8)
+        self.RSEQ0 = np.zeros(nrec, i8)
+        self.RL0 = np.zeros(nrec, i8)
+        self.RS0 = np.zeros(nrec, i8)
+        self.RUNDER = np.zeros(nrec, i8)
+        self.RNODE = np.full(nrec, -1, i8)
+        self.RFPC = np.full(nrec, NO_UPC, i8)
+        self.LLAT = np.zeros(max(nload, 1), i8)
+        self.LFWD = np.full(max(nload, 1), -1, i8)
+        self.NODEPAR = np.full(max(nnode, 1), -1, i8)
+        self.NODERET = np.full(max(nnode, 1), -1, i8)
+        rpos = lpos = npos = 0
+        for ta, boff in t_list:
+            sl = slice(rpos, rpos + ta.nrec)
+            self.RECBLK[sl] = ta.RBLK + boff
+            self.REXTRA[sl] = ta.REXTRA
+            self.RTAKEN[sl] = ta.RTAKEN
+            self.RSEQ0[sl] = ta.RSEQ0
+            self.RL0[sl] = ta.RL0 + lpos
+            self.RS0[sl] = ta.RS0
+            self.RUNDER[sl] = ta.RUNDER
+            self.RNODE[sl] = np.where(ta.RNODE >= 0, ta.RNODE + npos, -1)
+            self.RFPC[sl] = ta.RFPC
+            self.LLAT[lpos:lpos + ta.nloads] = ta.LLAT
+            self.LFWD[lpos:lpos + ta.nloads] = ta.LFWD
+            if ta.nnodes:
+                nsl = slice(npos, npos + ta.nnodes)
+                self.NODEPAR[nsl] = np.where(
+                    ta.NODEPAR >= 0, ta.NODEPAR + npos, -1
+                )
+                self.NODERET[nsl] = ta.NODERET + boff
+            rpos += ta.nrec
+            lpos += ta.nloads
+            npos += ta.nnodes
+
+        # -- per-cell configuration
+        cfg = [c.config for c in cells]
+        self.width = np.array([c.fetch_width for c in cfg], i8)
+        self.halfw = np.maximum(1, self.width // 2)
+        self.maxb = np.array([c.max_branches_per_cycle for c in cfg], i8)
+        self.depth = np.array([c.pipeline_depth for c in cfg], i8)
+        self.rw = np.array([c.retire_width for c in cfg], i8)
+        self.rob = np.array([c.rob_size for c in cfg], i8)
+        self.stops = np.array(
+            [int(c.fetch_stops_at_taken) for c in cfg], i8
+        )
+        self.isdual = np.array([c.mode == "dualpath" for c in cfg], bool)
+        self.thresh = np.array([_jrs_threshold(c) for c in cfg], i8)
+        self.boffs, self.roffs, self.rends = boffs, roffs, rends
+        self.loffs, self.noffs = loffs, noffs
+
+        # -- mutable per-cell state
+        maxrob = int(self.rob.max())
+        self.maxrob = maxrob
+        maxstores = max([ta.nstores for ta, _ in t_list] + [0])
+        self.sjunk = maxstores
+        self.cycle = np.zeros(n, i8)
+        self.slots = self.width.copy()
+        self.branches = self.maxb.copy()
+        self.dual = np.full(n, -1, i8)
+        self.last = np.zeros(n, i8)
+        self.cnt = np.zeros(n, i8)
+        self.ghr = np.zeros(n, i8)
+        self.cursor = roffs.copy()
+        self.state = np.where(roffs < rends, _TRACE, _DONE).astype(i8)
+        self.RR = np.zeros((n, JREG + 1), i8)
+        self.RING = np.zeros((n, maxrob + 1), i8)
+        self.SREADY = np.zeros((n, maxstores + 1), i8)
+        self.W = np.zeros((n, _NPERC, _HBITS + 1), np.int16)
+        self.JRS = np.zeros((n, _JTAB), np.int16)
+        nsites = max(pa.nsites for pa in p_list)
+        self.sitejunk = nsites
+        self.BTBSEEN = np.zeros((n, nsites + 1), bool)
+        # stats counters
+        self.FC = np.zeros(n, i8)
+        self.EX = np.zeros(n, i8)
+        self.RB = np.zeros(n, i8)
+        self.MP = np.zeros(n, i8)
+        self.FL = np.zeros(n, i8)
+        self.CD = np.zeros(n, i8)
+        self.CI = np.zeros(n, i8)
+        self.FORKS = np.zeros(n, i8)
+
+        # Python-native copies of every table the scalar epilogue/walk
+        # path touches: list indexing is ~5x cheaper than numpy scalar
+        # extraction, and the walks are the only per-cell (rather than
+        # per-step) cost the engine has left.
+        self.pNROWS = self.NROWS.tolist()
+        self.pFPC = self.FPC.tolist()
+        self.pTERM = self.TERM.tolist()
+        self.pTAKEN = self.TAKEN.tolist()
+        self.pFALL = self.FALL.tolist()
+        self.pTARGET = self.TARGET.tolist()
+        self.pCALLEE = self.CALLEE.tolist()
+        self.pPCT = self.PCT.tolist()
+        self.pRECONV = self.RECONV.tolist()
+        self.pNODERET = self.NODERET.tolist()
+        self.pNODEPAR = self.NODEPAR.tolist()
+        self.pRFPC = self.RFPC.tolist()
+        self.pRNODE = self.RNODE.tolist()
+        self.prends = self.rends.tolist()
+        self.pwidth = self.width.tolist()
+        self.phalfw = self.halfw.tolist()
+        self.pmaxb = self.maxb.tolist()
+        self.pstops = self.stops.tolist()
+        # Ring reads within one record are static (written >= rob_size
+        # instructions ago) whenever every ROB is at least one block
+        # deep, letting _trace_step gather the whole window up front.
+        self.ring_static = bool(int(self.rob.min()) >= L)
+        # Cells sharing a trace arena share its record offset; that
+        # offset keys the per-step structural walk cache (_WalkPath).
+        self.ptgid = self.roffs.tolist()
+        self._walk_cache: Dict[tuple, _WalkPath] = {}
+
+        # 4-byte timing lanes.  One instruction can push the fetch
+        # cycle forward by at most depth + max-latency + 2, so a loose
+        # per-cell bound on the final cycle is records * rows * that;
+        # when it clears int32 (any realistic trace does, by orders of
+        # magnitude) the timing state and latency tables shrink to
+        # 4 bytes, halving the memory traffic of the per-row vector
+        # work — which is where the engine spends its time at scale.
+        # Index/identity arrays (cursors, ring indices, ghr) stay int64.
+        maxlat = int(max(
+            self.RLAT.max(), self.BRLAT.max(), self.LLAT.max()
+        ))
+        step = int(self.depth.max()) + maxlat + 2
+        bound = int((rends - roffs).max()) * (
+            (L + 2) * step
+            + int(self.REXTRA.max()) + int(self.RUNDER.max()) * step + 2
+        )
+        if 0 < bound < 2**31 - 2:
+            for name in (
+                "RLAT", "BRLAT", "LLAT", "REXTRA", "RUNDER",
+                "width", "halfw", "maxb", "depth", "rw", "stops",
+                "cycle", "slots", "branches", "dual", "last", "cnt",
+                "RR", "RING", "SREADY",
+            ):
+                setattr(self, name, getattr(self, name).astype(np.int32))
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+
+    def run(self) -> List[SimStats]:
+        state = self.state
+        while True:
+            vc = np.nonzero(state == _TRACE)[0]
+            if not vc.size:
+                break
+            self._trace_step(vc)
+        return self._finalize()
+
+    def _finalize(self) -> List[SimStats]:
+        cycles = np.maximum(self.last, self.cycle)
+        out = []
+        for ci, cell in enumerate(self.cells):
+            stats = SimStats(
+                benchmark=cell.benchmark or cell.trace.program_name,
+                config_description=cell.config.describe(),
+            )
+            stats.cycles = int(cycles[ci])
+            stats.retired_instructions = cell.trace.instruction_count
+            stats.retired_branches = int(self.RB[ci])
+            stats.mispredictions = int(self.MP[ci])
+            stats.pipeline_flushes = int(self.FL[ci])
+            stats.fetched_correct = int(self.FC[ci])
+            stats.fetched_wrong_cd = int(self.CD[ci])
+            stats.fetched_wrong_ci = int(self.CI[ci])
+            stats.executed_instructions = int(self.EX[ci])
+            stats.dualpath_forks = int(self.FORKS[ci])
+            out.append(stats)
+        return out
+
+    # ------------------------------------------------------------------
+    # TRACE step: one record per cell
+    # ------------------------------------------------------------------
+
+    def _trace_step(self, vc: np.ndarray) -> None:
+        cur = self.cursor[vc]
+        b = self.RECBLK[cur]
+        k = self.NBODY[b]
+        # Sort lanes by body length: every per-row op below then runs on
+        # exactly the suffix of lanes whose record still has row i, so
+        # the loop performs sum(k) lane-row updates instead of kmax * m
+        # masked ones (mixed traces make kmax ~3x the mean k), and no
+        # activity masks or junk scatter columns are needed at all.
+        if vc.size > 1:
+            order = np.argsort(k, kind="stable")
+            vc = vc[order]
+            cur = cur[order]
+            b = b[order]
+            k = k[order]
+        extra = self.REXTRA[cur]
+        c = self.cycle[vc]
+        s = self.slots[vc]
+        bl = self.branches[vc]
+        d = self.dual[vc]
+        w = self.width[vc]
+        hw = self.halfw[vc]
+        mb = self.maxb[vc]
+        dep = self.depth[vc]
+        rob = self.rob[vc]
+        rw = self.rw[vc]
+        last = self.last[vc]
+        cnt = self.cnt[vc]
+        seq0 = self.RSEQ0[cur]
+        isbr = self.TERM[b] == TERM_BR
+
+        # Inlined _advance_fetch_cycle(cycle + extra) for the icache
+        # stall (extra >= 10 when it fires, so max(cycle+1, ...) is it).
+        icadv = extra > 0
+        c = np.where(icadv, c + extra, c)
+        s = np.where(icadv, np.where(c <= d, hw, w), s)
+        bl = np.where(icadv, mb, bl)
+
+        # -- body rows: the reference's inlined per-row sequence, with
+        # lane-suffix views in place of branches.  All rows at position
+        # i across the cells that have one advance together; the ring
+        # reads this record makes were written >= rob_size instructions
+        # ago whenever every ROB is at least one block deep
+        # (ring_static), so no occupancy test is needed — unwritten
+        # slots hold 0 and cycles are never negative.
+        kmax = int(k[-1]) if k.size else 0
+        any_dual = bool((d >= 0).any())
+        if kmax:
+            pos = np.searchsorted(
+                k, np.arange(kmax, dtype=np.int64), side="right"
+            ).tolist()
+            rob_live = int((seq0 + k).max()) >= int(rob.min())
+            ring_static = self.ring_static
+            l0 = self.RL0[cur]
+            st0 = self.RS0[cur]
+            # One fancy gather per static table; the loop reads column
+            # views.  Row-presence flags over the full column equal the
+            # active-suffix flags because the table pads (KIND_ALU,
+            # ZREG) can never flag a lane.
+            rows = np.arange(kmax, dtype=np.int64)
+            if rob_live:
+                seq_mod = (seq0[None, :] + rows[:, None]) % rob[None, :]
+            else:
+                seq_mod = seq0[None, :] + rows[:, None]
+            if rob_live and ring_static:
+                ringm = self.RING[vc[None, :], seq_mod]
+            RKb = self.RKIND[b, :kmax]
+            RLb = self.RLAT[b, :kmax]
+            RDb = self.RDEST[b, :kmax]
+            Sb = self.RSRC[b, :kmax]
+            srcrow = [
+                (Sb[:, :, j] != ZREG).any(axis=0).tolist()
+                for j in range(self.K)
+            ]
+            ldrow = (RKb == KIND_LOAD).any(axis=0).tolist()
+            strow = (RKb == KIND_STORE).any(axis=0).tolist()
+            if True in ldrow:
+                LOb = self.RLORD[b, :kmax]
+            if True in strow:
+                STOb = self.RSTORD[b, :kmax]
+        for i in range(kmax):
+            p = pos[i]
+            cv = c[p:]
+            sv = s[p:]
+            blv = bl[p:]
+            dv = d[p:]
+            wv = w[p:]
+            hwv = hw[p:]
+            mbv = mb[p:]
+            vcv = vc[p:]
+            if rob_live:
+                if ring_static:
+                    ring = ringm[i, p:]
+                else:
+                    occ = seq0[p:] + i >= rob[p:]
+                    ring = np.where(
+                        occ, self.RING[vcv, seq_mod[i, p:]], 0
+                    )
+                stall = cv < ring
+                if stall.any():
+                    np.copyto(cv, ring, where=stall)
+                    if any_dual:
+                        np.copyto(
+                            sv, np.where(cv <= dv, hwv, wv), where=stall
+                        )
+                    else:
+                        np.copyto(sv, wv, where=stall)
+                    np.copyto(blv, mbv, where=stall)
+            nos = sv <= 0
+            cv += nos
+            if any_dual:
+                np.copyto(sv, np.where(cv <= dv, hwv, wv), where=nos)
+            else:
+                np.copyto(sv, wv, where=nos)
+            np.copyto(blv, mbv, where=nos)
+            sv -= 1
+            ready = None
+            for j in range(self.K):
+                if srcrow[j][i]:
+                    r = self.RR[vcv, Sb[p:, i, j]]
+                    if ready is None:
+                        ready = r
+                    else:
+                        np.maximum(ready, r, out=ready)
+            if ready is None:
+                base = cv + dep[p:]
+            else:
+                base = np.maximum(ready, cv + dep[p:], out=ready)
+            comp = base + RLb[p:, i]
+            if ldrow[i]:
+                isld = RKb[p:, i] == KIND_LOAD
+                lidx = l0[p:] + LOb[p:, i]
+                fwd = self.LFWD[lidx]
+                sready = self.SREADY[
+                    vcv, np.where(fwd >= 0, fwd, self.sjunk)
+                ]
+                comp = np.where(
+                    isld,
+                    np.where(
+                        fwd >= 0,
+                        np.maximum(base, sready) + 1,
+                        base + self.LLAT[lidx],
+                    ),
+                    comp,
+                )
+            if strow[i]:
+                isst = RKb[p:, i] == KIND_STORE
+                np.copyto(comp, base + 1, where=isst)
+                scol = np.where(isst, st0[p:] + STOb[p:, i], self.sjunk)
+                self.SREADY[vcv, scol] = comp
+            self.RR[vcv, RDb[p:, i]] = comp
+            # _retire, vectorized over the active suffix.
+            lastv = last[p:]
+            cntv = cnt[p:]
+            rc = np.maximum(comp + 1, lastv)
+            rc += (rc == lastv) & (cntv >= rw[p:])
+            adv = rc > lastv
+            cntv += 1
+            np.copyto(cntv, 1, where=adv)
+            np.copyto(lastv, rc)
+            self.RING[vcv, seq_mod[i, p:]] = rc
+        self.FC[vc] += k
+        self.EX[vc] += k
+
+        nonbr = ~isbr
+        if nonbr.any():
+            m = nonbr
+            self._vector_transfer(
+                vc[m], cur[m], b[m], c[m], s[m], bl[m], d[m], w[m],
+                hw[m], mb[m], dep[m],
+            )
+            self.last[vc[m]] = last[m]
+            self.cnt[vc[m]] = cnt[m]
+        if isbr.any():
+            m = isbr
+            self._vector_branch(
+                vc[m], cur[m], b[m], c[m], s[m], bl[m], d[m], w[m],
+                hw[m], mb[m], dep[m], seq0[m] + k[m], rob[m], last[m],
+                cnt[m], rw[m],
+            )
+
+    def _vector_transfer(self, vc, cur, b, c1, s1, b1, d, w, hw, mb, dep):
+        """JMP/CALL/RET/NONE terminators for non-branch records."""
+        term = self.TERM[b]
+        isjc = (term == TERM_JMP) | (term == TERM_CALL)
+        nadv = np.zeros(vc.size, self.width.dtype)
+        if isjc.any():
+            sitecol = np.where(isjc, self.SITE[b], self.sitejunk)
+            seen = self.BTBSEEN[vc, sitecol]
+            nadv = np.where(isjc, ~seen + self.stops[vc], 0)
+            self.BTBSEEN[vc, sitecol] = True
+        isrt = term == TERM_RET
+        if isrt.any():
+            # RAS underflow: advance(), then advance(cycle + depth) —
+            # 1 + max(depth, 1) cycles in total.
+            nadv = np.where(
+                isrt, 1 + self.RUNDER[cur] * np.maximum(dep, 1), nadv
+            )
+        c2 = c1 + nadv
+        moved = nadv > 0
+        s2 = np.where(moved, np.where(c2 <= d, hw, w), s1)
+        b2 = np.where(moved, mb, b1)
+        self.cycle[vc] = c2
+        self.slots[vc] = s2
+        self.branches[vc] = b2
+        self._advance_cursor(vc, cur)
+
+    def _advance_cursor(self, vc, cur) -> None:
+        nxt = cur + 1
+        self.cursor[vc] = nxt
+        self.state[vc] = np.where(nxt >= self.rends[vc], _DONE, _TRACE)
+
+    def _predict(self, vc, idx, ghr):
+        """Vector perceptron dot product; returns (output, taken)."""
+        rows = self.W[vc, idx].astype(np.int64)
+        bits = (ghr[:, None] >> np.arange(_HBITS)[None, :]) & 1
+        x = 2 * bits - 1
+        out = rows[:, 0] + (rows[:, 1:] * x).sum(axis=1)
+        return out, out >= 0
+
+    def _train(self, vc, idx, snap, out, pred, actual):
+        """Vector perceptron train + clip (misp or weak output only)."""
+        need = (pred != actual) | (np.abs(out) <= _THETA)
+        if not need.any():
+            return
+        tc, ti = vc[need], idx[need]
+        t = np.where(actual[need], 1, -1).astype(np.int16)
+        rows = self.W[tc, ti]
+        rows[:, 0] = np.clip(
+            rows[:, 0].astype(np.int64) + t, _WMIN, _WMAX
+        ).astype(np.int16)
+        bits = (snap[need, None] >> np.arange(_HBITS)[None, :]) & 1
+        delta = np.where(bits == 1, t[:, None], -t[:, None])
+        rows[:, 1:] = np.clip(
+            rows[:, 1:].astype(np.int64) + delta, _WMIN, _WMAX
+        ).astype(np.int16)
+        self.W[tc, ti] = rows
+
+    def _vector_branch(self, vc, cur, b, c1, s1, b1, d, w, hw, mb, dep,
+                       seqb, rob, last, cnt, rw):
+        """The conditional-branch terminator: predict, fetch, resolve,
+        train — vectorized; mispredictions and forks finish per cell."""
+        # _fetch_slot(True): the ROB-window check first...
+        occ = seqb >= rob
+        if occ.any():
+            ring = self.RING[vc, np.where(occ, seqb % rob, self.maxrob)]
+            stall = occ & (c1 < ring)
+            if stall.any():
+                c1 = np.where(stall, ring, c1)
+                s1 = np.where(stall, np.where(c1 <= d, hw, w), s1)
+                b1 = np.where(stall, mb, b1)
+        # ...then the slot / branch-budget advance.
+        need = (s1 <= 0) | (b1 <= 0)
+        fetchc = c1 + need
+        sbr = np.where(need, np.where(fetchc <= d, hw, w), s1) - 1
+        bbr = np.where(need, mb, b1) - 1
+        self.FC[vc] += 1
+
+        snap = self.ghr[vc]
+        idx = self.PCT[b]
+        out, pred = self._predict(vc, idx, snap)
+
+        ready = self.RR[vc, self.BRSRC[b, 0]]
+        for j in range(1, self.K):
+            ready = np.maximum(ready, self.RR[vc, self.BRSRC[b, j]])
+        base = np.maximum(fetchc + dep, ready)
+        res = base + self.BRLAT[b]
+
+        # Retire the branch row.
+        rc = np.maximum(res + 1, last)
+        rc = rc + ((rc == last) & (cnt >= rw))
+        cnt = np.where(rc > last, 1, cnt + 1)
+        last = rc
+        self.RING[vc, seqb % rob] = rc
+        self.last[vc] = last
+        self.cnt[vc] = cnt
+        self.EX[vc] += 1
+        self.RB[vc] += 1
+
+        ghr_new = ((snap << 1) | pred) & _M31
+        jidx = (self.JPC[b] ^ (snap & _JHMASK)) & (_JTAB - 1)
+        conf = self.JRS[vc, jidx] >= self.thresh[vc]
+        actual = self.RTAKEN[cur].astype(bool)
+        misp = pred != actual
+        self._train(vc, idx, snap, out, pred, actual)
+        jv = self.JRS[vc, jidx]
+        self.JRS[vc, jidx] = np.where(
+            misp, 0, np.minimum(jv + 1, _JMAX)
+        ).astype(np.int16)
+
+        fork = (
+            self.isdual[vc] & ~conf & (fetchc > d)
+            & (np.abs(out) <= _THETA // 4)
+        )
+        site = self.SITE[b]
+        inline = fork | misp
+
+        ok = ~inline
+        if ok.any():
+            oc = vc[ok]
+            taken = pred[ok]
+            nadv = np.zeros(oc.size, self.width.dtype)
+            if taken.any():
+                sitecol = np.where(taken, site[ok], self.sitejunk)
+                seen = self.BTBSEEN[oc, sitecol]
+                nadv = np.where(taken, ~seen + self.stops[oc], 0)
+                self.BTBSEEN[oc, sitecol] = True
+            c2 = fetchc[ok] + nadv
+            moved = nadv > 0
+            self.cycle[oc] = c2
+            self.slots[oc] = np.where(
+                moved, np.where(c2 <= d[ok], hw[ok], w[ok]), sbr[ok]
+            )
+            self.branches[oc] = np.where(moved, mb[ok], bbr[ok])
+            self.ghr[oc] = ghr_new[ok]
+            self._advance_cursor(oc, cur[ok])
+
+        if inline.any():
+            # Mispredictions and dual-path forks walk the wrong path
+            # synchronously per cell (exact scalar transcription).  The
+            # structural-walk cache holds for exactly one resolution
+            # step: _train just ran, so the weights it snapshots stay
+            # untouched until the next _vector_branch call.
+            self._walk_cache.clear()
+            sel = np.nonzero(inline)[0]
+            ic = vc[sel]
+            outs = [
+                self._branch_epilogue(*args)
+                for args in zip(
+                    ic.tolist(), cur[sel].tolist(), b[sel].tolist(),
+                    fetchc[sel].tolist(), sbr[sel].tolist(),
+                    bbr[sel].tolist(), res[sel].tolist(),
+                    snap[sel].tolist(), pred[sel].tolist(),
+                    actual[sel].tolist(), fork[sel].tolist(),
+                    site[sel].tolist(), self.dual[ic].tolist(),
+                )
+            ]
+            c2, s2, b2, g2, d2, mp, fl, fk, cd, cik = zip(*outs)
+            self.cycle[ic] = c2
+            self.slots[ic] = s2
+            self.branches[ic] = b2
+            self.ghr[ic] = g2
+            self.dual[ic] = d2
+            self.MP[ic] += np.asarray(mp)
+            self.FL[ic] += np.asarray(fl)
+            self.FORKS[ic] += np.asarray(fk)
+            self.CD[ic] += np.asarray(cd)
+            self.CI[ic] += np.asarray(cik)
+            self._advance_cursor(ic, cur[sel])
+
+    # ------------------------------------------------------------------
+    # Scalar branch epilogue: misprediction flush / dual-path fork
+    # ------------------------------------------------------------------
+
+    def _branch_epilogue(self, ci, cur, b, fetchc, s, bl, res, snap,
+                         pred, actual, fork, site, dual):
+        """Misprediction flush / dual-path fork for one cell.
+
+        Pure in the fetch state: takes and returns plain ints so the
+        caller can scatter every inline cell back to the state arrays in
+        one shot instead of a dozen single-element numpy writes per
+        walker.  Returns ``(cycle, slots, branches, ghr, dual, mp, fl,
+        forks, cd, ci)`` — the last five are counter deltas.  Only the
+        seen-bit BTB is mutated in place."""
+        ghr_new = ((snap << 1) | pred) & _M31
+        reconv = self.pRECONV[b]
+        node = self.pRNODE[cur]
+        misp = pred != actual
+        cd = cik = 0
+
+        if fork:
+            # _fork_dual_path: walk the not-predicted path, then restore
+            # the saved fetch state (dual-path fetch is cycle-neutral).
+            dual = res
+            start = self.pFALL[b] if actual else self.pTAKEN[b]
+            if start >= 0:
+                _, cd, cik = self._scalar_walk(
+                    ci, start, res, reconv, frozenset(), node,
+                    fetchc, s, bl, dual, ghr_new,
+                )
+            c2, s2, b2 = fetchc, s, bl
+            if misp:
+                ghr_out = ((snap << 1) | int(actual)) & _M31
+            else:
+                ghr_out = ghr_new
+                if pred:
+                    # _taken_redirect (seen-bit BTB + stop-at-taken).
+                    nadv = 0
+                    if not self.BTBSEEN[ci, site]:
+                        self.BTBSEEN[ci, site] = True
+                        nadv += 1
+                    nadv += self.pstops[ci]
+                    if nadv:
+                        c2 = fetchc + nadv
+                        s2 = (
+                            self.phalfw[ci] if c2 <= dual
+                            else self.pwidth[ci]
+                        )
+                        b2 = self.pmaxb[ci]
+            return (c2, s2, b2, ghr_out, dual, int(misp), 0, 1, cd, cik)
+
+        # _mispredict_flush: walk the predicted (wrong) path, then
+        # advance past resolution and repair the history.
+        c2 = fetchc
+        start = self.pTAKEN[b] if pred else self.pFALL[b]
+        if start >= 0:
+            stop = min(self.prends[ci], cur + 1 + _CI_LOOKAHEAD)
+            upcoming = frozenset(self.pRFPC[cur + 1:stop])
+            c2, cd, cik = self._scalar_walk(
+                ci, start, res, reconv, upcoming, node,
+                fetchc, s, bl, dual, ghr_new,
+            )
+        c2 = max(c2 + 1, res + 1)
+        s2 = self.phalfw[ci] if c2 <= dual else self.pwidth[ci]
+        ghr_out = ((snap << 1) | int(actual)) & _M31
+        return (c2, s2, self.pmaxb[ci], ghr_out, dual, 1, 1, 0, cd, cik)
+
+    def _scalar_predict(self, row: List[int], ghr: int) -> int:
+        out = row[0]
+        for j in range(_HBITS):
+            out += row[j + 1] if (ghr >> j) & 1 else -row[j + 1]
+        return out
+
+    def _extend_path(self, path: _WalkPath) -> bool:
+        """Append one structural block to ``path``; False when the walk
+        is exhausted (dead end or guard).  Mirrors the control-flow half
+        of ``_walk_wrong_path_fast``: predict-directed branches, the
+        local call stack, and the architectural return context."""
+        cur = path.cur
+        if cur < 0:
+            return False
+        path.guard += 1
+        if path.guard > _WALK_GUARD:
+            return False
+        if not path.reached:
+            fpc = self.pFPC[cur]
+            if fpc == path.reconv or fpc in path.upcoming:
+                path.reached = True
+        nr = self.pNROWS[cur]
+        term = self.pTERM[cur]
+        isbr = term == TERM_BR
+        bump = False
+        if isbr:
+            out = self._scalar_predict(
+                path.weights[self.pPCT[cur]].tolist(), path.ghr
+            )
+            pr = out >= 0
+            path.ghr = ((path.ghr << 1) | pr) & _M31
+            if pr:
+                bump = True
+                cur = self.pTAKEN[cur]
+            else:
+                cur = self.pFALL[cur]
+        elif term == TERM_NONE:
+            cur = self.pFALL[cur]
+        else:
+            bump = True
+            if term == TERM_JMP:
+                cur = self.pTARGET[cur]
+            elif term == TERM_CALL:
+                fall = self.pFALL[cur]
+                if fall >= 0:
+                    path.local.append(fall)
+                cur = self.pCALLEE[cur]
+            else:  # TERM_RET
+                if path.local:
+                    cur = path.local.pop()
+                elif path.node >= 0:
+                    cur = self.pNODERET[path.node]
+                    path.node = self.pNODEPAR[path.node]
+                else:
+                    cur = -1
+        path.cur = cur
+        path.blocks.append((nr, isbr, bump, path.reached))
+        return True
+
+    def _scalar_walk(self, ci: int, start: int, until: int, reconv: int,
+                     upcoming, node: int, c: int, s: int, bl: int,
+                     d: int, ghr: int):
+        """Exact transcription of ``_walk_wrong_path_fast`` for one cell,
+        split into the shared structural path (cached per resolution
+        step, see :class:`_WalkPath`) and the per-cell timing replay
+        below.  Only ``cycle`` and the CD/CI counters survive a walk —
+        the epilogue overwrites slots, branch budget and history in both
+        the flush and the fork case — so the replay returns
+        ``(cycle, cd, ci)`` and nothing else, and follower cells never
+        touch the predictor."""
+        if c >= until:
+            return c, 0, 0
+        key = (self.ptgid[ci], start, ghr, reconv, node, upcoming)
+        path = self._walk_cache.get(key)
+        if path is None:
+            path = self._walk_cache[key] = _WalkPath(
+                start, ghr, node, reconv, upcoming, self.W[ci]
+            )
+        hw = self.phalfw[ci]
+        w = self.pwidth[ci]
+        mb = self.pmaxb[ci]
+        # Uniform fetch-width regime (dual window already over, or
+        # outlasting the walk) makes the whole replay a function of the
+        # relative budget — memoize it across the cells replaying this
+        # path.
+        if d < c:
+            rkey = (until - c, s, bl, w, mb)
+        elif d >= until + 2:
+            rkey = (until - c, s, bl, hw, mb)
+        else:
+            rkey = None
+        if rkey is not None:
+            hit = path.replays.get(rkey)
+            if hit is not None:
+                dc, rcd, rci = hit
+                return c + dc, rcd, rci
+        c0 = c
+        blocks = path.blocks
+        nblocks = len(blocks)
+        cd = cik = 0
+        i = 0
+        while c < until:
+            if i >= nblocks:
+                if not self._extend_path(path):
+                    break
+                nblocks += 1
+            nr, isbr, bump, reached = blocks[i]
+            i += 1
+            # Fetch-width regime for this block: the dual-path window
+            # either expired already (full width) or outlasts the whole
+            # walk (half width, c never exceeds until + 2 here); only a
+            # window expiring mid-walk needs the per-instruction loop.
+            if d < c:
+                W = w
+            elif d >= until + 2:
+                W = hw
+            else:
+                W = 0
+            if W:
+                # Closed-form slot accounting: n body instructions
+                # consume the current cycle's leftover slots, then whole
+                # refilled cycles of W, cut off once the refill reaches
+                # `until` (the cycle that lands on `until` still issues
+                # its first instruction — the bound is checked before
+                # each instruction, after the refill).
+                n = nr - 1 if isbr else nr
+                took = n if s >= n else s
+                rem = n - took
+                s -= took
+                if rem:
+                    nbf = (rem + W - 1) // W
+                    t1 = until - c - 1
+                    if nbf > t1:
+                        nbf = t1
+                    cons = nbf * W
+                    if cons > rem:
+                        cons = rem
+                    if nbf:
+                        c += nbf
+                        s = nbf * W - cons
+                        bl = mb
+                        took += cons
+                        rem -= cons
+                    if rem and c < until:
+                        c += 1
+                        s = W - 1
+                        bl = mb
+                        took += 1
+                if isbr and c < until:
+                    if s <= 0 or bl <= 0:
+                        c += 1
+                        s = W
+                        bl = mb
+                    bl -= 1
+                    s -= 1
+                    took += 1
+            else:
+                took = 0
+                for j in range(nr):
+                    if c >= until:
+                        break
+                    if isbr and j == nr - 1:
+                        if s <= 0 or bl <= 0:
+                            c += 1
+                            s = hw if c <= d else w
+                            bl = mb
+                        bl -= 1
+                    elif s <= 0:
+                        c += 1
+                        s = hw if c <= d else w
+                        bl = mb
+                    s -= 1
+                    took += 1
+            if reached:
+                cik += took
+            else:
+                cd += took
+            if bump:
+                c += 1
+                s = hw if c <= d else w
+                bl = mb
+        if rkey is not None:
+            path.replays[rkey] = (c - c0, cd, cik)
+        return c, cd, cik

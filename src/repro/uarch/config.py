@@ -75,11 +75,16 @@ class MachineConfig:
     dpred_ghr_policy: str = "predicted"
     #: Simulation engine: ``"fast"`` (default) runs the pre-decoded
     #: block-plan inner loops (:mod:`repro.uarch.plan`);
-    #: ``"reference"`` keeps the original per-instruction loops.  Both
+    #: ``"reference"`` keeps the original per-instruction loops;
+    #: ``"batch"`` routes the run through the vectorized lockstep
+    #: engine (:mod:`repro.uarch.batch`), which simulates many cells
+    #: over numpy struct-of-arrays and falls back to the fast engine
+    #: for configurations outside its vector envelope.  All engines
     #: produce bit-identical :class:`~repro.uarch.stats.SimStats`
-    #: (asserted by tests/core/test_engine_differential.py), and the
-    #: choice deliberately does not appear in :meth:`describe` so the
-    #: stats of the two engines compare equal field-for-field.
+    #: (asserted by tests/core/test_engine_differential.py and
+    #: tests/core/test_engine_batch.py), and the choice deliberately
+    #: does not appear in :meth:`describe` so the stats of the engines
+    #: compare equal field-for-field.
     engine: str = "fast"
     # Memory
     memory_latency: int = 300
@@ -110,9 +115,10 @@ class MachineConfig:
             raise ValueError(
                 "multiple_diverge_policy must be 'restart' or 'nested'"
             )
-        if self.engine not in ("fast", "reference"):
+        if self.engine not in ("fast", "reference", "batch"):
             raise ValueError(
-                f"engine must be 'fast' or 'reference', got {self.engine!r}"
+                f"engine must be 'fast', 'reference' or 'batch', "
+                f"got {self.engine!r}"
             )
         if self.fetch_width <= 0 or self.rob_size <= 0:
             raise ValueError("widths and sizes must be positive")

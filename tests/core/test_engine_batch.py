@@ -1,0 +1,185 @@
+"""Differential validation of the vectorized batch engine.
+
+The batch engine advances many (program, trace, config) cells in
+lockstep over numpy struct-of-arrays (:mod:`repro.uarch.batch`); its
+contract is the same as the fast engine's — *bit identity* with the
+reference engine — reached two ways: the vector path for cells inside
+the supported envelope, and a per-cell fast-engine fallback for
+everything else.  Both paths are exercised here; the committed fuzz
+corpus replays against the batch engine too
+(tests/fuzz/test_corpus_replay.py).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.harness.experiment import BenchmarkContext, run_suite
+from repro.uarch.batch import (
+    BatchCell,
+    batch_supported,
+    cell_supported,
+    run_batch,
+)
+from repro.uarch.config import MachineConfig
+from repro.workloads.suite import BENCHMARK_NAMES
+
+ITERATIONS = 120
+
+_contexts = {}
+
+
+def _context(name: str) -> BenchmarkContext:
+    ctx = _contexts.get(name)
+    if ctx is None:
+        ctx = _contexts[name] = BenchmarkContext(
+            name, iterations=ITERATIONS, seed=0
+        )
+    return ctx
+
+
+def _cell(ctx: BenchmarkContext, config: MachineConfig) -> BatchCell:
+    return BatchCell(
+        ctx.program, ctx.trace, config.replace(engine="batch"),
+        hints=ctx.hints_for(config), benchmark=ctx.name,
+        warm_words=ctx.workload.memory.warm_words(),
+    )
+
+
+def _reference(ctx: BenchmarkContext, config: MachineConfig):
+    return ctx.simulate(config.replace(engine="reference"))
+
+
+def test_vector_path_bit_identical_across_the_suite():
+    """One lockstep group holding every benchmark under both vector-
+    eligible modes (baseline, dualpath) must reproduce the reference
+    stats bit for bit, cell for cell.  Running them as *one* group (not
+    one group per cell) is the point: it proves cells cannot bleed
+    state into each other through the shared arrays."""
+    cells, refs = [], []
+    for name in BENCHMARK_NAMES:
+        ctx = _context(name)
+        for config in (MachineConfig.baseline(), MachineConfig.dualpath()):
+            cells.append(_cell(ctx, config))
+            refs.append(_reference(ctx, config))
+    if batch_supported():
+        for cell in cells:
+            ok, reason = cell_supported(cell)
+            assert ok, f"{cell.benchmark}: expected vector path, {reason}"
+    results = run_batch(cells)
+    for cell, ref, got in zip(cells, refs, results):
+        assert dataclasses.asdict(got) == dataclasses.asdict(ref), (
+            cell.benchmark, cell.config.mode,
+        )
+
+
+def test_mixed_sizing_grid_bit_identical():
+    """Heterogeneous frontend/backend sizings in one group, including
+    ROBs smaller than a block (the non-static ring-buffer path)."""
+    grid = [
+        MachineConfig.baseline().replace(fetch_width=8, rob_size=512),
+        MachineConfig.baseline().replace(rob_size=16),
+        MachineConfig.dualpath().replace(rob_size=32, retire_width=8),
+        MachineConfig.dualpath().replace(
+            fetch_width=8, pipeline_depth=30
+        ),
+    ]
+    cells, refs = [], []
+    for name in ("parser", "gzip", "mcf"):
+        ctx = _context(name)
+        for config in grid:
+            cells.append(_cell(ctx, config))
+            refs.append(_reference(ctx, config))
+    results = run_batch(cells)
+    for cell, ref, got in zip(cells, refs, results):
+        assert dataclasses.asdict(got) == dataclasses.asdict(ref), (
+            cell.benchmark, cell.config.describe(),
+        )
+
+
+def test_single_cell_simulate_route():
+    """``simulate(engine="batch")`` — the processors.py route — works
+    for a lone cell, vector path included."""
+    ctx = _context("parser")
+    config = MachineConfig.dualpath()
+    got = ctx.simulate(config.replace(engine="batch"))
+    assert dataclasses.asdict(got) == dataclasses.asdict(
+        _reference(ctx, config)
+    )
+
+
+@pytest.mark.parametrize("config_name", ("dmp", "dhp", "wish", "loop-pred"))
+@pytest.mark.parametrize("bench_name", ("parser", "gzip"))
+def test_fallback_path_bit_identical(bench_name, config_name):
+    """Configurations outside the vector envelope (predicated modes,
+    hardened runs) silently fall back to the fast engine per cell — and
+    must still match the hardened reference bit for bit."""
+    factory = {
+        "dmp": lambda: MachineConfig.dmp(enhanced=True),
+        "dhp": MachineConfig.dhp,
+        "wish": MachineConfig.wish,
+        "loop-pred": lambda: MachineConfig.dmp(loop_predication=True),
+    }[config_name]
+    ctx = _context(bench_name)
+    config = factory().hardened()
+    if batch_supported():
+        ok, _ = cell_supported(_cell(ctx, config))
+        assert not ok, "expected a fallback config"
+    got = ctx.simulate(config.replace(engine="batch"))
+    ref = _reference(ctx, config)
+    assert ref.oracle_checks > 0, "oracle was not armed"
+    assert dataclasses.asdict(got) == dataclasses.asdict(ref)
+
+
+@pytest.mark.skipif(not batch_supported(), reason="numpy unavailable")
+def test_cell_supported_reports_reasons():
+    ctx = _context("parser")
+    ok, reason = cell_supported(_cell(ctx, MachineConfig.baseline()))
+    assert ok, reason
+
+    class _Tracer:
+        pass
+
+    traced = _cell(ctx, MachineConfig.baseline())
+    traced.tracer = _Tracer()
+    ok, reason = cell_supported(traced)
+    assert not ok and "tracer" in reason
+
+    ok, reason = cell_supported(_cell(ctx, MachineConfig.dmp()))
+    assert not ok and "mode" in reason
+
+    ok, reason = cell_supported(
+        _cell(ctx, MachineConfig.baseline().hardened())
+    )
+    assert not ok
+
+
+def test_run_suite_batch_executor_matches_serial():
+    """The ``"batch"`` suite executor returns the same table as the
+    serial fast-engine executor (memo/disk caches bypassed by fresh
+    contexts)."""
+    configs = {
+        "base": MachineConfig.baseline(),
+        "dual": MachineConfig.dualpath(),
+    }
+    benchmarks = ("parser", "gzip")
+
+    def fresh():
+        return {
+            name: BenchmarkContext(name, iterations=ITERATIONS, seed=0)
+            for name in benchmarks
+        }
+
+    serial = run_suite(
+        configs, benchmarks, iterations=ITERATIONS,
+        contexts=fresh(), executor="serial",
+    )
+    batch = run_suite(
+        configs, benchmarks, iterations=ITERATIONS,
+        contexts=fresh(), executor="batch",
+    )
+    for name in benchmarks:
+        for label in configs:
+            assert dataclasses.asdict(
+                batch.stats(name, label)
+            ) == dataclasses.asdict(serial.stats(name, label))

@@ -33,6 +33,22 @@ def test_reproducer_is_clean_on_head(entry):
 @pytest.mark.parametrize(
     "entry", _ENTRIES, ids=[os.path.basename(e["path"]) for e in _ENTRIES]
 )
+def test_reproducer_is_clean_on_batch_engine(entry):
+    """The corpus replays against the vectorized batch engine too.
+
+    ``harden=False`` is deliberate: hardened configs fall back to the
+    fast engine per cell, so only an unhardened replay drives the
+    corpus programs down the batch engine's vector path."""
+    spec = spec_from_dict(entry["spec"])
+    findings = check_spec(
+        spec, engines=("reference", "batch"), harden=False
+    )
+    assert findings == [], [f.summary() for f in findings]
+
+
+@pytest.mark.parametrize(
+    "entry", _ENTRIES, ids=[os.path.basename(e["path"]) for e in _ENTRIES]
+)
 def test_entry_metadata_is_complete(entry):
     # Triage provenance must never be stripped from a committed entry.
     assert entry["notes"], entry["path"]

@@ -128,6 +128,16 @@ class TestDegenerateCells:
         baseline = _report([_cell(speedup=0.0, degenerate=True)])
         assert bench.compare(current, baseline, max_regression=0.25) == []
 
+    def test_zero_speedup_baseline_with_explicit_marker_false(self):
+        # Regression test: a baseline cell that claims degenerate=False
+        # while carrying a 0.0 speedup used to crash the per-cell loop
+        # with ZeroDivisionError; it must be skipped like any other
+        # ratio-free cell, not take down the CI gate.
+        current = _report([_cell(speedup=2.0)])
+        baseline = _report([_cell(speedup=0.0, degenerate=False)])
+        assert bench._degenerate(baseline["cells"][0])
+        assert bench.compare(current, baseline, max_regression=0.25) == []
+
     def test_geomean_excludes_degenerate(self):
         report = _report([_cell(speedup=4.0),
                           _cell(config="dhp", speedup=0.0, degenerate=True)])
@@ -181,6 +191,7 @@ class TestRunBench:
             configs=("base",),
             iterations=60,
             repeats=1,
+            batch="off",
         )
         assert report["schema"] == bench.SCHEMA
         (cell,) = report["cells"]
@@ -199,3 +210,29 @@ class TestRunBench:
             cell["speedup_cold"]
         )
         assert not math.isnan(summary["geomean_speedup_warm"])
+
+    def test_unknown_batch_mode_rejected(self):
+        with pytest.raises(ValueError):
+            bench.run_bench(batch="sideways")
+
+    def test_batch_group_cell_structure(self):
+        from repro.uarch.batch import batch_supported
+
+        if not batch_supported():
+            pytest.skip("numpy unavailable; batch engine inactive")
+        cell = bench._run_batch_group(
+            "batch-test", benchmarks=("gzip",), iterations=60,
+            seeds=(0,), sample=2, cache=None, say=lambda _msg: None,
+        )
+        assert cell["benchmark"] == "suite"
+        assert cell["config"] == "batch-test"
+        assert cell["identical"] is True
+        assert cell["degenerate"] is False
+        assert cell["sweep_cells"] == len(bench._batch_grid())
+        assert cell["sampled_reference_cells"] == 2
+        assert cell["retired_instructions"] > 0
+        assert cell["speedup_cold"] > 0
+        # Batch cells carry no warm/traced keys; the summary treats the
+        # missing trace marker as non-perturbing rather than crashing.
+        assert "speedup_warm" not in cell
+        assert "traced_identical" not in cell

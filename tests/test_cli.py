@@ -243,6 +243,15 @@ class TestFuzzCommand:
         with pytest.raises(SystemExit):
             _parse_seeds("banana")
 
+    def test_empty_seed_list_is_an_error(self):
+        # Regression test: "" and "," used to parse to [] so a typo'd
+        # nightly invocation fuzzed nothing and still exited 0 "clean".
+        from repro.cli import _parse_seeds
+
+        for raw in ("", ",", " ", ",,,"):
+            with pytest.raises(SystemExit):
+                _parse_seeds(raw)
+
     def test_clean_sweep_exits_zero(self, tmp_path, capsys):
         out_file = tmp_path / "report.json"
         assert main([
