@@ -171,6 +171,19 @@ def cmd_suite(args) -> int:
     if args.timings and result.timings is not None:
         print()
         print(result.timings.report())
+    elif result.timings is not None and result.timings.batch_fallbacks:
+        timings = result.timings
+        fell = sum(timings.batch_fallbacks.values())
+        total = fell + timings.batch_vector_cells
+        print()
+        print(
+            f"batch fallbacks: {fell}/{total} cell(s) ran on the "
+            "fast engine"
+        )
+        for reason, count in sorted(
+            timings.batch_fallbacks.items(), key=lambda kv: (-kv[1], kv[0])
+        ):
+            print(f"  {count:4d}  {reason}")
     return 0
 
 
@@ -359,6 +372,10 @@ def cmd_bench(args) -> int:
     if summary.get("geomean_batch_speedup"):
         print(f"batch sweep geomean speedup: "
               f"{summary['geomean_batch_speedup']:.2f}x vs reference")
+    if summary.get("geomean_dmp_fast_speedup"):
+        print(f"dmp sweep geomean speedup: "
+              f"{summary['geomean_dmp_fast_speedup']:.2f}x vs the fast "
+              f"engine on dmp-mode cells")
     if summary["degenerate_cells"]:
         print("degenerate cells (excluded from geomean): "
               + ", ".join(summary["degenerate_cells"]))
@@ -373,8 +390,16 @@ def cmd_bench(args) -> int:
         or not summary["all_traced_identical"]
     )
     if args.baseline:
+        baseline_path = args.baseline
+        if baseline_path == "latest":
+            try:
+                baseline_path = bench.find_latest_baseline()
+            except FileNotFoundError as exc:
+                print(f"FAIL: {exc}", file=sys.stderr)
+                return 1
+            print(f"baseline: {baseline_path}")
         problems = bench.compare(
-            report, bench.load_report(args.baseline),
+            report, bench.load_report(baseline_path),
             max_regression=args.max_regression,
         )
         for problem in problems:
@@ -757,7 +782,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--output", default="",
                          help="report path (default BENCH_<utc>.json)")
     p_bench.add_argument("--baseline", default="",
-                         help="committed BENCH_*.json to gate against")
+                         help="committed BENCH_*.json to gate against, "
+                              "or 'latest' for the newest committed "
+                              "report in the working directory")
     p_bench.add_argument("--max-regression", type=float, default=0.25,
                          help="allowed fractional speedup drop vs the "
                               "baseline report")

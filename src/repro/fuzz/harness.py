@@ -60,7 +60,9 @@ from repro.uarch.stats import SimStats
 REPORT_SCHEMA = "repro-fuzz/1"
 
 #: The machine modes every fuzz program is checked under.
-FUZZ_MODES = ("baseline", "dualpath", "dmp", "dhp", "wish", "loop-pred")
+FUZZ_MODES = (
+    "baseline", "dualpath", "dmp", "dmp-basic", "dhp", "wish", "loop-pred",
+)
 
 #: Engines compared per mode.
 _ENGINES = ("reference", "fast")
@@ -72,11 +74,16 @@ def mode_configs() -> Dict[str, MachineConfig]:
     ``dmp`` runs fully enhanced (multiple CFM + early exit + multiple
     diverge) and ``loop-pred`` adds loop predication on top — the widest
     predication surface the simulator has, which is what the fuzzer
-    should be hammering."""
+    should be hammering.  ``dmp-basic`` is the plain Table-1 machine:
+    unlike the enhanced variant it sits inside the batch engine's
+    vector envelope, so an unhardened batch sweep exercises the
+    vectorized predicated-episode path rather than the scalar
+    fallback."""
     return {
         "baseline": MachineConfig.baseline(),
         "dualpath": MachineConfig.dualpath(),
         "dmp": MachineConfig.dmp(enhanced=True),
+        "dmp-basic": MachineConfig.dmp(),
         "dhp": MachineConfig.dhp(),
         "wish": MachineConfig.wish(),
         "loop-pred": MachineConfig.dmp(enhanced=True, loop_predication=True),
@@ -175,7 +182,7 @@ class FuzzProgram:
         if mode in ("baseline", "dualpath"):
             return None
         if mode not in self._hints:
-            if mode == "dmp":
+            if mode in ("dmp", "dmp-basic"):
                 self._hints[mode] = self._diverge_hints()
             elif mode == "loop-pred":
                 loop = select_diverge_loop_branches(

@@ -89,6 +89,17 @@ BATCH_SWEEP_SAMPLE = 10
 BATCH_SMOKE_SEEDS = (0,)
 BATCH_SMOKE_SAMPLE = 4
 
+#: The predicated design-space sweep (``suite/batch-dmp-sweep``): the
+#: paper's figure 13/14 comparison arms — DMP against dual-path and the
+#: baseline — across the same 16 frontend/backend sizings, with every
+#: dmp cell running its dpred episodes on the batch engine's vector
+#: path.  Identity is asserted against the reference engine on a
+#: deterministic sample as usual; throughput is additionally measured
+#: against the *fast* engine on sampled dmp-mode cells
+#: (``speedup_fast_dmp``) — the scalar engine a predicated sweep would
+#: otherwise have to run on.
+DMP_BATCH_CONFIGS = ("dmp", "dualpath", "base")
+
 
 def geomean(values: Iterable[float]) -> float:
     vals = [v for v in values if v > 0]
@@ -134,10 +145,12 @@ def _measure_cell(context: BenchmarkContext, ref_config: MachineConfig,
     return best, stats
 
 
-def _batch_grid() -> List[MachineConfig]:
-    """The 32-configuration sweep grid (2 modes x 16 sizings)."""
+def _batch_grid(
+    config_names: Sequence[str] = BATCH_CONFIGS,
+) -> List[MachineConfig]:
+    """A lockstep sweep grid: ``config_names`` modes x 16 sizings."""
     grid = []
-    for config_name in BATCH_CONFIGS:
+    for config_name in config_names:
         base = CONFIG_FACTORIES[config_name]()
         for width in BATCH_WIDTHS:
             for depth in BATCH_DEPTHS:
@@ -153,7 +166,10 @@ def _batch_grid() -> List[MachineConfig]:
 
 def _run_batch_group(label: str, benchmarks: Sequence[str],
                      iterations: int, seeds: Sequence[int], sample: int,
-                     cache, say) -> Optional[Dict]:
+                     cache, say,
+                     config_names: Sequence[str] = BATCH_CONFIGS,
+                     use_hints: bool = False,
+                     fast_modes: Sequence[str] = ()) -> Optional[Dict]:
     """One cold lockstep run of the batch sweep; returns a report cell.
 
     ``speedup_cold`` is the geomean, over the sampled cells, of the
@@ -164,6 +180,13 @@ def _run_batch_group(label: str, benchmarks: Sequence[str],
     bit for bit (``identical``).  Returns ``None`` when numpy is
     unavailable (the batch engine then degrades to the fast engine, and
     a throughput claim for it would be meaningless).
+
+    ``use_hints`` attaches each context's CFM/hammock hint table to its
+    cells (predicated grids are meaningless without one); ``fast_modes``
+    additionally times the *fast* engine — warm, the way a scalar sweep
+    would actually run — on sampled cells of those modes and reports
+    the geomean against the batch per-cell share as
+    ``speedup_fast_dmp``.
     """
     from repro.uarch.batch import BatchCell, batch_supported, run_batch
 
@@ -182,9 +205,11 @@ def _run_batch_group(label: str, benchmarks: Sequence[str],
             program, trace = context.program, context.trace
             warm_words = context.workload.memory.warm_words()
             programs.append(program)
-            for config in _batch_grid():
+            for config in _batch_grid(config_names):
                 cells.append(BatchCell(
-                    program, trace, config, hints=None,
+                    program, trace, config,
+                    hints=(context.hints_for(config)
+                           if use_hints else None),
                     benchmark=name, warm_words=warm_words,
                 ))
     # Cold: the batch run pays for its own arenas and block plans.
@@ -206,7 +231,7 @@ def _run_batch_group(label: str, benchmarks: Sequence[str],
         t0 = time.process_time()
         ref_stats = simulate(
             cell.program, cell.trace,
-            cell.config.replace(engine="reference"), hints=None,
+            cell.config.replace(engine="reference"), hints=cell.hints,
             benchmark=cell.benchmark, warm_words=cell.warm_words,
         )
         ref_s = time.process_time() - t0
@@ -219,6 +244,30 @@ def _run_batch_group(label: str, benchmarks: Sequence[str],
             ref_times.append(ref_s)
             if percell > 0:
                 speedups.append(ref_s / percell)
+    # The fast-engine comparator for predicated grids: sampled warm
+    # (analysis caches are hot from the runs above — a scalar sweep
+    # would pay for them once, not per cell).
+    fast_times: List[float] = []
+    fast_speedups: List[float] = []
+    if fast_modes:
+        targets = [
+            i for i, cell in enumerate(cells)
+            if cell.config.mode in fast_modes
+        ]
+        fstride = max(1, len(targets) // sample)
+        for index in targets[::fstride][:sample]:
+            cell = cells[index]
+            t0 = time.process_time()
+            simulate(
+                cell.program, cell.trace,
+                cell.config.replace(engine="fast"), hints=cell.hints,
+                benchmark=cell.benchmark, warm_words=cell.warm_words,
+            )
+            fast_s = time.process_time() - t0
+            if fast_s > 0:
+                fast_times.append(fast_s)
+                if percell > 0:
+                    fast_speedups.append(fast_s / percell)
     degenerate = not (percell > 0 and speedups)
     cell_dict = {
         "benchmark": "suite",
@@ -235,12 +284,18 @@ def _run_batch_group(label: str, benchmarks: Sequence[str],
         "reference_percell_s": geomean(ref_times),
         "speedup_cold": geomean(speedups),
     }
+    if fast_modes:
+        cell_dict["fast_sampled_cells"] = len(fast_times)
+        cell_dict["fast_percell_s"] = geomean(fast_times)
+        cell_dict["speedup_fast_dmp"] = geomean(fast_speedups)
     say(f"{'suite':8s} {label:12s} "
         f"batch {batch_s:6.1f}s / {len(cells)} cells = "
         f"{1000 * percell:6.1f} ms/cell  "
         f"ref sample {geomean(ref_times):6.3f} s/cell  "
         f"speedup {cell_dict['speedup_cold']:.2f}x  "
-        f"identical={identical}"
+        + (f"fast-dmp {cell_dict['speedup_fast_dmp']:.2f}x  "
+           if fast_modes else "")
+        + f"identical={identical}"
         + (" DEGENERATE" if degenerate else ""))
     return cell_dict
 
@@ -360,12 +415,28 @@ def run_bench(
             )
             if sweep is not None:
                 cells.append(sweep)
+            dmp_sweep = _run_batch_group(
+                "batch-dmp-sweep", BENCHMARK_NAMES, iterations,
+                BATCH_SWEEP_SEEDS, BATCH_SWEEP_SAMPLE, cache, say,
+                config_names=DMP_BATCH_CONFIGS, use_hints=True,
+                fast_modes=("dmp",),
+            )
+            if dmp_sweep is not None:
+                cells.append(dmp_sweep)
         smoke = _run_batch_group(
             "batch-smoke", SMOKE_BENCHMARKS, SMOKE_ITERATIONS,
             BATCH_SMOKE_SEEDS, BATCH_SMOKE_SAMPLE, cache, say,
         )
         if smoke is not None:
             cells.append(smoke)
+        dmp_smoke = _run_batch_group(
+            "batch-dmp-smoke", SMOKE_BENCHMARKS, SMOKE_ITERATIONS,
+            BATCH_SMOKE_SEEDS, BATCH_SMOKE_SAMPLE, cache, say,
+            config_names=DMP_BATCH_CONFIGS, use_hints=True,
+            fast_modes=("dmp",),
+        )
+        if dmp_smoke is not None:
+            cells.append(dmp_smoke)
     is_batch = [c["config"].startswith("batch-") for c in cells]
     live = [
         c for c, bat in zip(cells, is_batch)
@@ -380,6 +451,10 @@ def run_bench(
         "geomean_speedup_warm": geomean(c["speedup_warm"] for c in live),
         "geomean_batch_speedup": geomean(
             c["speedup_cold"] for c in batch_live
+        ),
+        "geomean_dmp_fast_speedup": geomean(
+            c["speedup_fast_dmp"] for c in batch_live
+            if "speedup_fast_dmp" in c
         ),
         "all_identical": all(c["identical"] for c in cells),
         "all_traced_identical": all(
@@ -476,6 +551,27 @@ def compare(current: Dict, baseline: Dict,
             f"{1 - cur_g / base_g:.0%} below baseline {base_g:.2f}x"
         )
     return problems
+
+
+def find_latest_baseline(directory: str = ".") -> str:
+    """Path of the newest committed ``BENCH_*.json`` in ``directory``.
+
+    Report names embed a UTC timestamp (``BENCH_20260807T034511Z.json``),
+    so lexicographic order *is* chronological order — the resolver
+    behind ``repro bench --baseline latest``.  Raises
+    :class:`FileNotFoundError` with an actionable message when the
+    directory holds no baseline at all.
+    """
+    import glob
+
+    paths = sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
+    if not paths:
+        raise FileNotFoundError(
+            f"no BENCH_*.json baseline found in "
+            f"{os.path.abspath(directory)} — run `repro bench` "
+            f"and commit the report first"
+        )
+    return paths[-1]
 
 
 def load_report(path) -> Dict:

@@ -461,6 +461,13 @@ class SuiteTimings:
     simulations_run: int = 0
     sim_memo_hits: int = 0
     sim_cache_hits: int = 0
+    #: Batch executor only: cells that ran in the lockstep group vs
+    #: cells that fell back to the fast engine, the latter grouped by
+    #: the ``cell_supported`` reason string.
+    batch_vector_cells: int = 0
+    batch_fallbacks: Dict[str, int] = dataclasses.field(
+        default_factory=dict
+    )
     cache: Optional[CacheCounters] = None
 
     def report(self) -> str:
@@ -473,6 +480,16 @@ class SuiteTimings:
             f"{self.sim_memo_hits} memo hit(s), "
             f"{self.sim_cache_hits} disk hit(s)",
         ]
+        fell = sum(self.batch_fallbacks.values())
+        if self.batch_vector_cells or fell:
+            lines.append(
+                f"  batch: {self.batch_vector_cells} cell(s) on the "
+                f"vector path, {fell} fast-engine fallback(s)"
+            )
+            for reason, count in sorted(
+                self.batch_fallbacks.items(), key=lambda kv: (-kv[1], kv[0])
+            ):
+                lines.append(f"    {count:4d}  {reason}")
         if self.cache is not None:
             lines.append("  " + self.cache.summary().replace("\n", "\n  "))
         return "\n".join(lines)
@@ -667,9 +684,12 @@ def _execute_batch(
             meta.append((context, label, effective))
     if not cells:
         return
+    fell_before = sum(timings.batch_fallbacks.values())
     t0 = time.perf_counter()
-    stats_list = run_batch(cells)
+    stats_list = run_batch(cells, fallback_reasons=timings.batch_fallbacks)
     per_cell = (time.perf_counter() - t0) / len(cells)
+    fell = sum(timings.batch_fallbacks.values()) - fell_before
+    timings.batch_vector_cells += len(cells) - fell
     for (context, label, effective), stats in zip(meta, stats_list):
         context.stage_seconds["simulate"] += per_cell
         context.sims_run += 1

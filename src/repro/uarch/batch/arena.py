@@ -119,6 +119,11 @@ class ProgramArena:
         self.SITE = np.full(n, -1, np.int64)
         self.PCT = np.zeros(n, np.int64)
         self.JPC = np.zeros(n, np.int64)
+        #: Raw terminating-branch PC for BR blocks (-1 otherwise): the
+        #: diverge-hint table is keyed by the branch instruction's PC,
+        #: which ``JPC`` (already shifted for the JRS index) cannot
+        #: recover.
+        self.BRPC = np.full(n, -1, np.int64)
         self.RECONV = np.full(n, NO_RECONV, np.int64)
         self.BRLAT = np.zeros(n, np.int64)
         self.BRSRC = np.full((n, K), ZREG, np.int64)
@@ -179,6 +184,7 @@ class ProgramArena:
             if is_br:
                 self.PCT[b] = (plan.term_pc >> 2) % _PERCEPTRONS
                 self.JPC[b] = plan.term_pc >> 2
+                self.BRPC[b] = plan.term_pc
                 reconv = analysis.reconvergence_pc(
                     plan.function, plan.block_name
                 )

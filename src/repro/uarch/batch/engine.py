@@ -39,7 +39,7 @@ contents, RAS underflows, the architectural call context).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -78,8 +78,213 @@ _JHMASK = 0xF
 _WALK_GUARD = 10_000
 #: Lookahead window for the control-independence classification.
 _CI_LOOKAHEAD = 32
+#: Active-lane count at which the step loop's per-row numpy dispatch
+#: costs more than a plain-python row, so the remaining lanes finish
+#: their (rare, long) blocks on the scalar row tail instead.
+_TAIL_LANES = 16
 
 _TRACE, _DONE = 0, 2
+
+#: Episode path outcomes — the ``PathOutcome`` subset the plain dmp/dhp
+#: envelope can produce (no NEW_DIVERGE without multiple_diverge).
+_P_CFM, _P_RESOLVED, _P_EXHAUSTED, _P_LIMIT = 0, 1, 2, 3
+
+
+def _compile_row_loop(rows, nr: int, variant: str, anydp: bool = False):
+    """exec-compile one block's scalar row loop, unrolled.
+
+    The interpreted row loops spend most of their time on bookkeeping
+    the block makes constant: tuple unpacking, the kind dispatch, the
+    source iteration.  Unrolling the ``nr`` rows with those constants
+    folded into the source keeps the statements — and therefore the
+    arithmetic, in the same order on the same ints — identical to the
+    loops this replaces, while roughly halving the per-row cost.
+
+    ``variant="tail"`` is the step loop's scalar row tail (resumable at
+    any starting row ``i0`` via per-row guards); ``variant="ep"`` is an
+    episode's on-trace block (all rows, predicated load/store rules,
+    state carried on the ``_EpState``).
+    """
+    out = []
+    a = out.append
+    # Both variants keep the ring on the numpy row: reads only fire
+    # once the window is full (one scalar gather per row, and rows
+    # written since the write log opened at ``sq0`` are served from the
+    # log), and the writes — consecutive sequence numbers — go back as
+    # one circular span, so a lane never pays to convert or copy the
+    # full ROB.  The tail flushes its span here; an episode's log spans
+    # several calls and is flushed once by ``_dpred_epilogue``.
+    if variant == "tail":
+        a("def _f(i0, l0, s0, cyc, sl, blv, du, wt, hwt, mbt, dept,"
+          " robv, rwt, lastt, cntt, sq0, rr, ring, srd, spr, lfwd,"
+          " llat):")
+        a(" lwc = 0; seq = sq0; wr = []; wa = wr.append")
+    else:
+        a("def _f(st, l0, s0, res, pid, srd, spr, spid, lfwd, llat):")
+        a(" cyc = st.cycle; sl = st.slots; blv = st.bl")
+        a(" du = st.du; wt = st.w; hwt = st.hw; mbt = st.mb")
+        a(" dept = st.depth; robv = st.rob; rwt = st.rw")
+        a(" lastt = st.last; cntt = st.cnt; seq = st.seq")
+        a(" rr = st.rr; ring = st.ring; sq0 = st.seq0")
+        a(" wr = st.wr; wa = wr.append; lwc = 0")
+    for idx in range(nr):
+        kind, lat, _lat1, dest, srcs, lord, stord = rows[idx]
+        p = " "
+        if variant == "tail":
+            a(f" if i0 <= {idx}:")
+            p = "  "
+        a(f"{p}if seq >= robv:")
+        a(f"{p} j = seq - robv")
+        a(f"{p} oldest = wr[j - sq0] if j >= sq0 else ring[j % robv]")
+        a(f"{p} if cyc < oldest:")
+        a(f"{p}  cyc = oldest; sl = hwt if cyc <= du else wt; blv = mbt")
+        a(f"{p}if sl <= 0:")
+        a(f"{p} cyc += 1; sl = hwt if cyc <= du else wt; blv = mbt")
+        a(f"{p}sl -= 1")
+        a(f"{p}base = cyc + dept")
+        for s_ in srcs:
+            a(f"{p}rdy = rr[{s_}]")
+            a(f"{p}if rdy > base: base = rdy")
+        if kind == KIND_LOAD:
+            a(f"{p}fwd = lfwd[l0 + {lord}]")
+            a(f"{p}if fwd >= 0:")
+            if variant == "ep":
+                a(f"{p} pready = int(spr[fwd])")
+                a(f"{p} if base >= pready or spid.get(fwd) == pid:")
+                a(f"{p}  sv = int(srd[fwd])")
+                a(f"{p}  comp = (sv if sv > base else base) + 1")
+                a(f"{p} else:")
+                a(f"{p}  lwc += 1; comp = pready + 2")
+            elif anydp:
+                a(f"{p} if base < spr[fwd]:")
+                a(f"{p}  lwc += 1; comp = int(spr[fwd]) + 2")
+                a(f"{p} else:")
+                a(f"{p}  sv = int(srd[fwd])")
+                a(f"{p}  comp = (sv if sv > base else base) + 1")
+            else:
+                a(f"{p} sv = int(srd[fwd])")
+                a(f"{p} comp = (sv if sv > base else base) + 1")
+            a(f"{p}else:")
+            a(f"{p} comp = base + llat[l0 + {lord}]")
+        elif kind == KIND_STORE:
+            a(f"{p}comp = base + 1")
+            if variant == "ep":
+                a(f"{p}ordn = s0 + {stord}")
+                a(f"{p}srd[ordn] = comp; spr[ordn] = res")
+                a(f"{p}spid[ordn] = pid")
+            else:
+                a(f"{p}srd[s0 + {stord}] = comp")
+        else:
+            a(f"{p}comp = base + {lat}")
+        if dest >= 0:
+            a(f"{p}rr[{dest}] = comp")
+        a(f"{p}rc = comp + 1")
+        a(f"{p}if rc < lastt: rc = lastt")
+        a(f"{p}if rc == lastt and cntt >= rwt: rc += 1")
+        a(f"{p}if rc > lastt: cntt = 1")
+        a(f"{p}else: cntt += 1")
+        a(f"{p}lastt = rc")
+        a(f"{p}wa(rc)")
+        a(f"{p}seq += 1")
+    if variant == "tail":
+        a(" nw = len(wr)")
+        a(" if nw >= robv:")
+        a("  b0 = sq0 + nw - robv")
+        a("  for off in range(robv):")
+        a("   ring[(b0 + off) % robv] = wr[nw - robv + off]")
+        a(" elif nw:")
+        a("  a0 = sq0 % robv")
+        a("  end = a0 + nw")
+        a("  if end <= robv:")
+        a("   ring[a0:end] = wr")
+        a("  else:")
+        a("   ring[a0:robv] = wr[:robv - a0]")
+        a("   ring[:end - robv] = wr[robv - a0:]")
+        a(" return cyc, sl, blv, lastt, cntt, lwc")
+    else:
+        a(" st.cycle = cyc; st.slots = sl; st.bl = blv")
+        a(" st.last = lastt; st.cnt = cntt; st.seq = seq")
+        a(" st.lw += lwc")
+    ns: dict = {}
+    exec("\n".join(out), ns)  # noqa: S102 - self-generated source
+    return ns["_f"]
+
+
+def _compile_static_block(rows, isbr: bool):
+    """exec-compile a predicate-FALSE static block (_ep_static_block).
+
+    Static rows never retire and never touch the ring, so two folds on
+    top of the plain unrolling are sound: rows with no destination
+    compute nothing (their base/completion escape nowhere), and the
+    window-stall test runs once — ``oldest`` is frozen with the
+    sequence number and the cycle only grows, so after the first row
+    the test can never fire again.
+    """
+    out = []
+    a = out.append
+    a("def _f(st, oldest):")
+    a(" cyc = st.cycle; sl = st.slots; blv = st.bl")
+    a(" du = st.du; wt = st.w; hwt = st.hw; mbt = st.mb")
+    a(" dept = st.depth; rr = st.rr")
+    first = True
+    for kind, _lat, lat1, dest, srcs, _lo, _so in (
+        rows[:-1] if isbr else rows
+    ):
+        if first:
+            a(" if cyc < oldest:")
+            a("  cyc = oldest; sl = hwt if cyc <= du else wt; blv = mbt")
+            first = False
+        a(" if sl <= 0:")
+        a("  cyc += 1; sl = hwt if cyc <= du else wt; blv = mbt")
+        a(" sl -= 1")
+        if dest >= 0:
+            a(" base = cyc + dept")
+            for s_ in srcs:
+                a(f" rdy = rr[{s_}]")
+                a(" if rdy > base: base = rdy")
+            a(f" rr[{dest}] = base + {2 if kind == KIND_LOAD else lat1}")
+    if isbr:
+        kind, _lat, lat1, dest, srcs, _lo, _so = rows[-1]
+        if first:
+            a(" if cyc < oldest:")
+            a("  cyc = oldest; sl = hwt if cyc <= du else wt; blv = mbt")
+        a(" if sl <= 0 or blv <= 0:")
+        a("  cyc += 1; sl = hwt if cyc <= du else wt; blv = mbt")
+        a(" blv -= 1")
+        a(" sl -= 1")
+        if dest >= 0:
+            a(" base = cyc + dept")
+            for s_ in srcs:
+                a(f" rdy = rr[{s_}]")
+                a(" if rdy > base: base = rdy")
+            a(f" rr[{dest}] = base + {2 if kind == KIND_LOAD else lat1}")
+    a(" st.cycle = cyc; st.slots = sl; st.bl = blv")
+    ns: dict = {}
+    exec("\n".join(out), ns)  # noqa: S102 - self-generated source
+    return ns["_f"]
+
+
+class _EpState:
+    """One cell's scalar state threaded through a dpred episode.
+
+    The episode transcription (`_Group._dpred_epilogue` and its path
+    fetchers) works on plain-python copies of the cell's fetch
+    accounting and register-ready file — list indexing beats numpy
+    scalar extraction several-fold on these scalar tails — and scatters
+    them back once per episode.  The retirement ring stays on the numpy
+    row (``ring``): the episode's retires land in the ``wr`` write log
+    at consecutive sequence numbers from ``seq0``, window-stall reads
+    past that boundary serve from the log, and the epilogue flushes the
+    log back as one circular span instead of converting the full ROB.
+    ``campcs``/``camlock`` model the episode's CfmCam (lock on first
+    match, both paths share it); the counters are per-episode deltas."""
+
+    __slots__ = (
+        "ci", "cycle", "slots", "bl", "du", "w", "hw", "mb", "depth",
+        "rob", "rw", "stops", "ghr", "rr", "ring", "wr", "last", "cnt",
+        "seq", "seq0", "written", "campcs", "camlock",
+        "fc", "ex", "rb", "mp", "fl", "cd", "pf", "lw",
+    )
 
 
 class _WalkPath:
@@ -149,8 +354,22 @@ def cell_supported(cell: BatchCell) -> Tuple[bool, str]:
     config = cell.config
     if cell.tracer is not None:
         return False, "event tracer attached"
-    if config.mode not in ("baseline", "dualpath"):
-        return False, f"mode {config.mode!r} (predication is scalar-only)"
+    if config.mode in ("dmp", "dhp"):
+        # Plain dynamic predication vectorizes; each enhancement that
+        # does not is named so the fallback summary can group by it.
+        if config.loop_predication:
+            return False, "loop predication (loop episodes are scalar-only)"
+        if config.early_exit:
+            return False, "early exit (alternate-path early exit is scalar-only)"
+        if config.multiple_diverge:
+            return False, (
+                "multiple diverge branches "
+                "(restart/nested episodes are scalar-only)"
+            )
+        if config.selective_predictor_update:
+            return False, "selective predictor update (scalar-only)"
+    elif config.mode not in ("baseline", "dualpath"):
+        return False, f"mode {config.mode!r} (wish branches are scalar-only)"
     if config.oracle_checks or config.watchdog or paranoid_enabled():
         return False, "oracle/watchdog instrumentation"
     if config.predictor_kind != "perceptron" or config.predictor_args:
@@ -185,17 +404,26 @@ def _fallback(cell: BatchCell) -> SimStats:
     )
 
 
-def run_batch(cells: List[BatchCell]) -> List[SimStats]:
+def run_batch(
+    cells: List[BatchCell],
+    fallback_reasons: Optional[Dict[str, int]] = None,
+) -> List[SimStats]:
     """Simulate every cell; vector-eligible cells run in one lockstep
     group, the rest fall back to the fast engine (bit-identical either
-    way)."""
+    way).  Pass a dict as ``fallback_reasons`` to receive a histogram of
+    ``cell_supported`` reason strings for the cells that fell off the
+    vector path (the ``run_suite``/CLI fallback summary)."""
     results: List[Optional[SimStats]] = [None] * len(cells)
     vec: List[int] = []
     for i, cell in enumerate(cells):
-        ok, _ = cell_supported(cell)
+        ok, reason = cell_supported(cell)
         if ok:
             vec.append(i)
         else:
+            if fallback_reasons is not None:
+                fallback_reasons[reason] = (
+                    fallback_reasons.get(reason, 0) + 1
+                )
             results[i] = _fallback(cell)
     if vec:
         group = _Group([cells[i] for i in vec])
@@ -287,6 +515,7 @@ class _Group:
         self.SITE = cat1("SITE", -1)
         self.PCT = cat1("PCT")
         self.JPC = cat1("JPC")
+        self.BRPC = cat1("BRPC", -1)
         self.RECONV = cat1("RECONV")
         self.BRLAT = cat1("BRLAT")
         self.BRSRC = np.full((nblk, K), ZREG, i8)
@@ -306,6 +535,12 @@ class _Group:
             self.RLORD[pos:pos + pa.n, :pa.L] = pa.RLORD
             self.RSTORD[pos:pos + pa.n, :pa.L] = pa.RSTORD
             pos += pa.n
+        # Decode-table values are register names / opcode kinds (<= 33):
+        # 1-byte lanes quarter the gather traffic of the per-row loop.
+        self.RKIND = self.RKIND.astype(np.int8)
+        self.RDEST = self.RDEST.astype(np.int8)
+        self.RSRC = self.RSRC.astype(np.int8)
+        self.BRSRC = self.BRSRC.astype(np.int8)
 
         self.RECBLK = np.zeros(nrec, i8)
         self.REXTRA = np.zeros(nrec, i8)
@@ -356,6 +591,10 @@ class _Group:
             [int(c.fetch_stops_at_taken) for c in cfg], i8
         )
         self.isdual = np.array([c.mode == "dualpath" for c in cfg], bool)
+        self.ispred = np.array(
+            [c.mode in ("dmp", "dhp") for c in cfg], bool
+        )
+        self.anydp = bool(self.ispred.any())
         self.thresh = np.array([_jrs_threshold(c) for c in cfg], i8)
         self.boffs, self.roffs, self.rends = boffs, roffs, rends
         self.loffs, self.noffs = loffs, noffs
@@ -377,6 +616,15 @@ class _Group:
         self.RR = np.zeros((n, JREG + 1), i8)
         self.RING = np.zeros((n, maxrob + 1), i8)
         self.SREADY = np.zeros((n, maxstores + 1), i8)
+        # Predicated-store state (dmp/dhp episodes only): the cycle each
+        # store's guarding predicate resolves, by global store ordinal.
+        # 0 is the "not predicated / resolved" sentinel — real episode
+        # resolutions are always > 0 — so the vector load rule
+        # ``base >= pready ? forward : wait`` degenerates to the plain
+        # forward for every main-path store.
+        self.SPREADYP = np.zeros((n, maxstores + 1), i8)
+        self.spid: List[Dict[int, int]] = [{} for _ in range(n)]
+        self.pcnt = [0] * n
         self.W = np.zeros((n, _NPERC, _HBITS + 1), np.int16)
         self.JRS = np.zeros((n, _JTAB), np.int16)
         nsites = max(pa.nsites for pa in p_list)
@@ -391,6 +639,13 @@ class _Group:
         self.CD = np.zeros(n, i8)
         self.CI = np.zeros(n, i8)
         self.FORKS = np.zeros(n, i8)
+        # dmp/dhp episode counters (all zero for other modes).
+        self.DPE = np.zeros(n, i8)
+        self.XU = np.zeros(n, i8)
+        self.SU = np.zeros(n, i8)
+        self.PF = np.zeros(n, i8)
+        self.LW = np.zeros(n, i8)
+        self.EC = np.zeros((n, 7), i8)  # Table 1 exit cases, keys 1..6
 
         # Python-native copies of every table the scalar epilogue/walk
         # path touches: list indexing is ~5x cheaper than numpy scalar
@@ -414,6 +669,40 @@ class _Group:
         self.phalfw = self.halfw.tolist()
         self.pmaxb = self.maxb.tolist()
         self.pstops = self.stops.tolist()
+        self.pRL0 = self.RL0.tolist()
+        self.pRS0 = self.RS0.tolist()
+        self.pLLAT = self.LLAT.tolist()
+        self.pLFWD = self.LFWD.tolist()
+        # Per-block row tuples: (kind, latency, max(latency, 1),
+        # dest or -1, srcs, load ordinal, store ordinal) — the scalar
+        # BlockPlan row with the JREG/ZREG vector padding stripped, for
+        # the step loop's scalar row tail and the dpred episodes.
+        rk = self.RKIND.tolist()
+        rl = self.RLAT.tolist()
+        rd = self.RDEST.tolist()
+        rs = self.RSRC.tolist()
+        lo = self.RLORD.tolist()
+        so = self.RSTORD.tolist()
+        self.pROWS = [
+            [
+                (
+                    rk[gb][i],
+                    rl[gb][i],
+                    rl[gb][i] if rl[gb][i] > 1 else 1,
+                    rd[gb][i] if rd[gb][i] < ZREG else -1,
+                    tuple(s for s in rs[gb][i] if s != ZREG),
+                    lo[gb][i],
+                    so[gb][i],
+                )
+                for i in range(self.pNROWS[gb])
+            ]
+            for gb in range(nblk)
+        ]
+        # Registers a block renames (for the episodes' select-uop set:
+        # one update per block instead of one set.add per row).
+        self.pDESTS = [
+            tuple({r[3] for r in rows if r[3] >= 0}) for rows in self.pROWS
+        ]
         # Ring reads within one record are static (written >= rob_size
         # instructions ago) whenever every ROB is at least one block
         # deep, letting _trace_step gather the whole window up front.
@@ -422,6 +711,21 @@ class _Group:
         # offset keys the per-step structural walk cache (_WalkPath).
         self.ptgid = self.roffs.tolist()
         self._walk_cache: Dict[tuple, _WalkPath] = {}
+        # Per-block compiled row loops (see _compile_row_loop), built
+        # lazily for blocks the scalar tail / episodes actually touch.
+        self._tailfns: Dict[int, Any] = {}
+        self._epfns: Dict[int, Any] = {}
+        self._stfns: Dict[int, Any] = {}
+        # Weight-divergence epochs.  Cells over one trace keep identical
+        # predictor state (weights, GHR, JRS) until a dpred episode's
+        # *outcome* first differs between them — training inputs are
+        # trace-determined, and an episode's training is pinned by its
+        # inputs plus (exit case, continuation, outgoing GHR).  Each
+        # episode therefore chains an interned signature into the cell's
+        # epoch; equal epochs mean bit-equal predictor state, letting
+        # predicated cells share structural walks just like plain ones.
+        self.pepoch = [0] * n
+        self._episigs: Dict[tuple, int] = {}
 
         # 4-byte timing lanes.  One instruction can push the fetch
         # cycle forward by at most depth + max-latency + 2, so a loose
@@ -439,14 +743,77 @@ class _Group:
             (L + 2) * step
             + int(self.REXTRA.max()) + int(self.RUNDER.max()) * step + 2
         )
+        if self.anydp:
+            # A dpred episode can overshoot its record's own accounting
+            # by at most one more block + redirect tail before the
+            # resolution check stops the path: double the slack.
+            bound *= 2
         if 0 < bound < 2**31 - 2:
             for name in (
                 "RLAT", "BRLAT", "LLAT", "REXTRA", "RUNDER",
                 "width", "halfw", "maxb", "depth", "rw", "stops",
                 "cycle", "slots", "branches", "dual", "last", "cnt",
-                "RR", "RING", "SREADY",
+                "RR", "RING", "SREADY", "SPREADYP",
             ):
                 setattr(self, name, getattr(self, name).astype(np.int32))
+
+        # -- dynamic-predication static tables (dmp/dhp cells only)
+        self.pispred = self.ispred.tolist()
+        self.HASH = np.zeros((n, max(nblk, 1)), bool)
+        self.cfms: List[Dict[int, tuple]] = [{} for _ in range(n)]
+        if self.anydp:
+            self._init_dpred(cells, cfg, nblk)
+
+    def _init_dpred(self, cells, cfg, nblk: int) -> None:
+        """Static tables for the dmp/dhp episode transcription.
+
+        ``HASH[ci, gb]`` marks the diverge branches cell ``ci`` may
+        predicate: block ``gb`` ends in a conditional branch whose PC has
+        a non-loop entry in the cell's hint table (the scalar
+        ``_maybe_enter_dpred`` hash lookup, hoisted to init time).
+        ``cfms[ci][gb]`` is the episode's CFM-CAM content for that
+        branch.  The python-native row tables mirror the walk-path
+        rationale above: episodes are scalar tails, and list indexing
+        beats numpy scalar extraction several-fold there."""
+        pBRPC = self.BRPC.tolist()
+        for ci, cell in enumerate(cells):
+            if not self.pispred[ci] or cell.hints is None:
+                continue
+            config = cfg[ci]
+            b0 = int(self.boffs[ci])
+            pa = program_arena(cell.program)
+            for lb in range(pa.n):
+                gb = b0 + lb
+                if self.pTERM[gb] != TERM_BR:
+                    continue
+                hint = cell.hints.get(pBRPC[gb])
+                if hint is None or hint.is_loop:
+                    continue  # loop hints are scalar-only (envelope)
+                self.HASH[ci, gb] = True
+                if config.multiple_cfm:
+                    self.cfms[ci][gb] = tuple(hint.cfm_pcs)[:8]
+                else:
+                    self.cfms[ci][gb] = (hint.primary_cfm,)
+        self.pdepth = self.depth.tolist()
+        self.prob = self.rob.tolist()
+        self.prw = self.rw.tolist()
+        self.pSITE = self.SITE.tolist()
+        self.pNBODY = self.NBODY.tolist()
+        self.pBRLAT = self.BRLAT.tolist()
+        self.pJPC = self.JPC.tolist()
+        self.pRECBLK = self.RECBLK.tolist()
+        self.pREXTRA = self.REXTRA.tolist()
+        self.pRTAKEN = self.RTAKEN.tolist()
+        self.pRSEQ0 = self.RSEQ0.tolist()
+        self.pRUNDER = self.RUNDER.tolist()
+        self.pBRSRC = [
+            tuple(s for s in row if s != ZREG)
+            for row in self.BRSRC.tolist()
+        ]
+        self.pplimit = [c.dpred_path_limit for c in cfg]
+        self.pghrpred = [
+            c.dpred_ghr_policy == "predicted" for c in cfg
+        ]
 
     # ------------------------------------------------------------------
     # Driver
@@ -479,6 +846,15 @@ class _Group:
             stats.fetched_wrong_ci = int(self.CI[ci])
             stats.executed_instructions = int(self.EX[ci])
             stats.dualpath_forks = int(self.FORKS[ci])
+            stats.dpred_entries = int(self.DPE[ci])
+            stats.extra_uops = int(self.XU[ci])
+            stats.select_uops = int(self.SU[ci])
+            stats.predicated_false_instructions = int(self.PF[ci])
+            stats.load_wait_on_predicate = int(self.LW[ci])
+            ec = self.EC[ci]
+            for case in range(1, 7):
+                if ec[case]:
+                    stats.exit_cases[case] += int(ec[case])
             out.append(stats)
         return out
 
@@ -533,10 +909,21 @@ class _Group:
         # slots hold 0 and cycles are never negative.
         kmax = int(k[-1]) if k.size else 0
         any_dual = bool((d >= 0).any())
+        m = vc.size
+        i0 = kmax
         if kmax:
             pos = np.searchsorted(
                 k, np.arange(kmax, dtype=np.int64), side="right"
             ).tolist()
+            # Scalar row tail: past row i0 the active-lane suffix is so
+            # narrow that numpy dispatch costs more than plain python.
+            # Long blocks are rare but their rows dominate the loop's
+            # iteration count, so the few lanes still fetching past i0
+            # finish their block scalar — the same inlined per-row
+            # sequence on ints, bit for bit.
+            while i0 > 0 and m - pos[i0 - 1] <= _TAIL_LANES:
+                i0 -= 1
+        if i0:
             rob_live = int((seq0 + k).max()) >= int(rob.min())
             ring_static = self.ring_static
             l0 = self.RL0[cur]
@@ -545,17 +932,17 @@ class _Group:
             # views.  Row-presence flags over the full column equal the
             # active-suffix flags because the table pads (KIND_ALU,
             # ZREG) can never flag a lane.
-            rows = np.arange(kmax, dtype=np.int64)
+            rows = np.arange(i0, dtype=np.int64)
             if rob_live:
                 seq_mod = (seq0[None, :] + rows[:, None]) % rob[None, :]
             else:
                 seq_mod = seq0[None, :] + rows[:, None]
             if rob_live and ring_static:
                 ringm = self.RING[vc[None, :], seq_mod]
-            RKb = self.RKIND[b, :kmax]
-            RLb = self.RLAT[b, :kmax]
-            RDb = self.RDEST[b, :kmax]
-            Sb = self.RSRC[b, :kmax]
+            RKb = self.RKIND[b, :i0]
+            RLb = self.RLAT[b, :i0]
+            RDb = self.RDEST[b, :i0]
+            Sb = self.RSRC[b, :i0]
             srcrow = [
                 (Sb[:, :, j] != ZREG).any(axis=0).tolist()
                 for j in range(self.K)
@@ -563,10 +950,10 @@ class _Group:
             ldrow = (RKb == KIND_LOAD).any(axis=0).tolist()
             strow = (RKb == KIND_STORE).any(axis=0).tolist()
             if True in ldrow:
-                LOb = self.RLORD[b, :kmax]
+                LOb = self.RLORD[b, :i0]
             if True in strow:
-                STOb = self.RSTORD[b, :kmax]
-        for i in range(kmax):
+                STOb = self.RSTORD[b, :i0]
+        for i in range(i0):
             p = pos[i]
             cv = c[p:]
             sv = s[p:]
@@ -619,16 +1006,23 @@ class _Group:
                 isld = RKb[p:, i] == KIND_LOAD
                 lidx = l0[p:] + LOb[p:, i]
                 fwd = self.LFWD[lidx]
-                sready = self.SREADY[
-                    vcv, np.where(fwd >= 0, fwd, self.sjunk)
-                ]
+                hasf = fwd >= 0
+                fcol = np.where(hasf, fwd, self.sjunk)
+                sready = self.SREADY[vcv, fcol]
+                fcomp = np.maximum(base, sready) + 1
+                if self.anydp:
+                    # Forwarding from a store whose guarding predicate
+                    # is still unresolved at fetch waits for it instead
+                    # (main-path loads carry no predicate, so the
+                    # pid-match forward can never apply here).
+                    pready = self.SPREADYP[vcv, fcol]
+                    wait = isld & hasf & (base < pready)
+                    if wait.any():
+                        np.copyto(fcomp, pready + 2, where=base < pready)
+                        self.LW[vcv[wait]] += 1
                 comp = np.where(
                     isld,
-                    np.where(
-                        fwd >= 0,
-                        np.maximum(base, sready) + 1,
-                        base + self.LLAT[lidx],
-                    ),
+                    np.where(hasf, fcomp, base + self.LLAT[lidx]),
                     comp,
                 )
             if strow[i]:
@@ -647,6 +1041,41 @@ class _Group:
             np.copyto(cntv, 1, where=adv)
             np.copyto(lastv, rc)
             self.RING[vcv, seq_mod[i, p:]] = rc
+        if i0 < kmax:
+            anydp = self.anydp
+            pLFWD = self.pLFWD
+            pLLAT = self.pLLAT
+            pRL0 = self.pRL0
+            pRS0 = self.pRS0
+            SREADY = self.SREADY
+            SPREADYP = self.SPREADYP if anydp else None
+            fns = self._tailfns
+            for t in range(pos[i0], m):
+                ci = int(vc[t])
+                bt = int(b[t])
+                fn = fns.get(bt)
+                if fn is None:
+                    fn = fns[bt] = _compile_row_loop(
+                        self.pROWS[bt], int(k[t]), "tail", anydp
+                    )
+                curt = int(cur[t])
+                rr = self.RR[ci].tolist()
+                cyc, sl, blv, lastt, cntt, lwc = fn(
+                    i0, pRL0[curt], pRS0[curt], int(c[t]), int(s[t]),
+                    int(bl[t]), int(d[t]), int(w[t]), int(hw[t]),
+                    int(mb[t]), int(dep[t]), int(rob[t]), int(rw[t]),
+                    int(last[t]), int(cnt[t]), int(seq0[t]) + i0,
+                    rr, self.RING[ci], SREADY[ci],
+                    SPREADYP[ci] if anydp else None, pLFWD, pLLAT,
+                )
+                self.RR[ci] = rr
+                if lwc:
+                    self.LW[ci] += lwc
+                c[t] = cyc
+                s[t] = sl
+                bl[t] = blv
+                last[t] = lastt
+                cnt[t] = cntt
         self.FC[vc] += k
         self.EX[vc] += k
 
@@ -781,9 +1210,17 @@ class _Group:
             & (np.abs(out) <= _THETA // 4)
         )
         site = self.SITE[b]
-        inline = fork | misp
+        if self.anydp:
+            # Dpred entry: a hinted (non-loop) diverge branch with a
+            # low-confidence prediction.  The scalar flow reads the JRS
+            # *before* training it, exactly as `conf` above was read.
+            dpe = self.HASH[vc, b] & ~conf
+            inline = (fork | misp) & ~dpe
+        else:
+            dpe = None
+            inline = fork | misp
 
-        ok = ~inline
+        ok = ~inline if dpe is None else ~(inline | dpe)
         if ok.any():
             oc = vc[ok]
             taken = pred[ok]
@@ -835,6 +1272,34 @@ class _Group:
             self.CD[ic] += np.asarray(cd)
             self.CI[ic] += np.asarray(cik)
             self._advance_cursor(ic, cur[sel])
+
+        if dpe is not None and dpe.any():
+            # Dynamic-predication episodes run synchronously per cell
+            # (exact scalar transcription, like the walks above) and may
+            # jump the cursor forward over the records their predicated
+            # paths fetched.
+            sel = np.nonzero(dpe)[0]
+            dc = vc[sel]
+            outs = [
+                self._dpred_epilogue(*args)
+                for args in zip(
+                    dc.tolist(), cur[sel].tolist(), b[sel].tolist(),
+                    fetchc[sel].tolist(), sbr[sel].tolist(),
+                    bbr[sel].tolist(), res[sel].tolist(),
+                    snap[sel].tolist(), pred[sel].tolist(),
+                    actual[sel].tolist(), d[sel].tolist(),
+                )
+            ]
+            c2, s2, b2, g2, cont = zip(*outs)
+            self.cycle[dc] = c2
+            self.slots[dc] = s2
+            self.branches[dc] = b2
+            self.ghr[dc] = g2
+            nxt = np.asarray(cont)
+            self.cursor[dc] = nxt
+            self.state[dc] = np.where(
+                nxt >= self.rends[dc], _DONE, _TRACE
+            )
 
     # ------------------------------------------------------------------
     # Scalar branch epilogue: misprediction flush / dual-path fork
@@ -902,6 +1367,451 @@ class _Group:
         s2 = self.phalfw[ci] if c2 <= dual else self.pwidth[ci]
         ghr_out = ((snap << 1) | int(actual)) & _M31
         return (c2, s2, self.pmaxb[ci], ghr_out, dual, 1, 1, 0, cd, cik)
+
+    # ------------------------------------------------------------------
+    # Scalar dpred episode: exact transcription of _dpred_once_impl
+    # ------------------------------------------------------------------
+
+    def _dpred_epilogue(self, ci, cur, b, fetchc, sbr, bbr, res, snap,
+                        pred, actual, dual):
+        """One dynamic-predication episode for one dmp/dhp cell.
+
+        Transcribes ``_dpred_once_impl`` for the vector envelope's plain
+        machines (no early exit, multiple diverge, loop predication or
+        selective update; watch_diverge is therefore always False and
+        episodes never restart or nest).  The diverge branch's own
+        fetch/retire/train/JRS-update already ran on the vector path in
+        the scalar call order, and the top-level spec_update it skipped
+        is recomputed here from ``snap``.  Returns ``(cycle, slots,
+        branches, ghr, continuation)`` for the caller's scatter; all
+        other state (registers, ring, store predicates, counters,
+        weights, BTB seen-bits) is written back in place."""
+        st = _EpState()
+        st.ci = ci
+        st.cycle = fetchc
+        st.slots = sbr
+        st.bl = bbr
+        st.du = dual
+        st.w = self.pwidth[ci]
+        st.hw = self.phalfw[ci]
+        st.mb = self.pmaxb[ci]
+        st.depth = self.pdepth[ci]
+        st.rob = self.prob[ci]
+        st.rw = self.prw[ci]
+        st.stops = self.pstops[ci]
+        st.rr = self.RR[ci].tolist()
+        st.ring = self.RING[ci]
+        st.wr = []
+        st.last = int(self.last[ci])
+        st.cnt = int(self.cnt[ci])
+        st.seq = st.seq0 = self.pRSEQ0[cur] + self.pNROWS[b]
+        st.written = set()
+        st.campcs = self.cfms[ci][b]
+        st.camlock = None
+        st.fc = st.ex = st.rb = st.mp = st.fl = 0
+        st.cd = st.pf = st.lw = 0
+
+        self.DPE[ci] += 1
+        p1 = self.pcnt[ci]
+        p2 = p1 + 1
+        self.pcnt[ci] = p1 + 2
+        xu = 1  # enter.pred.path uop (completion discarded)
+        cp1_ready = list(st.rr)
+        misp = pred != actual
+        limit = self.pplimit[ci]
+
+        # --- predicted path: restore(ghr1) + spec_update(pred), the
+        # taken redirect, then trace (correct prediction) or static
+        # (mispredicted) fetch under predicate p1.
+        st.ghr = ((snap << 1) | (1 if pred else 0)) & _M31
+        if pred:
+            self._ep_taken_redirect(st, self.pSITE[b])
+        if misp:
+            start = self.pTAKEN[b] if pred else self.pFALL[b]
+            pout = self._ep_static_path(
+                st, start, self.pRNODE[cur], res, limit
+            )
+            ppos = -1
+        else:
+            pout, ppos = self._ep_trace_path(st, cur + 1, res, p1, limit)
+
+        if pout != _P_CFM:
+            # _exit_without_predicted_cfm: cases 5 / 6.
+            if pout != _P_RESOLVED and st.cycle < res:
+                self._ep_adv(st, res)
+            if misp:
+                ecase = 6  # FLUSH
+                st.mp += 1
+                st.fl += 1
+                st.rr = list(cp1_ready)
+                self._ep_adv(st, res + 1)
+                ghr_out = ((snap << 1) | (1 if actual else 0)) & _M31
+                cont = cur + 1
+            else:
+                ecase = 5  # CONTINUE_PREDICTED
+                ghr_out = st.ghr
+                cont = ppos
+        else:
+            # --- alternate path: checkpoint the predicted end, restore
+            # the pre-branch registers, fetch the other direction under
+            # predicate p2 (trace when mispredicted, static otherwise).
+            predicted_ghr = st.ghr
+            cp2_ready = list(st.rr)
+            st.rr = list(cp1_ready)
+            xu += 1  # enter.alternate.path
+            st.ghr = ((snap << 1) | (0 if pred else 1)) & _M31
+            if misp:
+                aout, apos = self._ep_trace_path(
+                    st, cur + 1, res, p2, limit
+                )
+            else:
+                start = self.pFALL[b] if pred else self.pTAKEN[b]
+                aout = self._ep_static_path(
+                    st, start, self.pRNODE[ppos], res, limit
+                )
+                apos = -1
+            if aout == _P_CFM:
+                # Cases 1 / 2: normal exit with select-uops.  The select
+                # set is the ascending union of registers renamed on
+                # either path (fresh tags always differ; pre-episode M
+                # bits never can, their mappings being equal).
+                xu += 1  # exit.pred
+                rr = st.rr
+                cycle_d = st.cycle + st.depth
+                selects = sorted(st.written)
+                for a in selects:
+                    sr = cp2_ready[a]
+                    v = rr[a]
+                    if v > sr:
+                        sr = v
+                    if res > sr:
+                        sr = res
+                    rr[a] = (cycle_d if cycle_d > sr else sr) + 1
+                self.SU[ci] += len(selects)
+                if self.pghrpred[ci]:
+                    ghr_out = predicted_ghr
+                else:
+                    ghr_out = st.ghr
+                if misp:
+                    ecase = 2  # NORMAL_MISPREDICTED
+                    st.mp += 1  # eliminated: no flush
+                    cont = apos
+                else:
+                    ecase = 1  # NORMAL_CORRECT
+                    cont = ppos
+            else:
+                # RESOLVED / EXHAUSTED / LIMIT (early exit is outside
+                # the envelope): cases 3 / 4.
+                if st.cycle < res:
+                    self._ep_adv(st, res)
+                if misp:
+                    ecase = 4  # CONTINUE_ALTERNATE
+                    st.mp += 1  # eliminated: no flush
+                    ghr_out = st.ghr
+                    cont = apos
+                else:
+                    ecase = 3  # REDIRECT_TO_CFM
+                    st.rr = list(cp2_ready)
+                    ghr_out = predicted_ghr
+                    self._ep_adv(st, None)
+                    cont = ppos
+
+        self.RR[ci] = st.rr
+        # The episode's ring writes sit at consecutive sequence numbers;
+        # flush just that circular span of the write log (a full
+        # 513-slot row costs ~10us per episode, the typical span a
+        # fraction of that).
+        wr = st.wr
+        nw = len(wr)
+        rob = st.rob
+        ring = st.ring
+        if nw >= rob:
+            b0 = st.seq0 + nw - rob
+            for off in range(rob):
+                ring[(b0 + off) % rob] = wr[nw - rob + off]
+        elif nw:
+            a0 = st.seq0 % rob
+            end = a0 + nw
+            if end <= rob:
+                ring[a0:end] = wr
+            else:
+                ring[a0:rob] = wr[: rob - a0]
+                ring[: end - rob] = wr[rob - a0:]
+        self.last[ci] = st.last
+        self.cnt[ci] = st.cnt
+        self.EC[ci, ecase] += 1
+        sigs = self._episigs
+        skey = (
+            self.pepoch[ci], cur, b, pred, actual, snap, ecase, cont,
+            ghr_out,
+        )
+        eid = sigs.get(skey)
+        if eid is None:
+            eid = sigs[skey] = len(sigs) + 1
+        self.pepoch[ci] = eid
+        self.XU[ci] += xu
+        self.FC[ci] += st.fc
+        self.EX[ci] += st.ex
+        self.RB[ci] += st.rb
+        self.MP[ci] += st.mp
+        self.FL[ci] += st.fl
+        self.CD[ci] += st.cd
+        self.PF[ci] += st.pf
+        self.LW[ci] += st.lw
+        return st.cycle, st.slots, st.bl, ghr_out, cont
+
+    def _ep_adv(self, st: _EpState, to) -> None:
+        """_advance_fetch_cycle."""
+        c = st.cycle + 1
+        if to is not None and to > c:
+            c = to
+        st.cycle = c
+        st.slots = st.hw if c <= st.du else st.w
+        st.bl = st.mb
+
+    def _ep_taken_redirect(self, st: _EpState, site: int) -> None:
+        """_taken_redirect under the seen-bit BTB model."""
+        if not self.BTBSEEN[st.ci, site]:
+            self.BTBSEEN[st.ci, site] = True
+            self._ep_adv(st, None)
+        if st.stops:
+            self._ep_adv(st, None)
+
+    def _ep_trace_path(self, st: _EpState, pos: int, res: int, pid: int,
+                       limit: int):
+        """_fetch_dpred_trace_path_fast with watch_diverge=False.
+        Returns ``(outcome, position)`` — the CFM trace position or the
+        stopped position.  Record-once holds: the caller resumes the
+        main loop exactly past the records consumed here."""
+        rend = self.prends[st.ci]
+        fetched = 0
+        while True:
+            if pos >= rend:
+                return _P_EXHAUSTED, pos
+            fpc = self.pRFPC[pos]
+            if (
+                fpc == st.camlock if st.camlock is not None
+                else fpc in st.campcs
+            ):
+                st.camlock = fpc
+                return _P_CFM, pos
+            if st.cycle >= res:
+                return _P_RESOLVED, pos
+            b = self.pRECBLK[pos]
+            nr = self.pNROWS[b]
+            if fetched + nr > limit:
+                return _P_LIMIT, pos
+            extra = self.pREXTRA[pos]
+            if extra > 0:
+                self._ep_adv(st, st.cycle + extra)
+            if self.pTERM[b] == TERM_BR:
+                self._ep_fetch_rows(st, pos, b, self.pNBODY[b], res, pid)
+                self._ep_nested_branch(st, pos, b)
+            else:
+                self._ep_fetch_rows(st, pos, b, nr, res, pid)
+                self._ep_transfer(st, pos, b)
+            fetched += nr
+            pos += 1
+
+    def _ep_transfer(self, st: _EpState, pos: int, b: int) -> None:
+        """_transfer_fast (JMP/CALL/RET/NONE) inside an episode."""
+        term = self.pTERM[b]
+        if term == TERM_NONE:
+            return
+        if term == TERM_RET:
+            self._ep_adv(st, None)
+            if self.pRUNDER[pos]:
+                self._ep_adv(st, st.cycle + st.depth)
+        else:  # JMP / CALL: the push is timing-free, the redirect isn't
+            self._ep_taken_redirect(st, self.pSITE[b])
+
+    def _ep_fetch_rows(self, st: _EpState, pos: int, b: int, nrows: int,
+                       res: int, pid: int) -> None:
+        """_fetch_trace_block_fast for an episode's on-trace block:
+        predicated stores publish (ready, predicate-ready, pid) and
+        predicated loads apply the forward/wait rule against them."""
+        if not nrows:
+            return
+        fn = self._epfns.get(b)
+        if fn is None:
+            fn = self._epfns[b] = _compile_row_loop(
+                self.pROWS[b], nrows, "ep"
+            )
+        ci = st.ci
+        fn(
+            st, self.pRL0[pos], self.pRS0[pos], res, pid,
+            self.SREADY[ci], self.SPREADYP[ci], self.spid[ci],
+            self.pLFWD, self.pLLAT,
+        )
+        st.written.update(self.pDESTS[b])
+        st.fc += nrows
+        st.ex += nrows
+
+    def _ep_nested_branch(self, st: _EpState, pos: int, b: int) -> None:
+        """_handle_nested_trace_branch with watch_diverge=False: predict,
+        fetch/retire the branch row, train + JRS, then flush-and-repair
+        (footnote 11) or taken-redirect inline."""
+        ci = st.ci
+        hist = st.ghr
+        idx = self.pPCT[b]
+        out = self._scalar_predict(self.W[ci, idx].tolist(), hist)
+        prd = out >= 0
+        # _fetch_branch_instruction: _fetch_slot(True) with the ROB
+        # window check, then sources + retire.
+        seq = st.seq
+        rob = st.rob
+        if seq >= rob:
+            j = seq - rob
+            sq0 = st.seq0
+            oldest = st.wr[j - sq0] if j >= sq0 else st.ring[j % rob]
+            if st.cycle < oldest:
+                self._ep_adv(st, oldest)
+        if st.slots <= 0 or st.bl <= 0:
+            self._ep_adv(st, None)
+        st.slots -= 1
+        st.bl -= 1
+        st.fc += 1
+        base = st.cycle + st.depth
+        for s_ in self.pBRSRC[b]:
+            v = st.rr[s_]
+            if v > base:
+                base = v
+        comp = base + self.pBRLAT[b]
+        rc = comp + 1
+        if rc < st.last:
+            rc = st.last
+        if rc == st.last:
+            if st.cnt >= st.rw:
+                rc += 1
+                st.cnt = 0
+        else:
+            st.cnt = 0
+        st.last = rc
+        st.cnt += 1
+        st.wr.append(rc)
+        st.seq = seq + 1
+        st.ex += 1
+        st.rb += 1
+        actual = bool(self.pRTAKEN[pos])
+        misp = prd != actual
+        st.ghr = ((hist << 1) | (1 if prd else 0)) & _M31
+        self._ep_train(ci, idx, hist, out, prd, actual)
+        jidx = (self.pJPC[b] ^ (hist & _JHMASK)) & (_JTAB - 1)
+        jrow = self.JRS[ci]
+        if misp:
+            jrow[jidx] = 0
+        else:
+            v = int(jrow[jidx])
+            if v < _JMAX:
+                jrow[jidx] = v + 1
+        if misp:
+            st.mp += 1
+            st.fl += 1
+            self._ep_adv(st, comp + 1)
+            st.ghr = ((hist << 1) | (1 if actual else 0)) & _M31
+        elif prd:
+            self._ep_taken_redirect(st, self.pSITE[b])
+
+    def _ep_static_path(self, st: _EpState, cur: int, node: int,
+                        res: int, limit: int) -> int:
+        """_fetch_dpred_static_path_fast with watch_diverge=False: walk
+        the static CFG behind the predictor under predicate FALSE.  No
+        records are consumed, the sequence number stays frozen, and the
+        predictor steers (plain cycle-end advances — the static walker
+        never touches the BTB)."""
+        local: List[int] = []
+        fetched = 0
+        while True:
+            if cur < 0:
+                return _P_EXHAUSTED
+            fpc = self.pFPC[cur]
+            if (
+                fpc == st.camlock if st.camlock is not None
+                else fpc in st.campcs
+            ):
+                st.camlock = fpc
+                return _P_CFM
+            if st.cycle >= res:
+                return _P_RESOLVED
+            if fetched + self.pNROWS[cur] > limit:
+                return _P_LIMIT
+            self._ep_static_block(st, cur)
+            fetched += self.pNROWS[cur]
+            term = self.pTERM[cur]
+            if term == TERM_BR:
+                hist = st.ghr
+                out = self._scalar_predict(
+                    self.W[st.ci, self.pPCT[cur]].tolist(), hist
+                )
+                prd = out >= 0
+                st.ghr = ((hist << 1) | (1 if prd else 0)) & _M31
+                if prd:
+                    self._ep_adv(st, None)  # taken ends the cycle
+                    cur = self.pTAKEN[cur]
+                else:
+                    cur = self.pFALL[cur]
+            elif term == TERM_NONE:
+                cur = self.pFALL[cur]
+            else:
+                self._ep_adv(st, None)  # jmp/call/ret redirect
+                if term == TERM_JMP:
+                    cur = self.pTARGET[cur]
+                elif term == TERM_CALL:
+                    fall = self.pFALL[cur]
+                    if fall >= 0:
+                        local.append(fall)
+                    cur = self.pCALLEE[cur]
+                else:  # TERM_RET: local shadow stack, then the
+                    if local:  # architectural context chain
+                        cur = local.pop()
+                    elif node >= 0:
+                        cur = self.pNODERET[node]
+                        node = self.pNODEPAR[node]
+                    else:
+                        cur = -1
+
+    def _ep_static_block(self, st: _EpState, cur: int) -> None:
+        """_fetch_static_dpred_block_fast: predicate-FALSE instructions
+        occupy fetch/window resources and rename, but never retire (the
+        sequence number is frozen — they leave the window on predicate
+        resolution, never blocking it)."""
+        nr = self.pNROWS[cur]
+        if not nr:
+            return
+        fn = self._stfns.get(cur)
+        if fn is None:
+            fn = self._stfns[cur] = _compile_static_block(
+                self.pROWS[cur], self.pTERM[cur] == TERM_BR
+            )
+        seq = st.seq
+        # seq is frozen here, so the window's oldest entry is one fixed
+        # value (0 when the window isn't full: cycles are never negative
+        # and the stall test stays false).
+        if seq >= st.rob:
+            j = seq - st.rob
+            sq0 = st.seq0
+            oldest = st.wr[j - sq0] if j >= sq0 else st.ring[j % st.rob]
+        else:
+            oldest = 0
+        fn(st, oldest)
+        st.written.update(self.pDESTS[cur])
+        st.cd += nr
+        st.ex += nr
+        st.pf += nr
+
+    def _ep_train(self, ci: int, idx: int, hist: int, out: int,
+                  pred: bool, actual: bool) -> None:
+        """Scalar perceptron train + clip (misp or weak output only)."""
+        if pred == actual and (out if out >= 0 else -out) > _THETA:
+            return
+        lst = self.W[ci, idx].tolist()
+        t = 1 if actual else -1
+        v = lst[0] + t
+        lst[0] = _WMAX if v > _WMAX else (_WMIN if v < _WMIN else v)
+        for j in range(1, _HBITS + 1):
+            v = lst[j] + (t if (hist >> (j - 1)) & 1 else -t)
+            lst[j] = _WMAX if v > _WMAX else (_WMIN if v < _WMIN else v)
+        self.W[ci, idx] = lst
 
     def _scalar_predict(self, row: List[int], ghr: int) -> int:
         out = row[0]
@@ -975,7 +1885,15 @@ class _Group:
         touch the predictor."""
         if c >= until:
             return c, 0, 0
-        key = (self.ptgid[ci], start, ghr, reconv, node, upcoming)
+        # Same-trace weight lockstep — the premise of sharing — holds
+        # for predicated cells only until their episode outcomes first
+        # diverge; the epoch chain (see __init__) tracks exactly that,
+        # so dmp/dhp cells share walks with their epoch peers.
+        if self.pispred[ci]:
+            tgid = (self.ptgid[ci], self.pepoch[ci])
+        else:
+            tgid = self.ptgid[ci]
+        key = (tgid, start, ghr, reconv, node, upcoming)
         path = self._walk_cache.get(key)
         if path is None:
             path = self._walk_cache[key] = _WalkPath(

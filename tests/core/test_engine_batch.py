@@ -51,15 +51,18 @@ def _reference(ctx: BenchmarkContext, config: MachineConfig):
 
 
 def test_vector_path_bit_identical_across_the_suite():
-    """One lockstep group holding every benchmark under both vector-
-    eligible modes (baseline, dualpath) must reproduce the reference
-    stats bit for bit, cell for cell.  Running them as *one* group (not
-    one group per cell) is the point: it proves cells cannot bleed
-    state into each other through the shared arrays."""
+    """One lockstep group holding every benchmark under every vector-
+    eligible mode (baseline, dualpath, dmp, dhp) must reproduce the
+    reference stats bit for bit, cell for cell.  Running them as *one*
+    group (not one group per cell) is the point: it proves cells cannot
+    bleed state into each other through the shared arrays."""
     cells, refs = [], []
     for name in BENCHMARK_NAMES:
         ctx = _context(name)
-        for config in (MachineConfig.baseline(), MachineConfig.dualpath()):
+        for config in (
+            MachineConfig.baseline(), MachineConfig.dualpath(),
+            MachineConfig.dmp(), MachineConfig.dhp(),
+        ):
             cells.append(_cell(ctx, config))
             refs.append(_reference(ctx, config))
     if batch_supported():
@@ -95,6 +98,40 @@ def test_mixed_sizing_grid_bit_identical():
         assert dataclasses.asdict(got) == dataclasses.asdict(ref), (
             cell.benchmark, cell.config.describe(),
         )
+
+
+def test_mixed_mode_grid_bit_identical():
+    """Predicated and non-predicated cells side by side in one group,
+    over the dpred knobs the envelope admits (multiple CFM targets, the
+    alternate GHR policy, tight path limits) plus sizing variants —
+    episodes must not leak into neighbouring lanes through the shared
+    tables, and every dpred counter (entries, exit cases, select/extra
+    uops, predicated-false fetches, load predicate waits) must match."""
+    grid = [
+        MachineConfig.dmp(),
+        MachineConfig.dmp(multiple_cfm=True),
+        MachineConfig.dmp(rob_size=16, fetch_width=8),
+        MachineConfig.dmp(dpred_ghr_policy="alternate"),
+        MachineConfig.dmp(dpred_path_limit=24),
+        MachineConfig.dhp(retire_width=8, pipeline_depth=30),
+        MachineConfig.dhp(fetch_stops_at_taken=True),
+        MachineConfig.baseline(),
+        MachineConfig.dualpath(),
+    ]
+    cells, refs = [], []
+    for name in ("parser", "gzip", "twolf"):
+        ctx = _context(name)
+        for config in grid:
+            cells.append(_cell(ctx, config))
+            refs.append(_reference(ctx, config))
+    results = run_batch(cells)
+    covered = set()
+    for cell, ref, got in zip(cells, refs, results):
+        assert dataclasses.asdict(got) == dataclasses.asdict(ref), (
+            cell.benchmark, cell.config.describe(),
+        )
+        covered.update(c for c, n in ref.exit_cases.items() if n)
+    assert covered, "no dpred episodes resolved — grid too shallow"
 
 
 def test_single_cell_simulate_route():
@@ -145,8 +182,30 @@ def test_cell_supported_reports_reasons():
     ok, reason = cell_supported(traced)
     assert not ok and "tracer" in reason
 
+    # Plain dynamic predication is inside the envelope; each scalar-only
+    # enhancement is refused with its own reason string.
     ok, reason = cell_supported(_cell(ctx, MachineConfig.dmp()))
-    assert not ok and "mode" in reason
+    assert ok, reason
+    ok, reason = cell_supported(_cell(ctx, MachineConfig.dhp()))
+    assert ok, reason
+    ok, reason = cell_supported(
+        _cell(ctx, MachineConfig.dmp(enhanced=True))
+    )
+    assert not ok and "early exit" in reason
+    ok, reason = cell_supported(
+        _cell(ctx, MachineConfig.dmp(multiple_diverge=True))
+    )
+    assert not ok and "diverge" in reason
+    ok, reason = cell_supported(
+        _cell(ctx, MachineConfig.dmp(loop_predication=True))
+    )
+    assert not ok and "loop" in reason
+    ok, reason = cell_supported(
+        _cell(ctx, MachineConfig.dmp(selective_predictor_update=True))
+    )
+    assert not ok and "selective" in reason
+    ok, reason = cell_supported(_cell(ctx, MachineConfig.wish()))
+    assert not ok and "wish" in reason
 
     ok, reason = cell_supported(
         _cell(ctx, MachineConfig.baseline().hardened())

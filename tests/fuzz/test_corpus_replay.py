@@ -38,7 +38,11 @@ def test_reproducer_is_clean_on_batch_engine(entry):
 
     ``harden=False`` is deliberate: hardened configs fall back to the
     fast engine per cell, so only an unhardened replay drives the
-    corpus programs down the batch engine's vector path."""
+    corpus programs down the batch engine's vector path.  The mode
+    matrix includes ``dmp-basic`` (the plain Table-1 machine, inside
+    the vector envelope), so every replay also exercises the
+    vectorized predicated-episode path — not just the unpredicated
+    lockstep loop."""
     spec = spec_from_dict(entry["spec"])
     findings = check_spec(
         spec, engines=("reference", "batch"), harden=False

@@ -236,3 +236,40 @@ class TestRunBench:
         # missing trace marker as non-perturbing rather than crashing.
         assert "speedup_warm" not in cell
         assert "traced_identical" not in cell
+
+    def test_dmp_batch_group_cell_structure(self):
+        from repro.uarch.batch import batch_supported
+
+        if not batch_supported():
+            pytest.skip("numpy unavailable; batch engine inactive")
+        cell = bench._run_batch_group(
+            "batch-dmp-test", benchmarks=("gzip",), iterations=60,
+            seeds=(0,), sample=2, cache=None, say=lambda _msg: None,
+            config_names=bench.DMP_BATCH_CONFIGS, use_hints=True,
+            fast_modes=("dmp",),
+        )
+        assert cell["identical"] is True
+        assert cell["degenerate"] is False
+        assert cell["sweep_cells"] == len(
+            bench._batch_grid(bench.DMP_BATCH_CONFIGS)
+        )
+        # The dmp arm must actually predicate on the vector path: the
+        # fast-engine comparator samples dmp-mode cells only and its
+        # geomean is the headline the CI gate rides on.
+        assert cell["fast_sampled_cells"] > 0
+        assert cell["speedup_fast_dmp"] > 0
+        assert cell["fast_percell_s"] > 0
+
+
+class TestFindLatestBaseline:
+    def test_picks_newest_by_embedded_timestamp(self, tmp_path):
+        for stamp in ("20260101T000000Z", "20261231T235959Z",
+                      "20260615T120000Z"):
+            bench.save_report(_report([]), tmp_path / f"BENCH_{stamp}.json")
+        assert bench.find_latest_baseline(str(tmp_path)).endswith(
+            "BENCH_20261231T235959Z.json"
+        )
+
+    def test_empty_directory_is_actionable(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="repro bench"):
+            bench.find_latest_baseline(str(tmp_path))
