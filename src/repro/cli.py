@@ -379,6 +379,21 @@ def cmd_bench(args) -> int:
     if summary["degenerate_cells"]:
         print("degenerate cells (excluded from geomean): "
               + ", ".join(summary["degenerate_cells"]))
+    if args.profile and summary.get("profile"):
+        total = sum(summary["profile"].values()) or 1.0
+        print("batch sweep phase attribution:")
+        for phase, secs in summary["profile"].items():
+            print(f"  {phase:16s} {secs:8.2f}s  "
+                  f"{100 * secs / total:5.1f}%")
+        gangs = summary.get("gang_stats", {})
+        if gangs.get("gangs"):
+            lanes = gangs.get("ganged_lanes", 0)
+            singles = gangs.get("singleton_lanes", 0)
+            share = 100 * lanes / ((lanes + singles) or 1)
+            print(f"episode gangs: {gangs['gangs']} gangs covering "
+                  f"{lanes} lanes ({share:.0f}% of episode lanes, "
+                  f"max gang {gangs.get('max_gang', 0)}); "
+                  f"{singles} singletons ran scalar")
     output = args.output
     if not output:
         stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%SZ")
@@ -405,13 +420,50 @@ def cmd_bench(args) -> int:
         for problem in problems:
             print(f"REGRESSION: {problem}", file=sys.stderr)
         failed = failed or bool(problems)
-    if args.min_speedup and summary["geomean_speedup_cold"] < args.min_speedup:
-        print(f"FAIL: geomean cold speedup "
-              f"{summary['geomean_speedup_cold']:.2f}x is below the "
-              f"--min-speedup bound {args.min_speedup:.2f}x",
-              file=sys.stderr)
-        failed = True
+    try:
+        floors = _parse_min_speedup(args.min_speedup)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    floor_keys = {
+        "cold": ("geomean_speedup_cold", "geomean cold speedup"),
+        "dmp": ("geomean_dmp_fast_speedup",
+                "dmp sweep geomean speedup vs the fast engine"),
+        "batch": ("geomean_batch_speedup",
+                  "batch sweep geomean speedup vs reference"),
+    }
+    for group, floor in floors.items():
+        key, label = floor_keys[group]
+        measured = summary.get(key, 0.0)
+        if measured < floor:
+            print(f"FAIL: {label} {measured:.2f}x is below the "
+                  f"--min-speedup floor {floor:.2f}x",
+                  file=sys.stderr)
+            failed = True
     return 1 if failed else 0
+
+
+def _parse_min_speedup(spec: str) -> dict:
+    """``--min-speedup`` floors: ``'1.5'`` gates the cold geomean
+    (back-compatible), ``'cold=1.5,dmp=2.5,batch=4.0'`` gates per
+    group."""
+    spec = (spec or "").strip()
+    if not spec:
+        return {}
+    if "=" not in spec:
+        return {"cold": float(spec)}
+    floors = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        group, _, value = part.partition("=")
+        group = group.strip()
+        if group not in ("cold", "dmp", "batch"):
+            raise ValueError(
+                f"unknown --min-speedup group {group!r} "
+                "(expected cold, dmp or batch)")
+        floors[group] = float(value)
+    return floors
 
 
 def cmd_trace(args) -> int:
@@ -574,19 +626,30 @@ def cmd_fuzz(args) -> int:
     Every seed's program runs across {reference, fast} engines x every
     machine mode, hardened; ``--engines reference,batch --no-harden``
     instead diffs the vectorized batch engine's vector path against the
-    reference.  Exit codes: 0 — every seed clean; 1 — at least one
+    reference, and ``--gang`` adds the dmp-gang band (each program
+    fanned across machine sizings as one batch group, driving the
+    ganged-episode kernels).  Exit codes: 0 — every seed clean; 1 — at
+    least one
     finding (its JSON report and, with ``--minimize --corpus-dir``, its
     corpus reproducer carry the evidence).
     """
     import json as json_mod
 
-    from repro.fuzz import FuzzKnobs, run_fuzz, save_reproducer
+    from repro.fuzz import (
+        FUZZ_MODES,
+        GANG_MODE,
+        FuzzKnobs,
+        run_fuzz,
+        save_reproducer,
+    )
 
     seeds = _parse_seeds(args.seeds)
     knobs = FuzzKnobs(
         max_gadgets=args.max_gadgets, iterations=args.iterations
     )
     kwargs = {}
+    if args.gang:
+        kwargs["modes"] = FUZZ_MODES + (GANG_MODE,)
     if args.engines:
         engines = [e.strip() for e in args.engines.split(",") if e.strip()]
         if len(engines) < 2:
@@ -752,6 +815,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "(required for the batch engine's vector "
                              "path: hardened cells always take the "
                              "scalar fallback)")
+    p_fuzz.add_argument("--gang", action="store_true",
+                        help="add the dmp-gang band: fan each program "
+                             "across machine sizings as one batch group "
+                             "so dpred episodes run through the "
+                             "ganged-episode vector kernels, every lane "
+                             "diffed against the reference engine")
     p_fuzz.add_argument("--iterations", type=int, default=120,
                         help="outer-loop iterations per generated program")
     p_fuzz.add_argument("--max-gadgets", type=int, default=4,
@@ -788,9 +857,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--max-regression", type=float, default=0.25,
                          help="allowed fractional speedup drop vs the "
                               "baseline report")
-    p_bench.add_argument("--min-speedup", type=float, default=0.0,
-                         help="fail unless the geomean cold speedup "
-                              "reaches this bound")
+    p_bench.add_argument("--min-speedup", default="",
+                         help="speedup floors: a bare number gates the "
+                              "geomean cold speedup; 'cold=1.5,dmp=2.5,"
+                              "batch=4.0' gates per group (cold / "
+                              "dmp-sweep vs fast / batch sweeps vs "
+                              "reference)")
+    p_bench.add_argument("--profile", action="store_true",
+                         help="print the batch sweeps' per-phase wall-"
+                              "time attribution and gang statistics")
     p_bench.add_argument("--no-batch", action="store_true",
                          help="skip the lockstep batch-engine sweep "
                               "cells")

@@ -38,6 +38,8 @@ from repro.fuzz.generator import (
 )
 from repro.fuzz.harness import (
     FUZZ_MODES,
+    GANG_MODE,
+    GANG_SIZINGS,
     Finding,
     FuzzProgram,
     FuzzReport,
@@ -58,6 +60,8 @@ from repro.fuzz.corpus import (
 __all__ = [
     "FUZZ_GADGET_KINDS",
     "FUZZ_MODES",
+    "GANG_MODE",
+    "GANG_SIZINGS",
     "CORPUS_SCHEMA",
     "DEFAULT_CORPUS_DIR",
     "Finding",

@@ -67,6 +67,26 @@ FUZZ_MODES = (
 #: Engines compared per mode.
 _ENGINES = ("reference", "fast")
 
+#: The ganged-episode band: one fuzz program fanned across machine
+#: sizings as a *single* batch-engine group.  Deliberately not part of
+#: :data:`FUZZ_MODES` — single-cell groups can only exercise the
+#: engine's singleton episode path, and hardened cells take the scalar
+#: fallback entirely — so the unhardened batch sweep opts in with
+#: ``modes=FUZZ_MODES + (GANG_MODE,)``.
+GANG_MODE = "dmp-gang"
+
+#: Machine sizings fanned per spec for the gang band.  Every lane
+#: shares the spec's program and trace, so each dpred episode is
+#: entered by the whole group at the same record with the same
+#: (trace, signature) key — many-lane gangs, not singleton replays.
+GANG_SIZINGS = tuple(
+    (width, depth, rob, retire)
+    for width in (4, 8)
+    for depth in (10, 30)
+    for rob in (128, 512)
+    for retire in (4, 8)
+)
+
 
 def mode_configs() -> Dict[str, MachineConfig]:
     """One un-hardened, engine-unspecified configuration per fuzz mode.
@@ -182,7 +202,7 @@ class FuzzProgram:
         if mode in ("baseline", "dualpath"):
             return None
         if mode not in self._hints:
-            if mode in ("dmp", "dmp-basic"):
+            if mode in ("dmp", "dmp-basic", GANG_MODE):
                 self._hints[mode] = self._diverge_hints()
             elif mode == "loop-pred":
                 loop = select_diverge_loop_branches(
@@ -233,6 +253,88 @@ def _stat_diff(ref: SimStats, fast: SimStats) -> List[str]:
     return sorted(field for field in a if a[field] != b[field])
 
 
+def _check_gang(ctx: FuzzProgram, spec: FuzzSpec) -> List[Finding]:
+    """The ``dmp-gang`` band: one spec, :data:`GANG_SIZINGS` lanes, one
+    batch group.
+
+    All lanes carry the same program, trace and diverge hints, so every
+    dpred episode is reached by the whole group at the same trace record
+    and the engine's ganged (trace, signature) kernels — not the
+    singleton path — produce the timing.  Each lane's SimStats is then
+    diffed against a reference-engine run of the same sizing.  Without
+    numpy the engine has no vector path to gang and the band is a
+    no-op."""
+    from repro.uarch.batch import BatchCell, batch_supported, run_batch
+
+    if not batch_supported():
+        return []
+    try:
+        hints = ctx.hints_for(GANG_MODE)
+        warm = ctx.workload.memory.warm_words()
+        base = MachineConfig.dmp()
+        configs = [
+            base.replace(
+                engine="batch",
+                fetch_width=width,
+                pipeline_depth=depth,
+                rob_size=rob,
+                retire_width=retire,
+            )
+            for (width, depth, rob, retire) in GANG_SIZINGS
+        ]
+        cells = [
+            BatchCell(
+                ctx.program, ctx.trace, config, hints=hints,
+                benchmark=spec.name, warm_words=warm,
+            )
+            for config in configs
+        ]
+        grouped = run_batch(cells)
+    except Exception as exc:
+        tb = traceback.format_exc(limit=3)
+        return [
+            Finding(
+                seed=spec.seed, kind="crash", mode=GANG_MODE,
+                engine="batch",
+                detail=f"{type(exc).__name__}: {exc} | {tb.strip()}",
+                spec=spec,
+            )
+        ]
+    findings: List[Finding] = []
+    for config, got in zip(configs, grouped):
+        lane = (
+            f"w={config.fetch_width} d={config.pipeline_depth} "
+            f"rob={config.rob_size} rw={config.retire_width}"
+        )
+        try:
+            ref = ctx.simulate(GANG_MODE, config.replace(engine="reference"))
+        except Exception as exc:
+            findings.append(
+                Finding(
+                    seed=spec.seed, kind="crash", mode=GANG_MODE,
+                    engine="reference",
+                    detail=f"lane {lane}: {type(exc).__name__}: {exc}",
+                    spec=spec,
+                )
+            )
+            continue
+        diff = _stat_diff(ref, got)
+        if diff:
+            findings.append(
+                Finding(
+                    seed=spec.seed, kind="divergence", mode=GANG_MODE,
+                    engine="both",
+                    detail=(
+                        f"ganged batch lane ({lane}) disagrees with "
+                        f"reference on {len(diff)} SimStats field(s)"
+                    ),
+                    stat_diff=diff,
+                    spec=spec,
+                )
+            )
+    return findings
+
+
 def check_spec(
     spec: FuzzSpec,
     modes: Sequence[str] = FUZZ_MODES,
@@ -268,6 +370,13 @@ def check_spec(
 
     configs = mode_configs()
     for mode in modes:
+        if mode == GANG_MODE:
+            # The gang band runs its own group-shaped check: many batch
+            # lanes in one run_batch call, each diffed against the
+            # reference engine.  ``harden`` does not apply — a hardened
+            # cell would take the scalar fallback and gang nothing.
+            findings.extend(_check_gang(ctx, spec))
+            continue
         base = configs[mode]
         if harden:
             base = base.hardened(cycle_limit)

@@ -216,8 +216,12 @@ def _run_batch_group(label: str, benchmarks: Sequence[str],
     for program in programs:
         ProgramAnalysis.reset(program)
     clear_arena_caches()
+    fallback_reasons: Dict[str, int] = {}
+    profile: Dict[str, float] = {}
+    gang_stats: Dict[str, int] = {}
     t0 = time.process_time()
-    results = run_batch(cells)
+    results = run_batch(cells, fallback_reasons=fallback_reasons,
+                        profile=profile, gang_stats=gang_stats)
     batch_s = time.process_time() - t0
     percell = batch_s / len(cells)
 
@@ -283,6 +287,14 @@ def _run_batch_group(label: str, benchmarks: Sequence[str],
         "batch_percell_s": percell,
         "reference_percell_s": geomean(ref_times),
         "speedup_cold": geomean(speedups),
+        # Wall-time phase attribution for the group's one cold run
+        # (`repro bench --profile` prints it): where a lockstep sweep
+        # actually spends its time — the vector driver, dpred episode
+        # tails, wrong-path walks, arena construction, or cells that
+        # fell off the vector path entirely.
+        "profile": {k: round(v, 4) for k, v in sorted(profile.items())},
+        "gang_stats": dict(sorted(gang_stats.items())),
+        "fallback_reasons": dict(sorted(fallback_reasons.items())),
     }
     if fast_modes:
         cell_dict["fast_sampled_cells"] = len(fast_times)
@@ -446,6 +458,18 @@ def run_bench(
         c for c, bat in zip(cells, is_batch)
         if bat and not c["degenerate"]
     ]
+    profile_total: Dict[str, float] = {}
+    gang_total: Dict[str, int] = {}
+    for c in batch_live:
+        for key, val in c.get("profile", {}).items():
+            profile_total[key] = round(
+                profile_total.get(key, 0.0) + val, 4
+            )
+        for key, val in c.get("gang_stats", {}).items():
+            if key == "max_gang":
+                gang_total[key] = max(gang_total.get(key, 0), val)
+            else:
+                gang_total[key] = gang_total.get(key, 0) + val
     summary = {
         "geomean_speedup_cold": geomean(c["speedup_cold"] for c in live),
         "geomean_speedup_warm": geomean(c["speedup_warm"] for c in live),
@@ -456,6 +480,8 @@ def run_bench(
             c["speedup_fast_dmp"] for c in batch_live
             if "speedup_fast_dmp" in c
         ),
+        "profile": dict(sorted(profile_total.items())),
+        "gang_stats": dict(sorted(gang_total.items())),
         "all_identical": all(c["identical"] for c in cells),
         "all_traced_identical": all(
             c.get("traced_identical", True) for c in cells

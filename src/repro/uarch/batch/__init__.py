@@ -53,9 +53,15 @@ else:  # numpy missing: degrade every cell to the fast engine
     def cell_supported(cell):  # type: ignore[no-redef]
         return False, "numpy is not importable"
 
-    def run_batch(cells):  # type: ignore[no-redef]
+    def run_batch(cells, fallback_reasons=None, profile=None,
+                  gang_stats=None):  # type: ignore[no-redef]
         from repro.core.processors import simulate
 
+        if fallback_reasons is not None:
+            reason = "numpy is not importable"
+            fallback_reasons[reason] = (
+                fallback_reasons.get(reason, 0) + len(cells)
+            )
         return [
             simulate(
                 cell.program,

@@ -108,6 +108,14 @@ class ProgramArena:
                     K = len(row[5])
         self.L, self.K = L, K
 
+        #: Scalar per-block row tuples (``BlockPlan.timing_rows``) plus
+        #: per-block load/store counts — the engine's scalar tails, the
+        #: dpred episodes and the horizon macro blocks all consume these
+        #: directly instead of re-deriving them from the padded tables.
+        self.ROWS: List[Tuple[Tuple, ...]] = [p.timing_rows for p in plans]
+        self.LOADS: List[int] = [p.load_count for p in plans]
+        self.STORES: List[int] = [p.store_count for p in plans]
+
         self.NROWS = np.zeros(n, np.int64)
         self.NBODY = np.zeros(n, np.int64)  # rows minus a BR terminator
         self.FPC = np.full(n, NO_PC, np.int64)
@@ -362,14 +370,93 @@ class TraceArena:
         self.nnodes = len(node_parent)
 
 
-_PROGRAM_ARENAS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
-_TRACE_ARENAS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+class _BoundedArenaCache:
+    """A weak-key memo with an LRU entry cap.
+
+    Correctness comes from the weak keys (an entry never outlives its
+    program/trace); *boundedness* comes from the cap: long design-space
+    sweeps hold thousands of live trace objects (benchmark contexts,
+    fuzz corpora), and without eviction the memos grow with them.  The
+    cap evicts in least-recently-used order; an evicted arena is simply
+    rebuilt on its next use."""
+
+    __slots__ = ("cap", "data", "order")
+
+    def __init__(self, cap: int) -> None:
+        self.cap = cap
+        self.data: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        self.order: Dict[int, "weakref.ref"] = {}
+
+    def get(self, key):
+        value = self.data.get(key)
+        if value is not None:
+            k = id(key)
+            ref = self.order.pop(k, None)
+            if ref is not None:
+                self.order[k] = ref  # move to most-recent
+        return value
+
+    def put(self, key, value) -> None:
+        self.data[key] = value
+        self.order.pop(id(key), None)
+        self.order[id(key)] = weakref.ref(key)
+        self.trim()
+
+    def trim(self) -> None:
+        while len(self.order) > self.cap:
+            k = next(iter(self.order))
+            ref = self.order.pop(k)
+            obj = ref()
+            if obj is not None:
+                self.data.pop(obj, None)
+
+    def clear(self) -> None:
+        self.data.clear()
+        self.order.clear()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+#: Default entry caps; ``set_arena_cache_cap`` resizes both at runtime
+#: (the suite executors enforce them after every batch run).
+_DEFAULT_PROGRAM_CAP = 64
+_DEFAULT_TRACE_CAP = 256
+
+_PROGRAM_ARENAS = _BoundedArenaCache(_DEFAULT_PROGRAM_CAP)
+_TRACE_ARENAS = _BoundedArenaCache(_DEFAULT_TRACE_CAP)
+
+
+def set_arena_cache_cap(programs: Optional[int] = None,
+                        traces: Optional[int] = None) -> None:
+    """Resize the arena memo caps (and trim immediately)."""
+    if programs is not None:
+        _PROGRAM_ARENAS.cap = programs
+        _PROGRAM_ARENAS.trim()
+    if traces is not None:
+        _TRACE_ARENAS.cap = traces
+        _TRACE_ARENAS.trim()
+
+
+def arena_cache_sizes() -> Tuple[int, int]:
+    """Current (program, trace) memo entry counts — for the cap tests
+    and the suite executors' bookkeeping."""
+    return len(_PROGRAM_ARENAS), len(_TRACE_ARENAS)
+
+
+def trim_arena_caches() -> None:
+    """Re-enforce the LRU caps (idempotent).  The suite executors call
+    this after each batch run so multi-thousand-cell sweeps cannot grow
+    the memos without bound even while every trace stays alive."""
+    _PROGRAM_ARENAS.trim()
+    _TRACE_ARENAS.trim()
 
 
 def program_arena(program) -> ProgramArena:
     arena = _PROGRAM_ARENAS.get(program)
     if arena is None:
-        arena = _PROGRAM_ARENAS[program] = ProgramArena(program)
+        arena = ProgramArena(program)
+        _PROGRAM_ARENAS.put(program, arena)
     return arena
 
 
@@ -380,13 +467,19 @@ def trace_arena(parena: ProgramArena, program, trace,
     replay starts from."""
     per_trace = _TRACE_ARENAS.get(trace)
     if per_trace is None:
-        per_trace = _TRACE_ARENAS[trace] = {}
+        per_trace = {}
+        _TRACE_ARENAS.put(trace, per_trace)
     warm = tuple(warm_words) if warm_words else ()
     key = (len(warm), hash(warm))
     arena = per_trace.get(key)
     if arena is None:
         arena = per_trace[key] = TraceArena(parena, program, trace, warm)
     return arena
+
+
+#: Dependent caches (the horizon span/macro registries) register a
+#: clear callback here so ``clear_arena_caches`` drops them too.
+_CLEAR_HOOKS: List = []
 
 
 def clear_arena_caches() -> None:
@@ -397,3 +490,5 @@ def clear_arena_caches() -> None:
     arena builds to the engine."""
     _PROGRAM_ARENAS.clear()
     _TRACE_ARENAS.clear()
+    for hook in _CLEAR_HOOKS:
+        hook()

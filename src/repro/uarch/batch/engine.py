@@ -39,6 +39,7 @@ contents, RAS underflows, the architectural call context).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -52,6 +53,7 @@ from repro.uarch.batch.arena import (
     program_arena,
     trace_arena,
 )
+from repro.uarch.batch.horizon import extended_arena, trace_spans
 from repro.uarch.plan import (
     KIND_LOAD,
     KIND_STORE,
@@ -82,6 +84,10 @@ _CI_LOOKAHEAD = 32
 #: costs more than a plain-python row, so the remaining lanes finish
 #: their (rare, long) blocks on the scalar row tail instead.
 _TAIL_LANES = 16
+#: Lane width up to which _trace_step pre-gathers the whole ring window
+#: in one rectangular fancy-index (fewer numpy calls); above it, per-row
+#: suffix gathers move strictly fewer elements.
+_RING_PREGATHER = 512
 
 _TRACE, _DONE = 0, 2
 
@@ -407,14 +413,27 @@ def _fallback(cell: BatchCell) -> SimStats:
 def run_batch(
     cells: List[BatchCell],
     fallback_reasons: Optional[Dict[str, int]] = None,
+    profile: Optional[Dict[str, float]] = None,
+    gang_stats: Optional[Dict[str, int]] = None,
 ) -> List[SimStats]:
     """Simulate every cell; vector-eligible cells run in one lockstep
     group, the rest fall back to the fast engine (bit-identical either
     way).  Pass a dict as ``fallback_reasons`` to receive a histogram of
     ``cell_supported`` reason strings for the cells that fell off the
-    vector path (the ``run_suite``/CLI fallback summary)."""
+    vector path (the ``run_suite``/CLI fallback summary).
+
+    ``profile`` (a dict, accumulated into) receives wall-time phase
+    attribution: ``arena_build`` (group construction: arenas, horizon
+    spans, table concatenation), ``step_loop`` (the vector driver),
+    ``episode_tails`` (dpred episodes: gang replay + scalar epilogues),
+    ``scalar_walks`` (mispredict/fork wrong-path walks) and
+    ``scalar_fallback`` (cells simulated on the fast engine).
+    ``gang_stats`` (likewise accumulated) receives the ganged-episode
+    accounting: ``gangs``, ``ganged_lanes``, ``singleton_lanes``,
+    ``max_gang``."""
     results: List[Optional[SimStats]] = [None] * len(cells)
     vec: List[int] = []
+    fb_time = 0.0
     for i, cell in enumerate(cells):
         ok, reason = cell_supported(cell)
         if ok:
@@ -424,11 +443,43 @@ def run_batch(
                 fallback_reasons[reason] = (
                     fallback_reasons.get(reason, 0) + 1
                 )
+            t0 = perf_counter()
             results[i] = _fallback(cell)
+            fb_time += perf_counter() - t0
     if vec:
+        t0 = perf_counter()
         group = _Group([cells[i] for i in vec])
-        for i, stats in zip(vec, group.run()):
+        build = perf_counter() - t0
+        t0 = perf_counter()
+        out = group.run()
+        run_time = perf_counter() - t0
+        for i, stats in zip(vec, out):
             results[i] = stats
+        if profile is not None:
+            ep = group._prof["episode_tails"]
+            wk = group._prof["scalar_walks"]
+            for key, val in (
+                ("arena_build", build),
+                ("step_loop", run_time - ep - wk),
+                ("episode_tails", ep),
+                ("scalar_walks", wk),
+            ):
+                profile[key] = profile.get(key, 0.0) + val
+        if gang_stats is not None:
+            for key, val in (
+                ("gangs", group.gang_count),
+                ("ganged_lanes", group.gang_lanes),
+                ("singleton_lanes", group.gang_singletons),
+                ("max_gang", group.gang_max),
+            ):
+                if key == "max_gang":
+                    gang_stats[key] = max(gang_stats.get(key, 0), val)
+                else:
+                    gang_stats[key] = gang_stats.get(key, 0) + val
+    if profile is not None:
+        profile["scalar_fallback"] = (
+            profile.get("scalar_fallback", 0.0) + fb_time
+        )
     return results  # type: ignore[return-value]
 
 
@@ -449,9 +500,33 @@ class _Group:
         i8 = np.int64
 
         # -- shared static tables (concatenated across programs/traces)
-        parenas: Dict[int, Tuple[ProgramArena, int]] = {}
+        # Pass 1: raw arenas + horizon span tables.  trace_spans interns
+        # each trace's quiet-run macro blocks into the program's horizon
+        # index, so the extended block space is known before group
+        # offsets are assigned.
+        raw_seen: Dict[int, ProgramArena] = {}
+        raw_list: List[ProgramArena] = []
+        cell_pa: List[ProgramArena] = []
+        cell_ta: List[TraceArena] = []
+        t_spans: Dict[int, Any] = {}
+        for cell in cells:
+            pa = program_arena(cell.program)
+            if id(pa) not in raw_seen:
+                raw_seen[id(pa)] = pa
+                raw_list.append(pa)
+            ta = trace_arena(pa, cell.program, cell.trace, cell.warm_words)
+            if id(ta) not in t_spans:
+                t_spans[id(ta)] = trace_spans(pa, ta)
+            cell_pa.append(pa)
+            cell_ta.append(ta)
+        rawL = max(pa.L for pa in raw_list)
+
+        # Pass 2: offsets over the extended (blocks + span macros)
+        # space.  p_list holds ProgramArena-shaped views; every
+        # concatenation below reads them exactly like raw arenas.
+        exts: Dict[int, Tuple[Any, int]] = {}
         tarenas: Dict[int, Tuple[TraceArena, int, int, int, int]] = {}
-        p_list: List[ProgramArena] = []
+        p_list: List[Any] = []
         t_list: List[Tuple[TraceArena, int]] = []  # (tarena, boff)
         boffs = np.zeros(n, i8)
         roffs = np.zeros(n, i8)
@@ -459,15 +534,14 @@ class _Group:
         loffs = np.zeros(n, i8)
         noffs = np.zeros(n, i8)
         nblk = nrec = nload = nnode = 0
+        for pa in raw_list:
+            ext = extended_arena(pa)
+            exts[id(pa)] = (ext, nblk)
+            p_list.append(ext)
+            nblk += ext.n
         for ci, cell in enumerate(cells):
-            pa = program_arena(cell.program)
-            key = id(pa)
-            if key not in parenas:
-                parenas[key] = (pa, nblk)
-                p_list.append(pa)
-                nblk += pa.n
-            boff = parenas[key][1]
-            ta = trace_arena(pa, cell.program, cell.trace, cell.warm_words)
+            boff = exts[id(cell_pa[ci])][1]
+            ta = cell_ta[ci]
             tkey = id(ta)
             if tkey not in tarenas:
                 tarenas[tkey] = (ta, nrec, nload, nnode, boff)
@@ -481,6 +555,8 @@ class _Group:
             rends[ci] = roff + ta.nrec
             loffs[ci] = loff
             noffs[ci] = noff
+        # Per-cell extended block counts (for _init_dpred's hint scan).
+        self.pblkn = [exts[id(pa)][0].n for pa in cell_pa]
 
         L = max(pa.L for pa in p_list)
         K = max(pa.K for pa in p_list)
@@ -541,8 +617,24 @@ class _Group:
         self.RDEST = self.RDEST.astype(np.int8)
         self.RSRC = self.RSRC.astype(np.int8)
         self.BRSRC = self.BRSRC.astype(np.int8)
+        # Per-(block, row) presence bits — src slot j occupied -> bit j,
+        # load -> bit K, store -> bit K+1.  The step loop ORs these over
+        # the active lanes in one reduction instead of scanning each
+        # gathered decode column per row (pads are KIND_ALU/ZREG, so a
+        # padding row contributes no bits).
+        pres = np.zeros((nblk, L), i8)
+        for j in range(K):
+            pres |= (self.RSRC[:, :, j] != ZREG).astype(i8) << j
+        pres |= (self.RKIND == KIND_LOAD).astype(i8) << K
+        pres |= (self.RKIND == KIND_STORE).astype(i8) << (K + 1)
+        self.PRES = pres
 
         self.RECBLK = np.zeros(nrec, i8)
+        # Horizon span lookup: the block to *fetch* at each record (the
+        # record's own, or a span macro covering a quiet run), and the
+        # record index where that fetch lands the cursor.
+        self.SPANBLK = np.zeros(nrec, i8)
+        self.SPANLAST = np.zeros(nrec, i8)
         self.REXTRA = np.zeros(nrec, i8)
         self.RTAKEN = np.zeros(nrec, i8)
         self.RSEQ0 = np.zeros(nrec, i8)
@@ -559,6 +651,9 @@ class _Group:
         for ta, boff in t_list:
             sl = slice(rpos, rpos + ta.nrec)
             self.RECBLK[sl] = ta.RBLK + boff
+            spans = t_spans[id(ta)]
+            self.SPANBLK[sl] = spans.SPANBLK + boff
+            self.SPANLAST[sl] = spans.SPANLAST + rpos
             self.REXTRA[sl] = ta.REXTRA
             self.RTAKEN[sl] = ta.RTAKEN
             self.RSEQ0[sl] = ta.RSEQ0
@@ -703,10 +798,12 @@ class _Group:
         self.pDESTS = [
             tuple({r[3] for r in rows if r[3] >= 0}) for rows in self.pROWS
         ]
-        # Ring reads within one record are static (written >= rob_size
-        # instructions ago) whenever every ROB is at least one block
-        # deep, letting _trace_step gather the whole window up front.
-        self.ring_static = bool(int(self.rob.min()) >= L)
+        # Ring reads within one step are static (no row this step can
+        # rewrite a slot a later row reads) whenever the step's row
+        # count fits the smallest ROB — a per-step test in _trace_step
+        # against this bound, so one rare long block (or a span macro)
+        # can't push every step onto the masked per-row path.
+        self.rob_min = int(self.rob.min())
         # Cells sharing a trace arena share its record offset; that
         # offset keys the per-step structural walk cache (_WalkPath).
         self.ptgid = self.roffs.tolist()
@@ -726,6 +823,16 @@ class _Group:
         # predicated cells share structural walks just like plain ones.
         self.pepoch = [0] * n
         self._episigs: Dict[tuple, int] = {}
+        # Ganged-episode accounting (see repro.uarch.batch.gang).
+        self.gang_count = 0
+        self.gang_lanes = 0
+        self.gang_singletons = 0
+        self.gang_max = 0
+        self._run_gangs = None
+        # Wall-time phase attribution for ``run_batch(profile=...)``:
+        # the scalar-tail sections are timed in place (two clock reads
+        # per resolution step at most), the step loop by subtraction.
+        self._prof = {"episode_tails": 0.0, "scalar_walks": 0.0}
 
         # 4-byte timing lanes.  One instruction can push the fetch
         # cycle forward by at most depth + max-latency + 2, so a loose
@@ -739,8 +846,12 @@ class _Group:
             self.RLAT.max(), self.BRLAT.max(), self.LLAT.max()
         ))
         step = int(self.depth.max()) + maxlat + 2
+        # rawL, not the macro-extended L: a span macro's rows cover as
+        # many records as the span merged, so per *record* the raw
+        # maximum still bounds the advance (and the final cycle is
+        # unchanged by construction).
         bound = int((rends - roffs).max()) * (
-            (L + 2) * step
+            (rawL + 2) * step
             + int(self.REXTRA.max()) + int(self.RUNDER.max()) * step + 2
         )
         if self.anydp:
@@ -781,8 +892,10 @@ class _Group:
                 continue
             config = cfg[ci]
             b0 = int(self.boffs[ci])
-            pa = program_arena(cell.program)
-            for lb in range(pa.n):
+            # Extended range: a span macro ending in a hinted diverge
+            # branch enters episodes exactly like its final raw block
+            # (its BRPC *is* that block's).
+            for lb in range(self.pblkn[ci]):
                 gb = b0 + lb
                 if self.pTERM[gb] != TERM_BR:
                     continue
@@ -864,7 +977,14 @@ class _Group:
 
     def _trace_step(self, vc: np.ndarray) -> None:
         cur = self.cursor[vc]
-        b = self.RECBLK[cur]
+        # Horizon skip-ahead: fetch the span block covering the quiet
+        # run starting at the cursor (the record's own block outside any
+        # span).  All row-position state below (seq0, load/store bases,
+        # icache stall) belongs to the span *start*; everything about
+        # the terminator (taken bit, RAS underflow, call node, cursor
+        # advance) belongs to the span *end* record ``cure``.
+        b = self.SPANBLK[cur]
+        cure = self.SPANLAST[cur]
         k = self.NBODY[b]
         # Sort lanes by body length: every per-row op below then runs on
         # exactly the suffix of lanes whose record still has row i, so
@@ -875,6 +995,7 @@ class _Group:
             order = np.argsort(k, kind="stable")
             vc = vc[order]
             cur = cur[order]
+            cure = cure[order]
             b = b[order]
             k = k[order]
         extra = self.REXTRA[cur]
@@ -925,7 +1046,7 @@ class _Group:
                 i0 -= 1
         if i0:
             rob_live = int((seq0 + k).max()) >= int(rob.min())
-            ring_static = self.ring_static
+            ring_static = kmax <= self.rob_min
             l0 = self.RL0[cur]
             st0 = self.RS0[cur]
             # One fancy gather per static table; the loop reads column
@@ -937,21 +1058,26 @@ class _Group:
                 seq_mod = (seq0[None, :] + rows[:, None]) % rob[None, :]
             else:
                 seq_mod = seq0[None, :] + rows[:, None]
-            if rob_live and ring_static:
+            # Ring-read strategy under the static window: one
+            # rectangular pre-gather amortizes call overhead at narrow
+            # widths, but wastes element work at wide ones (i0 * m can
+            # run ~5x the true suffix sum when row counts are skewed),
+            # so wide steps gather each row's live suffix lazily.
+            ringm = None
+            if rob_live and ring_static and m <= _RING_PREGATHER:
                 ringm = self.RING[vc[None, :], seq_mod]
             RKb = self.RKIND[b, :i0]
             RLb = self.RLAT[b, :i0]
             RDb = self.RDEST[b, :i0]
             Sb = self.RSRC[b, :i0]
-            srcrow = [
-                (Sb[:, :, j] != ZREG).any(axis=0).tolist()
-                for j in range(self.K)
-            ]
-            ldrow = (RKb == KIND_LOAD).any(axis=0).tolist()
-            strow = (RKb == KIND_STORE).any(axis=0).tolist()
-            if True in ldrow:
+            presrow = np.bitwise_or.reduce(
+                self.PRES[b, :i0], axis=0
+            ).tolist()
+            ldbit = 1 << self.K
+            stbit = ldbit << 1
+            if any(pr & ldbit for pr in presrow):
                 LOb = self.RLORD[b, :i0]
-            if True in strow:
+            if any(pr & stbit for pr in presrow):
                 STOb = self.RSTORD[b, :i0]
         for i in range(i0):
             p = pos[i]
@@ -964,8 +1090,14 @@ class _Group:
             mbv = mb[p:]
             vcv = vc[p:]
             if rob_live:
-                if ring_static:
+                if ringm is not None:
                     ring = ringm[i, p:]
+                elif ring_static:
+                    # No occupancy mask needed: below the static bound
+                    # an unoccupied slot can have had no same-step
+                    # writer, still holds its initial 0, and 0 can
+                    # never stall a non-negative cycle.
+                    ring = self.RING[vcv, seq_mod[i, p:]]
                 else:
                     occ = seq0[p:] + i >= rob[p:]
                     ring = np.where(
@@ -990,8 +1122,9 @@ class _Group:
             np.copyto(blv, mbv, where=nos)
             sv -= 1
             ready = None
+            pres = presrow[i]
             for j in range(self.K):
-                if srcrow[j][i]:
+                if pres >> j & 1:
                     r = self.RR[vcv, Sb[p:, i, j]]
                     if ready is None:
                         ready = r
@@ -1002,7 +1135,7 @@ class _Group:
             else:
                 base = np.maximum(ready, cv + dep[p:], out=ready)
             comp = base + RLb[p:, i]
-            if ldrow[i]:
+            if pres & ldbit:
                 isld = RKb[p:, i] == KIND_LOAD
                 lidx = l0[p:] + LOb[p:, i]
                 fwd = self.LFWD[lidx]
@@ -1025,7 +1158,7 @@ class _Group:
                     np.where(hasf, fcomp, base + self.LLAT[lidx]),
                     comp,
                 )
-            if strow[i]:
+            if pres & stbit:
                 isst = RKb[p:, i] == KIND_STORE
                 np.copyto(comp, base + 1, where=isst)
                 scol = np.where(isst, st0[p:] + STOb[p:, i], self.sjunk)
@@ -1034,8 +1167,11 @@ class _Group:
             # _retire, vectorized over the active suffix.
             lastv = last[p:]
             cntv = cnt[p:]
-            rc = np.maximum(comp + 1, lastv)
-            rc += (rc == lastv) & (cntv >= rw[p:])
+            # rc = max(comp+1, last), bumped a cycle when it lands on
+            # last with the retire port full (cnt >= rw) — folding the
+            # bump into the max's second operand is the same function.
+            comp += 1
+            rc = np.maximum(comp, lastv + (cntv >= rw[p:]), out=comp)
             adv = rc > lastv
             cntv += 1
             np.copyto(cntv, 1, where=adv)
@@ -1083,7 +1219,7 @@ class _Group:
         if nonbr.any():
             m = nonbr
             self._vector_transfer(
-                vc[m], cur[m], b[m], c[m], s[m], bl[m], d[m], w[m],
+                vc[m], cure[m], b[m], c[m], s[m], bl[m], d[m], w[m],
                 hw[m], mb[m], dep[m],
             )
             self.last[vc[m]] = last[m]
@@ -1091,7 +1227,7 @@ class _Group:
         if isbr.any():
             m = isbr
             self._vector_branch(
-                vc[m], cur[m], b[m], c[m], s[m], bl[m], d[m], w[m],
+                vc[m], cure[m], b[m], c[m], s[m], bl[m], d[m], w[m],
                 hw[m], mb[m], dep[m], seq0[m] + k[m], rob[m], last[m],
                 cnt[m], rw[m],
             )
@@ -1247,6 +1383,7 @@ class _Group:
             # step: _train just ran, so the weights it snapshots stay
             # untouched until the next _vector_branch call.
             self._walk_cache.clear()
+            t0 = perf_counter()
             sel = np.nonzero(inline)[0]
             ic = vc[sel]
             outs = [
@@ -1272,24 +1409,33 @@ class _Group:
             self.CD[ic] += np.asarray(cd)
             self.CI[ic] += np.asarray(cik)
             self._advance_cursor(ic, cur[sel])
+            self._prof["scalar_walks"] += perf_counter() - t0
 
         if dpe is not None and dpe.any():
             # Dynamic-predication episodes run synchronously per cell
             # (exact scalar transcription, like the walks above) and may
             # jump the cursor forward over the records their predicated
             # paths fetched.
+            t0 = perf_counter()
             sel = np.nonzero(dpe)[0]
             dc = vc[sel]
-            outs = [
-                self._dpred_epilogue(*args)
-                for args in zip(
+            lanes = list(
+                zip(
                     dc.tolist(), cur[sel].tolist(), b[sel].tolist(),
                     fetchc[sel].tolist(), sbr[sel].tolist(),
                     bbr[sel].tolist(), res[sel].tolist(),
                     snap[sel].tolist(), pred[sel].tolist(),
                     actual[sel].tolist(), d[sel].tolist(),
+                    (seqb[sel] + 1).tolist(),
                 )
-            ]
+            )
+            rg = self._run_gangs
+            if rg is None:
+                # Deferred import: gang.py imports this module's scalar
+                # episode machinery back.
+                from repro.uarch.batch.gang import run_gangs as rg
+                self._run_gangs = rg
+            outs = rg(self, lanes)
             c2, s2, b2, g2, cont = zip(*outs)
             self.cycle[dc] = c2
             self.slots[dc] = s2
@@ -1300,6 +1446,7 @@ class _Group:
             self.state[dc] = np.where(
                 nxt >= self.rends[dc], _DONE, _TRACE
             )
+            self._prof["episode_tails"] += perf_counter() - t0
 
     # ------------------------------------------------------------------
     # Scalar branch epilogue: misprediction flush / dual-path fork
@@ -1373,7 +1520,7 @@ class _Group:
     # ------------------------------------------------------------------
 
     def _dpred_epilogue(self, ci, cur, b, fetchc, sbr, bbr, res, snap,
-                        pred, actual, dual):
+                        pred, actual, dual, seq1):
         """One dynamic-predication episode for one dmp/dhp cell.
 
         Transcribes ``_dpred_once_impl`` for the vector envelope's plain
@@ -1404,7 +1551,11 @@ class _Group:
         st.wr = []
         st.last = int(self.last[ci])
         st.cnt = int(self.cnt[ci])
-        st.seq = st.seq0 = self.pRSEQ0[cur] + self.pNROWS[b]
+        # The post-branch sequence number comes from the caller: with
+        # horizon spans, ``cur`` is the span-*end* record while ``b``
+        # covers the whole span, so pRSEQ0[cur] + pNROWS[b] would
+        # double-count the merged records.
+        st.seq = st.seq0 = seq1
         st.written = set()
         st.campcs = self.cfms[ci][b]
         st.camlock = None
@@ -1416,6 +1567,7 @@ class _Group:
         p2 = p1 + 1
         self.pcnt[ci] = p1 + 2
         xu = 1  # enter.pred.path uop (completion discarded)
+        nsel = 0
         cp1_ready = list(st.rr)
         misp = pred != actual
         limit = self.pplimit[ci]
@@ -1487,7 +1639,7 @@ class _Group:
                     if res > sr:
                         sr = res
                     rr[a] = (cycle_d if cycle_d > sr else sr) + 1
-                self.SU[ci] += len(selects)
+                nsel = len(selects)
                 if self.pghrpred[ci]:
                     ghr_out = predicted_ghr
                 else:
@@ -1516,6 +1668,16 @@ class _Group:
                     self._ep_adv(st, None)
                     cont = ppos
 
+        return self._ep_finish(
+            ci, st, cur, b, pred, actual, snap, ecase, xu, nsel,
+            ghr_out, cont,
+        )
+
+    def _ep_finish(self, ci, st, cur, b, pred, actual, snap, ecase, xu,
+                   nsel, ghr_out, cont):
+        """Episode tail shared by the scalar epilogue and the gang
+        replay: scatter the per-cell state back, flush the ring span,
+        intern the episode signature, accumulate the counters."""
         self.RR[ci] = st.rr
         # The episode's ring writes sit at consecutive sequence numbers;
         # flush just that circular span of the write log (a full
@@ -1550,6 +1712,7 @@ class _Group:
             eid = sigs[skey] = len(sigs) + 1
         self.pepoch[ci] = eid
         self.XU[ci] += xu
+        self.SU[ci] += nsel
         self.FC[ci] += st.fc
         self.EX[ci] += st.ex
         self.RB[ci] += st.rb

@@ -1,0 +1,666 @@
+"""Ganged-episode kernels for the batch engine's dpred episodes.
+
+On a config-grid sweep, many lanes reach the same diverge branch at the
+same record with bit-equal predictor state: cells over one trace share
+weights, history and JRS until an episode *outcome* first differs (the
+weight-divergence epoch argument in ``engine._Group``), so lanes whose
+``(trace, epoch, record, branch, prediction, outcome, history snapshot,
+CFM set)`` agree are about to run the *structurally identical* episode —
+same predicted path, same alternate path, same nested-branch
+predictions, same training — differing only in per-lane timing (cycle,
+fetch slots, register-ready file, ROB occupancy, path-length budgets).
+
+A :class:`EpisodeGang` runs that episode once *structurally* and many
+times *temporally*: the gang lazily materialises a shared skeleton of
+path steps (one per trace record or static block), computing each
+prediction, perceptron train, JRS update and BTB seen-bit transition
+exactly once, while every lane replays the skeleton's timing against
+its own :class:`~repro.uarch.batch.engine._EpState` through the same
+exec-compiled row kernels the scalar episode path uses.  Per-lane stop
+conditions (branch resolution reached, path-length limit) simply cut
+the replay short — a lane stopping at step ``k`` has applied exactly
+the first ``k`` predictor transitions, which is what the scalar flow
+would have done.
+
+Shared predictor reads go through overlay dicts (weights rows, JRS
+counters, BTB seen-bits) shadowing the first lane's live arrays: every
+entry the episode mutates is in the overlay before any lane's replay
+can write it back, so skeleton extension never observes a replay's
+in-place writes.
+
+Singleton lanes (a signature no other lane shares this resolution
+step) fall back to the scalar ``_dpred_epilogue`` — surfaced in the
+``gang_stats`` accounting rather than silently folded in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.uarch.batch.engine import (
+    _EpState,
+    _HBITS,
+    _JHMASK,
+    _JMAX,
+    _JTAB,
+    _M31,
+    _P_CFM,
+    _P_EXHAUSTED,
+    _P_LIMIT,
+    _P_RESOLVED,
+    _THETA,
+    _WMAX,
+    _WMIN,
+    _compile_row_loop,
+    _compile_static_block,
+)
+from repro.uarch.plan import (
+    TERM_BR,
+    TERM_CALL,
+    TERM_JMP,
+    TERM_NONE,
+    TERM_RET,
+)
+
+
+class _TraceSkel:
+    """Shared on-trace path: one step per consumed record.
+
+    ``steps[k]`` replays record ``pos0 + k``; ``cum[k]`` is the fetched
+    row count *after* step ``k`` (the scalar limit check ``fetched + nr
+    > limit`` is ``cum[k] > limit``); ``ghr_after[k]`` the history after
+    the step, mispredict repair included.  ``term`` is set when the next
+    position is a CAM hit or the trace end — steps never extend past
+    it."""
+
+    __slots__ = (
+        "steps", "cum", "ghr_after", "ghr", "ghr0", "pos0", "pos",
+        "term", "wset",
+    )
+
+    def __init__(self, pos0: int, ghr0: int) -> None:
+        self.steps: List[tuple] = []
+        self.cum: List[int] = []
+        self.ghr_after: List[int] = []
+        self.ghr = self.ghr0 = ghr0
+        self.pos0 = self.pos = pos0
+        self.term: Optional[Tuple[int, int]] = None
+        self.wset: set = set()
+
+
+class _StaticSkel:
+    """Shared static (predicate-FALSE) path: one step per walked block,
+    steered by the shared predictor state; carries the local shadow
+    stack and the architectural return context like the scalar
+    walker."""
+
+    __slots__ = (
+        "steps", "cum", "ghr_after", "ghr", "ghr0", "cur", "local",
+        "node", "term", "wset",
+    )
+
+    def __init__(self, cur: int, ghr0: int, node: int) -> None:
+        self.steps: List[tuple] = []
+        self.cum: List[int] = []
+        self.ghr_after: List[int] = []
+        self.ghr = self.ghr0 = ghr0
+        self.cur = cur
+        self.local: List[int] = []
+        self.node = node
+        self.term: Optional[int] = None
+        self.wset: set = set()
+
+
+class EpisodeGang:
+    """One shared episode structure, replayed per lane.
+
+    Construction freezes the shared facts (diverge branch, prediction,
+    outcome, history snapshot, CFM CAM) from the first lane; the
+    predicted skeleton starts empty and grows on demand as lanes replay
+    past its end.  The alternate skeleton appears when the first lane's
+    predicted path reaches its CFM (its static start node depends on the
+    shared CFM trace position)."""
+
+    __slots__ = (
+        "G", "cur", "b", "pred", "actual", "snap", "misp", "ci0",
+        "rend", "Wov", "Jov", "Bov", "camlock", "campcs", "pskel",
+        "askel", "selects", "site0", "newsite0", "ghr1", "ghr2",
+    )
+
+    def __init__(self, G, lane0) -> None:
+        (ci0, cur, b, _fc, _s, _b2, _res, snap, pred, actual,
+         _d, _q) = lane0
+        self.G = G
+        self.ci0 = ci0
+        self.cur = cur
+        self.b = b
+        self.pred = pred
+        self.actual = actual
+        self.snap = snap
+        self.misp = pred != actual
+        self.rend = G.prends[ci0]
+        self.campcs = G.cfms[ci0][b]
+        self.camlock = None
+        self.Wov: Dict[int, List[int]] = {}
+        self.Jov: Dict[int, int] = {}
+        self.Bov: Dict[int, bool] = {}
+        self.selects: Optional[List[int]] = None
+        self.ghr1 = ((snap << 1) | (1 if pred else 0)) & _M31
+        self.ghr2 = ((snap << 1) | (0 if pred else 1)) & _M31
+        self.site0 = G.pSITE[b]
+        self.newsite0 = self._btb_new(self.site0) if pred else False
+        if self.misp:
+            start = G.pTAKEN[b] if pred else G.pFALL[b]
+            self.pskel = _StaticSkel(start, self.ghr1, G.pRNODE[cur])
+        else:
+            self.pskel = _TraceSkel(cur + 1, self.ghr1)
+        self.askel = None
+
+    # -- shared predictor state, through the overlays ------------------
+
+    def _wrow(self, idx: int) -> List[int]:
+        row = self.Wov.get(idx)
+        if row is None:
+            row = self.G.W[self.ci0, idx].tolist()
+        return row
+
+    def _train(self, idx: int, hist: int, out: int, prd: bool,
+               actual: bool):
+        """Scalar perceptron train against the overlay; returns the
+        trained row for the per-lane scatter, or None when training
+        does not fire."""
+        if prd == actual and (out if out >= 0 else -out) > _THETA:
+            return None
+        row = list(self._wrow(idx))
+        t = 1 if actual else -1
+        v = row[0] + t
+        row[0] = _WMAX if v > _WMAX else (_WMIN if v < _WMIN else v)
+        for j in range(1, _HBITS + 1):
+            v = row[j] + (t if (hist >> (j - 1)) & 1 else -t)
+            row[j] = _WMAX if v > _WMAX else (_WMIN if v < _WMIN else v)
+        self.Wov[idx] = row
+        return row
+
+    def _jrs(self, jidx: int, misp: bool) -> int:
+        if misp:
+            jnew = 0
+        else:
+            v = self.Jov.get(jidx)
+            if v is None:
+                v = int(self.G.JRS[self.ci0][jidx])
+            jnew = v + 1 if v < _JMAX else v
+        self.Jov[jidx] = jnew
+        return jnew
+
+    def _btb_new(self, site: int) -> bool:
+        """Whether a taken redirect to ``site`` misses the seen-bit BTB
+        at this point of the episode; marks it seen either way."""
+        if site in self.Bov:
+            return False
+        self.Bov[site] = True
+        return not self.G.BTBSEEN[self.ci0, site]
+
+    # -- skeleton extension (structural, one step at a time) -----------
+
+    def _extend_trace(self, sk: _TraceSkel) -> None:
+        G = self.G
+        pos = sk.pos
+        if pos >= self.rend:
+            sk.term = (_P_EXHAUSTED, pos)
+            return
+        fpc = G.pRFPC[pos]
+        cl = self.camlock
+        if (fpc == cl) if cl is not None else (fpc in self.campcs):
+            self.camlock = fpc
+            sk.term = (_P_CFM, pos)
+            return
+        b = G.pRECBLK[pos]
+        nr = G.pNROWS[b]
+        extra = G.pREXTRA[pos]
+        l0 = G.pRL0[pos]
+        s0 = G.pRS0[pos]
+        ghr = sk.ghr
+        if G.pTERM[b] == TERM_BR:
+            hist = ghr
+            idx = G.pPCT[b]
+            out = G._scalar_predict(self._wrow(idx), hist)
+            prd = out >= 0
+            actual = bool(G.pRTAKEN[pos])
+            ismisp = prd != actual
+            ghr = ((hist << 1) | (1 if prd else 0)) & _M31
+            wrow = self._train(idx, hist, out, prd, actual)
+            jidx = (G.pJPC[b] ^ (hist & _JHMASK)) & (_JTAB - 1)
+            jnew = self._jrs(jidx, ismisp)
+            site = G.pSITE[b]
+            if ismisp:
+                ghr = ((hist << 1) | (1 if actual else 0)) & _M31
+                newsite = False
+            elif prd:
+                newsite = self._btb_new(site)
+            else:
+                newsite = False
+            sk.steps.append((
+                3, b, nr, extra, l0, s0, G.pNBODY[b], G.pBRSRC[b],
+                G.pBRLAT[b], wrow, idx, jidx, jnew, prd, ismisp,
+                site, newsite,
+            ))
+        else:
+            term = G.pTERM[b]
+            if term == TERM_RET:
+                sk.steps.append((1, b, nr, extra, l0, s0,
+                                 G.pRUNDER[pos]))
+            elif term == TERM_NONE:
+                sk.steps.append((0, b, nr, extra, l0, s0))
+            else:  # JMP / CALL
+                site = G.pSITE[b]
+                sk.steps.append((2, b, nr, extra, l0, s0, site,
+                                 self._btb_new(site)))
+        sk.cum.append((sk.cum[-1] if sk.cum else 0) + nr)
+        sk.ghr_after.append(ghr)
+        sk.ghr = ghr
+        sk.wset.update(G.pDESTS[b])
+        sk.pos = pos + 1
+
+    def _extend_static(self, sk: _StaticSkel) -> None:
+        G = self.G
+        cur = sk.cur
+        if cur < 0:
+            sk.term = _P_EXHAUSTED
+            return
+        fpc = G.pFPC[cur]
+        cl = self.camlock
+        if (fpc == cl) if cl is not None else (fpc in self.campcs):
+            self.camlock = fpc
+            sk.term = _P_CFM
+            return
+        nr = G.pNROWS[cur]
+        term = G.pTERM[cur]
+        ghr = sk.ghr
+        bump = False
+        if term == TERM_BR:
+            out = G._scalar_predict(self._wrow(G.pPCT[cur]), ghr)
+            prd = out >= 0
+            ghr = ((ghr << 1) | (1 if prd else 0)) & _M31
+            if prd:
+                bump = True  # taken ends the cycle
+                nxt = G.pTAKEN[cur]
+            else:
+                nxt = G.pFALL[cur]
+        elif term == TERM_NONE:
+            nxt = G.pFALL[cur]
+        else:
+            bump = True  # jmp/call/ret redirect
+            if term == TERM_JMP:
+                nxt = G.pTARGET[cur]
+            elif term == TERM_CALL:
+                fall = G.pFALL[cur]
+                if fall >= 0:
+                    sk.local.append(fall)
+                nxt = G.pCALLEE[cur]
+            else:  # TERM_RET
+                if sk.local:
+                    nxt = sk.local.pop()
+                elif sk.node >= 0:
+                    nxt = G.pNODERET[sk.node]
+                    sk.node = G.pNODEPAR[sk.node]
+                else:
+                    nxt = -1
+        sk.steps.append((cur, nr, bump))
+        sk.cum.append((sk.cum[-1] if sk.cum else 0) + nr)
+        sk.ghr_after.append(ghr)
+        sk.ghr = ghr
+        sk.wset.update(G.pDESTS[cur])
+        sk.cur = nxt
+
+    # -- per-lane timing replay ----------------------------------------
+
+    def _replay_trace(self, sk: _TraceSkel, st: _EpState, res: int,
+                      pid: int, limit: int, srd, spr, spidd):
+        """Walk the shared trace skeleton with one lane's timing state.
+        Mirrors ``_ep_trace_path``'s per-record check order: trace end /
+        CAM hit (terminal, unconditional), then resolution, then the
+        path-length limit."""
+        G = self.G
+        steps = sk.steps
+        cum = sk.cum
+        ghr_after = sk.ghr_after
+        epfns = G._epfns
+        lfwd = G.pLFWD
+        llat = G.pLLAT
+        ep_adv = G._ep_adv
+        k = 0
+        while True:
+            if k == len(steps):
+                if sk.term is None:
+                    self._extend_trace(sk)
+                if sk.term is not None and k == len(steps):
+                    st.ghr = ghr_after[k - 1] if k else sk.ghr0
+                    return sk.term
+            if st.cycle >= res:
+                st.ghr = ghr_after[k - 1] if k else sk.ghr0
+                return _P_RESOLVED, sk.pos0 + k
+            if cum[k] > limit:
+                st.ghr = ghr_after[k - 1] if k else sk.ghr0
+                return _P_LIMIT, sk.pos0 + k
+            step = steps[k]
+            kind = step[0]
+            extra = step[3]
+            if extra > 0:
+                ep_adv(st, st.cycle + extra)
+            if kind == 3:
+                (_, b, nr, _x, l0, s0, nbody, brsrcs, brlat, wrow,
+                 widx, jidx, jnew, prd, ismisp, site, newsite) = step
+                if nbody:
+                    fn = epfns.get(b)
+                    if fn is None:
+                        fn = epfns[b] = _compile_row_loop(
+                            G.pROWS[b], nbody, "ep"
+                        )
+                    fn(st, l0, s0, res, pid, srd, spr, spidd,
+                       lfwd, llat)
+                    st.fc += nbody
+                    st.ex += nbody
+                # Nested branch: fetch-slot + window check, sources,
+                # retire — then the *shared* predictor transitions,
+                # scattered to this lane.
+                seq = st.seq
+                rob = st.rob
+                if seq >= rob:
+                    j = seq - rob
+                    sq0 = st.seq0
+                    oldest = (
+                        st.wr[j - sq0] if j >= sq0
+                        else st.ring[j % rob]
+                    )
+                    if st.cycle < oldest:
+                        ep_adv(st, oldest)
+                if st.slots <= 0 or st.bl <= 0:
+                    ep_adv(st, None)
+                st.slots -= 1
+                st.bl -= 1
+                st.fc += 1
+                base = st.cycle + st.depth
+                for s_ in brsrcs:
+                    v = st.rr[s_]
+                    if v > base:
+                        base = v
+                comp = base + brlat
+                rc = comp + 1
+                if rc < st.last:
+                    rc = st.last
+                if rc == st.last:
+                    if st.cnt >= st.rw:
+                        rc += 1
+                        st.cnt = 0
+                else:
+                    st.cnt = 0
+                st.last = rc
+                st.cnt += 1
+                st.wr.append(rc)
+                st.seq = seq + 1
+                st.ex += 1
+                st.rb += 1
+                if wrow is not None:
+                    G.W[st.ci, widx] = wrow
+                G.JRS[st.ci][jidx] = jnew
+                if ismisp:
+                    st.mp += 1
+                    st.fl += 1
+                    ep_adv(st, comp + 1)
+                elif prd:
+                    if newsite:
+                        G.BTBSEEN[st.ci, site] = True
+                        ep_adv(st, None)
+                    if st.stops:
+                        ep_adv(st, None)
+            else:
+                b = step[1]
+                nr = step[2]
+                if nr:
+                    fn = epfns.get(b)
+                    if fn is None:
+                        fn = epfns[b] = _compile_row_loop(
+                            G.pROWS[b], nr, "ep"
+                        )
+                    fn(st, step[4], step[5], res, pid, srd, spr,
+                       spidd, lfwd, llat)
+                    st.fc += nr
+                    st.ex += nr
+                if kind == 1:  # RET
+                    ep_adv(st, None)
+                    if step[6]:
+                        ep_adv(st, st.cycle + st.depth)
+                elif kind == 2:  # JMP / CALL redirect
+                    if step[7]:
+                        G.BTBSEEN[st.ci, step[6]] = True
+                        ep_adv(st, None)
+                    if st.stops:
+                        ep_adv(st, None)
+            k += 1
+
+    def _replay_static(self, sk: _StaticSkel, st: _EpState, res: int,
+                       limit: int) -> int:
+        """Walk the shared static skeleton with one lane's timing state
+        (``_ep_static_path``'s check order, sequence number frozen)."""
+        G = self.G
+        steps = sk.steps
+        cum = sk.cum
+        ghr_after = sk.ghr_after
+        stfns = G._stfns
+        ep_adv = G._ep_adv
+        k = 0
+        while True:
+            if k == len(steps):
+                if sk.term is None:
+                    self._extend_static(sk)
+                if sk.term is not None and k == len(steps):
+                    st.ghr = ghr_after[k - 1] if k else sk.ghr0
+                    return sk.term
+            if st.cycle >= res:
+                st.ghr = ghr_after[k - 1] if k else sk.ghr0
+                return _P_RESOLVED
+            if cum[k] > limit:
+                st.ghr = ghr_after[k - 1] if k else sk.ghr0
+                return _P_LIMIT
+            cur, nr, bump = steps[k]
+            if nr:
+                fn = stfns.get(cur)
+                if fn is None:
+                    fn = stfns[cur] = _compile_static_block(
+                        G.pROWS[cur], G.pTERM[cur] == TERM_BR
+                    )
+                seq = st.seq
+                if seq >= st.rob:
+                    j = seq - st.rob
+                    sq0 = st.seq0
+                    oldest = (
+                        st.wr[j - sq0] if j >= sq0
+                        else st.ring[j % st.rob]
+                    )
+                else:
+                    oldest = 0
+                fn(st, oldest)
+                st.cd += nr
+                st.ex += nr
+                st.pf += nr
+            if bump:
+                ep_adv(st, None)
+            k += 1
+
+    # -- one lane, full episode ----------------------------------------
+
+    def run_lane(self, lane):
+        """Exact per-lane transcription of ``_dpred_epilogue`` with the
+        structural work served by the shared skeletons."""
+        (ci, cur, b, fetchc, sbr, bbr, res, snap, pred, actual, dual,
+         seq1) = lane
+        G = self.G
+        st = _EpState()
+        st.ci = ci
+        st.cycle = fetchc
+        st.slots = sbr
+        st.bl = bbr
+        st.du = dual
+        st.w = G.pwidth[ci]
+        st.hw = G.phalfw[ci]
+        st.mb = G.pmaxb[ci]
+        st.depth = G.pdepth[ci]
+        st.rob = G.prob[ci]
+        st.rw = G.prw[ci]
+        st.stops = G.pstops[ci]
+        st.rr = G.RR[ci].tolist()
+        st.ring = G.RING[ci]
+        st.wr = []
+        st.last = int(G.last[ci])
+        st.cnt = int(G.cnt[ci])
+        st.seq = st.seq0 = seq1
+        st.written = st.campcs = st.camlock = None  # skeleton-owned
+        st.fc = st.ex = st.rb = st.mp = st.fl = 0
+        st.cd = st.pf = st.lw = 0
+
+        G.DPE[ci] += 1
+        p1 = G.pcnt[ci]
+        p2 = p1 + 1
+        G.pcnt[ci] = p1 + 2
+        xu = 1  # enter.pred.path uop (completion discarded)
+        nsel = 0
+        cp1_ready = list(st.rr)
+        misp = self.misp
+        limit = G.pplimit[ci]
+        srd = G.SREADY[ci]
+        spr = G.SPREADYP[ci]
+        spidd = G.spid[ci]
+
+        # Predicted path: the shared taken redirect, then the skeleton.
+        st.ghr = self.ghr1
+        if pred:
+            if self.newsite0:
+                G.BTBSEEN[ci, self.site0] = True
+                G._ep_adv(st, None)
+            if st.stops:
+                G._ep_adv(st, None)
+        if misp:
+            pout = self._replay_static(self.pskel, st, res, limit)
+            ppos = -1
+        else:
+            pout, ppos = self._replay_trace(
+                self.pskel, st, res, p1, limit, srd, spr, spidd
+            )
+
+        if pout != _P_CFM:
+            if pout != _P_RESOLVED and st.cycle < res:
+                G._ep_adv(st, res)
+            if misp:
+                ecase = 6  # FLUSH
+                st.mp += 1
+                st.fl += 1
+                st.rr = cp1_ready
+                G._ep_adv(st, res + 1)
+                ghr_out = ((snap << 1) | (1 if actual else 0)) & _M31
+                cont = cur + 1
+            else:
+                ecase = 5  # CONTINUE_PREDICTED
+                ghr_out = st.ghr
+                cont = ppos
+        else:
+            predicted_ghr = st.ghr
+            cp2_ready = list(st.rr)
+            st.rr = cp1_ready
+            xu += 1  # enter.alternate.path
+            if self.askel is None:
+                if misp:
+                    self.askel = _TraceSkel(cur + 1, self.ghr2)
+                else:
+                    start = G.pFALL[b] if pred else G.pTAKEN[b]
+                    self.askel = _StaticSkel(
+                        start, self.ghr2, G.pRNODE[ppos]
+                    )
+            if misp:
+                aout, apos = self._replay_trace(
+                    self.askel, st, res, p2, limit, srd, spr, spidd
+                )
+            else:
+                aout = self._replay_static(self.askel, st, res, limit)
+                apos = -1
+            if aout == _P_CFM:
+                xu += 1  # exit.pred
+                if self.selects is None:
+                    # Both skeletons are CAM-terminated by the time any
+                    # lane reaches the alternate CFM, so the union of
+                    # renamed registers over their steps is complete.
+                    self.selects = sorted(
+                        self.pskel.wset | self.askel.wset
+                    )
+                selects = self.selects
+                rr = st.rr
+                cycle_d = st.cycle + st.depth
+                for a in selects:
+                    sr = cp2_ready[a]
+                    v = rr[a]
+                    if v > sr:
+                        sr = v
+                    if res > sr:
+                        sr = res
+                    rr[a] = (cycle_d if cycle_d > sr else sr) + 1
+                nsel = len(selects)
+                if G.pghrpred[ci]:
+                    ghr_out = predicted_ghr
+                else:
+                    ghr_out = st.ghr
+                if misp:
+                    ecase = 2  # NORMAL_MISPREDICTED
+                    st.mp += 1  # eliminated: no flush
+                    cont = apos
+                else:
+                    ecase = 1  # NORMAL_CORRECT
+                    cont = ppos
+            else:
+                if st.cycle < res:
+                    G._ep_adv(st, res)
+                if misp:
+                    ecase = 4  # CONTINUE_ALTERNATE
+                    st.mp += 1  # eliminated: no flush
+                    ghr_out = st.ghr
+                    cont = apos
+                else:
+                    ecase = 3  # REDIRECT_TO_CFM
+                    st.rr = cp2_ready
+                    ghr_out = predicted_ghr
+                    G._ep_adv(st, None)
+                    cont = ppos
+
+        return G._ep_finish(
+            ci, st, cur, b, pred, actual, snap, ecase, xu, nsel,
+            ghr_out, cont,
+        )
+
+
+def run_gangs(G, lanes: List[tuple]) -> List[tuple]:
+    """Group one resolution step's dpred lanes by episode signature and
+    run each gang's episode once structurally.  ``lanes`` holds the
+    scalar ``_dpred_epilogue`` argument tuples; results come back in
+    lane order.  Keys are computed up front from the pre-episode epochs
+    (each lane's episode only advances its own epoch)."""
+    groups: Dict[tuple, List[int]] = {}
+    for i, lane in enumerate(lanes):
+        ci, cur, b = lane[0], lane[1], lane[2]
+        key = (
+            G.ptgid[ci], G.pepoch[ci], cur, b, lane[8], lane[9],
+            lane[7], G.cfms[ci][b],
+        )
+        groups.setdefault(key, []).append(i)
+    out: List = [None] * len(lanes)
+    for idxs in groups.values():
+        if len(idxs) == 1:
+            i = idxs[0]
+            out[i] = G._dpred_epilogue(*lanes[i])
+            G.gang_singletons += 1
+        else:
+            gang = EpisodeGang(G, lanes[idxs[0]])
+            for i in idxs:
+                out[i] = gang.run_lane(lanes[i])
+            G.gang_count += 1
+            G.gang_lanes += len(idxs)
+            if len(idxs) > G.gang_max:
+                G.gang_max = len(idxs)
+    return out

@@ -1,0 +1,90 @@
+"""Boundedness of the batch engine's arena/analysis memos.
+
+The arena layer memoizes per-program block tables, per-trace record
+tables and (through the horizon registries) span macro blocks.  The
+memos are weak-keyed, so entries never outlive their program/trace —
+but a long-lived process that keeps thousands of trace objects alive
+(fuzz harness, notebook, service) must not grow them without bound
+either.  :class:`_BoundedArenaCache` enforces an LRU entry cap; these
+tests pin the cap's behavior and its wiring into the suite executors.
+"""
+
+import pytest
+
+from repro.harness.experiment import BenchmarkContext, run_suite
+from repro.uarch.config import MachineConfig
+
+np = pytest.importorskip("numpy")
+
+from repro.uarch.batch.arena import (  # noqa: E402
+    _DEFAULT_PROGRAM_CAP,
+    _DEFAULT_TRACE_CAP,
+    arena_cache_sizes,
+    clear_arena_caches,
+    program_arena,
+    set_arena_cache_cap,
+    trace_arena,
+)
+
+
+@pytest.fixture
+def small_caps():
+    """Shrink the memo caps for the test, restore the defaults after."""
+    clear_arena_caches()
+    set_arena_cache_cap(programs=4, traces=6)
+    yield
+    set_arena_cache_cap(
+        programs=_DEFAULT_PROGRAM_CAP, traces=_DEFAULT_TRACE_CAP
+    )
+    clear_arena_caches()
+
+
+def _build(ctx: BenchmarkContext):
+    pa = program_arena(ctx.program)
+    trace_arena(pa, ctx.program, ctx.trace,
+                ctx.workload.memory.warm_words())
+
+
+def test_arena_memos_respect_the_lru_cap(small_caps):
+    """Building more arenas than the cap keeps live trace objects from
+    growing the memos: entry counts stay at the cap, LRU-evicted."""
+    contexts = [
+        BenchmarkContext("gzip", iterations=40, seed=seed)
+        for seed in range(10)
+    ]
+    for ctx in contexts:
+        _build(ctx)
+    programs, traces = arena_cache_sizes()
+    assert programs <= 4, f"program memo grew past the cap: {programs}"
+    assert traces <= 6, f"trace memo grew past the cap: {traces}"
+
+
+def test_evicted_arena_rebuilds_identically(small_caps):
+    """Eviction is a cache policy, not a semantic change: an arena
+    rebuilt after falling off the LRU carries the same tables."""
+    contexts = [
+        BenchmarkContext("gzip", iterations=40, seed=seed)
+        for seed in range(8)
+    ]
+    first = program_arena(contexts[0].program)
+    probe = (first.NROWS.copy(), first.TERM.copy(), first.n)
+    for ctx in contexts[1:]:
+        _build(ctx)
+    rebuilt = program_arena(contexts[0].program)
+    assert rebuilt is not first, "expected an LRU eviction"
+    assert rebuilt.n == probe[2]
+    assert (rebuilt.NROWS == probe[0]).all()
+    assert (rebuilt.TERM == probe[1]).all()
+
+
+def test_batch_executor_enforces_the_cap(small_caps):
+    """A batch-executor suite run over more contexts than the cap must
+    leave the memos at (or under) the cap — the executor re-trims after
+    every group run."""
+    configs = {"base": MachineConfig.baseline().replace(engine="batch")}
+    benchmarks = ("gzip", "parser", "mcf", "eon")
+    for seed in range(3):
+        run_suite(configs, benchmarks, iterations=40, seed=seed)
+    programs, traces = arena_cache_sizes()
+    assert programs <= 4, f"program memo grew past the cap: {programs}"
+    assert traces <= 6, f"trace memo grew past the cap: {traces}"

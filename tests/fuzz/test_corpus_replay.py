@@ -11,7 +11,13 @@ import os
 
 import pytest
 
-from repro.fuzz import check_spec, load_corpus, spec_from_dict
+from repro.fuzz import (
+    FUZZ_MODES,
+    GANG_MODE,
+    check_spec,
+    load_corpus,
+    spec_from_dict,
+)
 
 _CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
 _ENTRIES = load_corpus(_CORPUS_DIR)
@@ -42,10 +48,17 @@ def test_reproducer_is_clean_on_batch_engine(entry):
     matrix includes ``dmp-basic`` (the plain Table-1 machine, inside
     the vector envelope), so every replay also exercises the
     vectorized predicated-episode path — not just the unpredicated
-    lockstep loop."""
+    lockstep loop.  Appending the ``dmp-gang`` band fans each
+    reproducer across machine sizings as one batch group, so the
+    replay also covers the ganged-episode kernels (many lanes sharing
+    an episode's (trace, signature) key), not just singleton
+    episodes."""
     spec = spec_from_dict(entry["spec"])
     findings = check_spec(
-        spec, engines=("reference", "batch"), harden=False
+        spec,
+        modes=FUZZ_MODES + (GANG_MODE,),
+        engines=("reference", "batch"),
+        harden=False,
     )
     assert findings == [], [f.summary() for f in findings]
 

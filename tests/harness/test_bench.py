@@ -232,6 +232,16 @@ class TestRunBench:
         assert cell["sampled_reference_cells"] == 2
         assert cell["retired_instructions"] > 0
         assert cell["speedup_cold"] > 0
+        # Phase attribution must account for the group's wall time and
+        # carry every phase key, measured not estimated.
+        assert set(cell["profile"]) == {
+            "arena_build", "step_loop", "episode_tails",
+            "scalar_walks", "scalar_fallback",
+        }
+        assert cell["profile"]["step_loop"] > 0
+        assert set(cell["gang_stats"]) == {
+            "gangs", "ganged_lanes", "singleton_lanes", "max_gang",
+        }
         # Batch cells carry no warm/traced keys; the summary treats the
         # missing trace marker as non-perturbing rather than crashing.
         assert "speedup_warm" not in cell
@@ -259,6 +269,12 @@ class TestRunBench:
         assert cell["fast_sampled_cells"] > 0
         assert cell["speedup_fast_dmp"] > 0
         assert cell["fast_percell_s"] > 0
+        # dmp lanes must actually reach the ganged-episode kernels:
+        # a sweep whose every episode ran the singleton scalar path
+        # would silently measure the wrong thing.
+        assert cell["gang_stats"]["ganged_lanes"] > 0
+        assert cell["gang_stats"]["max_gang"] >= 2
+        assert cell["profile"]["episode_tails"] > 0
 
 
 class TestFindLatestBaseline:

@@ -263,3 +263,39 @@ class TestFuzzCommand:
         payload = json.loads(out_file.read_text())
         assert payload["schema"] == "repro-fuzz/1"
         assert payload["checked"] == 2
+
+
+class TestBenchFlags:
+    def test_min_speedup_accepts_bare_number_as_cold_floor(self):
+        from repro.cli import _parse_min_speedup
+
+        assert _parse_min_speedup("") == {}
+        assert _parse_min_speedup("1.5") == {"cold": 1.5}
+
+    def test_min_speedup_per_group_floors(self):
+        from repro.cli import _parse_min_speedup
+
+        assert _parse_min_speedup("cold=1.2,dmp=1.3,batch=2.0") == {
+            "cold": 1.2, "dmp": 1.3, "batch": 2.0,
+        }
+        assert _parse_min_speedup("dmp=3") == {"dmp": 3.0}
+
+    def test_min_speedup_rejects_unknown_group_and_junk(self):
+        from repro.cli import _parse_min_speedup
+
+        for raw in ("warm=2.0", "cold=fast", "cold=", "=1.5"):
+            with pytest.raises(ValueError):
+                _parse_min_speedup(raw)
+
+    def test_bench_parser_carries_profile_and_floor_flags(self):
+        args = build_parser().parse_args([
+            "bench", "--smoke", "--profile",
+            "--min-speedup", "cold=1.2,dmp=1.3,batch=2.0",
+        ])
+        assert args.profile is True
+        assert args.min_speedup == "cold=1.2,dmp=1.3,batch=2.0"
+
+    def test_fuzz_parser_carries_gang_flag(self):
+        args = build_parser().parse_args(["fuzz", "--gang"])
+        assert args.gang is True
+        assert build_parser().parse_args(["fuzz"]).gang is False
