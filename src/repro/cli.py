@@ -66,6 +66,7 @@ CONFIG_FACTORIES = {
     "dmp": MachineConfig.dmp,
     "dmp-enhanced": lambda: MachineConfig.dmp(enhanced=True),
     "dualpath": MachineConfig.dualpath,
+    "mpp": MachineConfig.mpp,
     "perfect-cbp": lambda: MachineConfig.baseline(predictor_kind="perfect"),
     "dmp-perf-conf": lambda: MachineConfig.dmp(confidence_kind="perfect"),
 }
@@ -555,10 +556,13 @@ def cmd_report(args) -> int:
 
                 bench_report = bench_mod.load_report(path)
                 summary = bench_report["summary"]
+                # .get with 0.0: a report whose cells were all degenerate
+                # (sub-tick timings) still loads — the geomeans are just
+                # empty, which must roll up as "no data", not a crash.
                 print(f"{path}: bench geomean speedup "
-                      f"{summary['geomean_speedup_cold']:.2f}x cold, "
-                      f"{summary['geomean_speedup_warm']:.2f}x warm, "
-                      f"all identical: {summary['all_identical']}")
+                      f"{summary.get('geomean_speedup_cold', 0.0):.2f}x cold, "
+                      f"{summary.get('geomean_speedup_warm', 0.0):.2f}x warm, "
+                      f"all identical: {summary.get('all_identical', False)}")
             else:
                 raise SystemExit(
                     f"{path}: not a trace (.jsonl), trace directory, or "

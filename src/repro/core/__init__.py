@@ -7,6 +7,8 @@
 * :mod:`repro.core.dpred` — the dynamic-predication engine: a timing
   simulator subclass implementing the Section 2.3–2.7 fetch/rename state
   machine for both DMP and DHP;
+* :mod:`repro.core.mergepoint` — the dynamic merge-point predictor
+  behind the hint-free ``"mpp"`` mode (learned CFM points);
 * :mod:`repro.core.processors` — the user-facing facades
   (:func:`simulate`, plus one constructor per machine flavour).
 """
@@ -14,12 +16,14 @@
 from repro.core.modes import ExitCase, PathOutcome
 from repro.core.cfm import CfmCam
 from repro.core.dpred import PredicationAwareSimulator
+from repro.core.mergepoint import LearnedHintTable, MergePointPredictor
 from repro.core.processors import (
     simulate,
     baseline_processor,
     diverge_merge_processor,
     dynamic_hammock_processor,
     dual_path_processor,
+    merge_point_processor,
     wish_branch_processor,
 )
 
@@ -27,11 +31,14 @@ __all__ = [
     "ExitCase",
     "PathOutcome",
     "CfmCam",
+    "LearnedHintTable",
+    "MergePointPredictor",
     "PredicationAwareSimulator",
     "simulate",
     "baseline_processor",
     "diverge_merge_processor",
     "dynamic_hammock_processor",
     "dual_path_processor",
+    "merge_point_processor",
     "wish_branch_processor",
 ]

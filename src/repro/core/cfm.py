@@ -12,15 +12,20 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Tuple
 
+from repro.errors import CfmError
+
 
 class CfmCam:
     def __init__(self, cfm_pcs: Iterable[int], capacity: int = 8) -> None:
         pcs = tuple(cfm_pcs)
         if not pcs:
-            raise ValueError("need at least one CFM point")
-        #: Hardware CAMs are small; extra compiler candidates are dropped
-        #: (most frequent first, so the useful ones survive).
-        self._pcs: Tuple[int, ...] = pcs[:capacity]
+            raise CfmError("need at least one CFM point")
+        #: Hardware CAMs are small; extra candidates are dropped (most
+        #: frequent first, so the useful ones survive).  Deduplicate
+        #: BEFORE truncating: a duplicated compiler/learned hint must
+        #: cost one CAM slot, not evict a distinct candidate.
+        deduped = tuple(dict.fromkeys(pcs))
+        self._pcs: Tuple[int, ...] = deduped[:capacity]
         self._locked: Optional[int] = None
 
     @property
@@ -37,7 +42,7 @@ class CfmCam:
         """The predicted path ended at ``pc``: it becomes the only CFM
         point that can end the alternate path."""
         if not self.matches(pc):
-            raise ValueError(f"{pc:#x} is not a live CFM point")
+            raise CfmError(f"{pc:#x} is not a live CFM point")
         self._locked = pc
 
     @property

@@ -42,6 +42,7 @@ from typing import List, Optional, Tuple
 from repro.confidence.perfect import PerfectConfidenceEstimator
 from repro.branch.perfect import PerfectPredictor
 from repro.core.cfm import CfmCam
+from repro.core.mergepoint import LearnedHintTable, MergePointPredictor
 from repro.core.modes import ExitCase, PathOutcome
 from repro.isa.instructions import Opcode
 from repro.uarch.frontend import StaticWalker, TraceCursor
@@ -105,6 +106,16 @@ class PredicationAwareSimulator(TimingSimulator):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._predicate_counter = 0
+        # Hint-free DMP (mode "mpp"): replace the (empty) compiler hint
+        # table with a learned one over the dynamic merge-point
+        # predictor.  Every hint lookup below goes through the same
+        # ``self.hints`` attribute either way.
+        self._merge_predictor: Optional[MergePointPredictor] = None
+        if self.config.mode == "mpp":
+            self._merge_predictor = MergePointPredictor.from_config(
+                self.config
+            )
+            self.hints = LearnedHintTable(self._merge_predictor)
         # Same engine dispatch as the base class: the predicate-FALSE
         # static fetch loop and the two per-path episode loops have
         # block-plan implementations too.
@@ -121,10 +132,39 @@ class PredicationAwareSimulator(TimingSimulator):
     # Entry hook
     # ------------------------------------------------------------------
 
+    def _usable_hint(self, pc: int):
+        """Hint lookup with the deterministic no-episode fallback.
+
+        A degenerate hint — an empty or self-referential CFM set, which
+        the learned path (and a corrupted table) can produce — could
+        never merge: opening an episode with it would burn checkpoints
+        and uops for a guaranteed case-5/6 exit.  Such hints are treated
+        as "no hint" so the branch is handled as a normal predicted
+        branch.  Every lookup site in the episode machinery (entry,
+        nested trace branches, static-path diverge watching) routes
+        through here, and the method is shared by both engines, so the
+        fallback is mirrored by construction.
+        """
+        hint = self.hints.get(pc)
+        if hint is None:
+            return None
+        if not hint.cfm_pcs or pc in hint.cfm_pcs:
+            return None
+        return hint
+
     def _maybe_enter_dpred(self, cursor: TraceCursor, context) -> bool:
-        if self.config.mode not in ("dmp", "dhp", "wish"):
+        if self.config.mode not in ("dmp", "dhp", "wish", "mpp"):
             return False
-        hint = self.hints.get(context.instr.pc)
+        if self._merge_predictor is not None:
+            # Catch-up observation: learn from every trace record
+            # retired since the previous diverge-branch lookup.  Both
+            # engines reach this hook at the same cursor positions in
+            # the same order, so the learned table is bit-identical at
+            # every lookup no matter which engine runs.
+            self._merge_predictor.observe_to(
+                self.trace.records, cursor.index
+            )
+        hint = self._usable_hint(context.instr.pc)
         if hint is None:
             return False
         if hint.is_loop and not self.config.loop_predication:
@@ -140,6 +180,12 @@ class PredicationAwareSimulator(TimingSimulator):
             )
         if confident:
             return False
+        if self._merge_predictor is not None:
+            self.stats.mpp_predictions += 1
+            if self.tracer is not None:
+                self.tracer.note_merge(
+                    "predict", context.instr.pc, cfm=hint.primary_cfm
+                )
         if self.config.mode == "wish":
             self._run_wish_episode(cursor, context, hint)
         elif hint.is_loop:
@@ -404,6 +450,39 @@ class PredicationAwareSimulator(TimingSimulator):
     # Exit handling
     # ------------------------------------------------------------------
 
+    def _note_merge_outcome(self, pc: int, outcome, flushed: bool) -> None:
+        """Train the merge-point predictor with an episode's outcome.
+
+        ``REACHED_CFM`` reinforces the learned merge point.  A path that
+        provably never reached it (``EXHAUSTED`` ran off the function,
+        ``LIMIT`` burnt the whole budget) decays the entry's confidence;
+        hitting zero retrains it.  ``RESOLVED`` is neutral — the episode
+        was truncated by timing (the branch resolved first), which says
+        nothing about whether the merge point was right.  ``flushed``
+        marks the mispredicted-merge recovery path: the wrong-path work
+        was pipeline-flushed AND the table decays, so the next instance
+        of the branch is handled by plain prediction while the entry
+        re-learns.
+        """
+        if outcome == PathOutcome.RESOLVED:
+            return
+        stats = self.stats
+        if outcome == PathOutcome.REACHED_CFM:
+            stats.mpp_merge_hits += 1
+            self._merge_predictor.feedback(pc, hit=True)
+            if self.tracer is not None:
+                self.tracer.note_merge("hit", pc)
+            return
+        stats.mpp_merge_misses += 1
+        if flushed:
+            stats.mpp_recoveries += 1
+        if self.tracer is not None:
+            self.tracer.note_merge("recovery" if flushed else "miss", pc)
+        if self._merge_predictor.feedback(pc, hit=False):
+            stats.mpp_retrains += 1
+            if self.tracer is not None:
+                self.tracer.note_merge("retrain", pc)
+
     def _flush_diverge_branch(
         self, diverge_pos, context, ghr1, cp1_rat, cp1_ready
     ) -> _EpisodeEnd:
@@ -428,6 +507,10 @@ class PredicationAwareSimulator(TimingSimulator):
         ghr1, cp1_rat, cp1_ready, pred_result,
     ) -> _EpisodeEnd:
         """Cases 5 and 6: the predicted path never reached a CFM point."""
+        if self._merge_predictor is not None:
+            self._note_merge_outcome(
+                context.instr.pc, pred_result.outcome, flushed=mispredicted
+            )
         if (
             pred_result.outcome
             in (PathOutcome.EXHAUSTED, PathOutcome.LIMIT)
@@ -453,6 +536,19 @@ class PredicationAwareSimulator(TimingSimulator):
         stats = self.stats
         outcome = alt_result.outcome
         keep_predicted_ghr = self.config.dpred_ghr_policy == "predicted"
+
+        if self._merge_predictor is not None:
+            # The only flush out of this handler is early-exit on a
+            # mispredicted diverge branch (the LIMIT branch below).
+            self._note_merge_outcome(
+                context.instr.pc,
+                outcome,
+                flushed=(
+                    mispredicted
+                    and outcome == PathOutcome.LIMIT
+                    and self.config.early_exit
+                ),
+            )
 
         if outcome == PathOutcome.REACHED_CFM:
             # Cases 1 / 2: normal exit with select-uops.
@@ -785,9 +881,8 @@ class PredicationAwareSimulator(TimingSimulator):
         """
         block = record.block
         instr = block.instructions[-1]
-        loop_instance = self.hints.get(instr.pc) is not None and (
-            self.hints.get(instr.pc).is_loop
-        )
+        loop_hint = self._usable_hint(instr.pc)
+        loop_instance = loop_hint is not None and loop_hint.is_loop
         actual = record.taken
         if isinstance(self.predictor, PerfectPredictor):
             self.predictor.set_oracle(actual)
@@ -969,7 +1064,7 @@ class PredicationAwareSimulator(TimingSimulator):
             instr, record, prediction, actual, completion, history
         )
         if watch_diverge:
-            hint = self.hints.get(instr.pc)
+            hint = self._usable_hint(instr.pc)
             if hint is not None:
                 if isinstance(self.confidence, PerfectConfidenceEstimator):
                     self.confidence.set_oracle(not context.mispredicted)
@@ -1133,7 +1228,7 @@ class PredicationAwareSimulator(TimingSimulator):
                 and block.ends_in_branch
             ):
                 instr = block.instructions[-1]
-                if self.hints.get(instr.pc) is not None:
+                if self._usable_hint(instr.pc) is not None:
                     confident = isinstance(
                         self.confidence, PerfectConfidenceEstimator
                     ) or self.confidence.is_confident(
@@ -1167,7 +1262,7 @@ class PredicationAwareSimulator(TimingSimulator):
         cam_matches = cam.matches
         block_plan = self.analysis.block_plan
         fetch_block = self._fetch_static_dpred_block
-        hints_get = self.hints.get
+        usable_hint = self._usable_hint
         predictor = self.predictor
         predict = predictor.predict
         spec_update = predictor.spec_update
@@ -1210,7 +1305,7 @@ class PredicationAwareSimulator(TimingSimulator):
                 and fetched >= restart_after
                 and term_kind == TERM_BR
             ):
-                if hints_get(plan.term_pc) is not None:
+                if usable_hint(plan.term_pc) is not None:
                     confident = confidence_is_perfect or (
                         confidence.is_confident(
                             plan.term_pc, predictor.snapshot()

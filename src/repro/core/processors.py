@@ -101,6 +101,20 @@ def wish_branch_processor(
     )
 
 
+def merge_point_processor(
+    program: Program, trace: Trace, config: Optional[MachineConfig] = None,
+    benchmark: str = "",
+) -> PredicationAwareSimulator:
+    """A hint-free diverge-merge processor (mode ``"mpp"``): CFM points
+    are learned at run time by the dynamic merge-point predictor, so no
+    hint table — and no profiling pass — is involved.  See
+    docs/merge_point_prediction.md."""
+    config = (config or MachineConfig()).replace(mode="mpp")
+    return PredicationAwareSimulator(
+        program, trace, config, benchmark=benchmark
+    )
+
+
 def dual_path_processor(
     program: Program, trace: Trace, config: Optional[MachineConfig] = None,
     benchmark: str = "",
@@ -150,7 +164,20 @@ def simulate(
                 benchmark=benchmark, warm_words=warm_words, tracer=tracer,
             )
         ])[0]
-    if config.is_predicating:
+    if config.mode == "mpp":
+        # Hint-free DMP: the simulator builds its own learned hint table
+        # (repro.core.mergepoint); a compiler table here would be a
+        # caller mixing up modes, so fail loudly instead of ignoring it.
+        if hints is not None:
+            raise ValueError(
+                "mode 'mpp' learns merge points at run time; "
+                "do not pass a hint table"
+            )
+        simulator = PredicationAwareSimulator(
+            program, trace, config, benchmark=benchmark,
+            warm_words=warm_words, tracer=tracer,
+        )
+    elif config.is_predicating:
         if hints is None:
             raise ValueError(f"mode {config.mode!r} requires a hint table")
         simulator = PredicationAwareSimulator(

@@ -9,7 +9,11 @@ Hierarchy::
 
     ReproError
     ├── SimulationError          a timing-simulator run went wrong
-    │   └── SimulationHangError  the watchdog bounded a hung run
+    │   ├── SimulationHangError  the watchdog bounded a hung run
+    │   └── CfmError             the CFM CAM was driven with an
+    │                            impossible candidate set (also a
+    │                            ValueError, like the raw raise it
+    │                            replaced)
     ├── OracleMismatchError      timing run diverged from the functional
     │                            trace / a dpred invariant was violated
     ├── TraceValidationError     a JSONL event trace failed schema
@@ -62,6 +66,15 @@ class SimulationHangError(_DiagnosticMixin, SimulationError):
     forward progress.  ``diagnostics`` carries the machine state at the
     trip point (pc, mode, dpred nesting, last-retired instruction, cycle
     and the limit that was exceeded)."""
+
+
+class CfmError(SimulationError, ValueError):
+    """The CFM CAM was driven with an impossible candidate set or lock
+    request.  The engines' shared no-episode fallback declines degenerate
+    hints before a CAM is ever built, so reaching this raise means a bug
+    (or a deliberately hostile caller in the fault-injection tests).
+    Subclasses :class:`ValueError` because it replaces a raw one.
+    """
 
 
 class OracleMismatchError(_DiagnosticMixin, ReproError):

@@ -62,6 +62,7 @@ REPORT_SCHEMA = "repro-fuzz/1"
 #: The machine modes every fuzz program is checked under.
 FUZZ_MODES = (
     "baseline", "dualpath", "dmp", "dmp-basic", "dhp", "wish", "loop-pred",
+    "mpp",
 )
 
 #: Engines compared per mode.
@@ -107,6 +108,19 @@ def mode_configs() -> Dict[str, MachineConfig]:
         "dhp": MachineConfig.dhp(),
         "wish": MachineConfig.wish(),
         "loop-pred": MachineConfig.dmp(enhanced=True, loop_predication=True),
+        # Hint-free DMP: fuzz programs are tiny, so drop the training
+        # floor enough for the predictor to open episodes, and tighten
+        # the path budgets (with early exit on) so learned-merge
+        # mispredictions — and their recovery flushes and retrains —
+        # are reachable within a fuzz run, not just the happy path.
+        "mpp": MachineConfig.mpp(
+            merge_min_instances=4,
+            merge_window_instructions=64,
+            multiple_cfm=True,
+            early_exit=True,
+            early_exit_default_threshold=24,
+            dpred_path_limit=48,
+        ),
     }
 
 
@@ -199,7 +213,9 @@ class FuzzProgram:
 
     def hints_for(self, mode: str) -> Optional[HintTable]:
         """The hint table for a fuzz mode (memoized per mode family)."""
-        if mode in ("baseline", "dualpath"):
+        if mode in ("baseline", "dualpath", "mpp"):
+            # mpp learns its merge points at run time — simulate()
+            # rejects a compiler table in that mode.
             return None
         if mode not in self._hints:
             if mode in ("dmp", "dmp-basic", GANG_MODE):

@@ -195,6 +195,11 @@ def _run_batch_group(label: str, benchmarks: Sequence[str],
         return None
     from repro.uarch.batch.arena import clear_arena_caches
 
+    if not benchmarks or not seeds or not config_names:
+        # An empty sweep has no per-cell share to divide by; report the
+        # skip instead of dying on batch_s / len(cells).
+        say(f"{label}: empty sweep (no cells), batch group skipped")
+        return None
     cells: List[BatchCell] = []
     programs = []
     for name in benchmarks:
@@ -569,8 +574,8 @@ def compare(current: Dict, baseline: Dict,
                 f"{base['speedup_cold']:.2f}x "
                 f"(allowed {max_regression:.0%})"
             )
-    cur_g = current["summary"]["geomean_speedup_cold"]
-    base_g = baseline["summary"]["geomean_speedup_cold"]
+    cur_g = current["summary"].get("geomean_speedup_cold", 0.0)
+    base_g = baseline["summary"].get("geomean_speedup_cold", 0.0)
     if base_g > 0 and cur_g / base_g < 1.0 - max_regression:
         problems.append(
             f"overall: geomean cold speedup {cur_g:.2f}x is "

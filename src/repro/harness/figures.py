@@ -549,6 +549,54 @@ def fig13(
     )
 
 
+# ---------------------------------------------------------------------------
+# Hint-free DMP — dynamic merge-point prediction vs compiler hints
+# ---------------------------------------------------------------------------
+
+def figmpp(contexts=None, benchmarks=BENCHMARK_NAMES, iterations=None,
+           jobs=1, cache=None, engine=""):
+    """Hint-free DMP (mode ``"mpp"``) against compiler-hinted DMP.
+
+    Not a paper exhibit — the follow-on study behind
+    docs/merge_point_prediction.md: how much of the compiler-hinted IPC
+    gain the learned merge points recover, and how accurate the learned
+    points are (fraction of outcome-resolving episodes whose alternate
+    path reached the learned CFM)."""
+    cache = ArtifactCache.resolve(cache)
+    contexts = _contexts(contexts, benchmarks, iterations, cache)
+    suite = _suite(
+        {
+            "base": MachineConfig.baseline(),
+            "dmp": MachineConfig.dmp(enhanced=True),
+            "mpp": MachineConfig.mpp(),
+        },
+        contexts, benchmarks, iterations, jobs, cache, engine,
+    )
+    rows = []
+    cols = [[], [], [], []]
+    for benchmark in benchmarks:
+        base = suite.stats(benchmark, "base")
+        dmp = suite.stats(benchmark, "dmp")
+        mpp = suite.stats(benchmark, "mpp")
+        dmp_gain = 100.0 * (dmp.ipc / base.ipc - 1.0)
+        mpp_gain = 100.0 * (mpp.ipc / base.ipc - 1.0)
+        accuracy = 100.0 * mpp.merge_accuracy
+        row = [benchmark, dmp_gain, mpp_gain, mpp.mpp_predictions, accuracy]
+        rows.append(row)
+        for col, value in zip(cols, row[1:]):
+            col.append(value)
+    rows.append(_mean_row("amean", cols))
+    return FigureResult(
+        "Hint-free DMP: learned vs compiler merge points",
+        ["benchmark", "%IPC dmp", "%IPC mpp", "mpp episodes", "%merge acc"],
+        rows,
+        notes=("mpp opens episodes only after the predictor trains, so it "
+               "trails compiler hints early in a run; accuracy counts "
+               "outcome-resolving episodes (resolution-truncated ones are "
+               "neutral)."),
+    )
+
+
 #: Everything, in paper order (used by the full-reproduction example).
 ALL_DRIVERS = {
     "fig1": fig1,
@@ -563,4 +611,5 @@ ALL_DRIVERS = {
     "fig11": fig11,
     "fig12": fig12,
     "fig13": fig13,
+    "figmpp": figmpp,
 }

@@ -48,7 +48,12 @@ class DivergeHint:
         is_loop: bool = False,
     ) -> None:
         if not cfm_pcs:
-            raise ValueError("a diverge hint needs at least one CFM point")
+            # Structured (and still a ValueError, via the subclass): an
+            # empty CFM set is constructible from buggy learned-hint code
+            # paths, not just hand-built tables, and must fail loudly.
+            raise HintValidationError(
+                ["a diverge hint needs at least one CFM point"]
+            )
         self.cfm_pcs = tuple(cfm_pcs)
         self.early_exit_threshold = early_exit_threshold
         self.is_loop = is_loop
@@ -89,7 +94,9 @@ class HintTable:
 
     def add(self, branch_pc: int, hint: DivergeHint) -> None:
         if branch_pc in self._hints:
-            raise ValueError(f"duplicate hint for branch pc {branch_pc:#x}")
+            raise HintValidationError(
+                [f"duplicate hint for branch pc {branch_pc:#x}"]
+            )
         self._hints[branch_pc] = hint
 
     def get(self, branch_pc: int) -> Optional[DivergeHint]:

@@ -47,6 +47,7 @@ EVENT_FIELDS: Dict[str, tuple] = {
     "conf": ("pc", "confident", "site"),
     "flush": ("site", "cycle"),
     "fork": ("pc", "cycle"),
+    "mpp": ("pc", "event"),
     "end": ("stats", "events"),
 }
 
@@ -175,6 +176,15 @@ class Tracer:
 
     def note_fork(self, pc: int, cycle: int) -> None:
         self.emit("fork", pc=pc, cycle=cycle)
+
+    def note_merge(
+        self, event: str, pc: int, cfm: Optional[int] = None
+    ) -> None:
+        """A dynamic merge-point predictor event (mode ``"mpp"``):
+        ``predict`` (episode opened on a learned CFM point, with ``cfm``),
+        ``hit``, ``miss``, ``recovery`` (miss + pipeline flush) or
+        ``retrain`` (confidence collapse cleared the entry)."""
+        self.emit("mpp", pc=pc, event=event, cfm=cfm)
 
     # -- run boundaries --------------------------------------------------
 

@@ -374,6 +374,10 @@ def cell_supported(cell: BatchCell) -> Tuple[bool, str]:
             )
         if config.selective_predictor_update:
             return False, "selective predictor update (scalar-only)"
+    elif config.mode == "mpp":
+        # The learned hint table changes between lookups as the predictor
+        # trains, which the ganged-episode kernels cannot express.
+        return False, "mode 'mpp' (learned merge points are scalar-only)"
     elif config.mode not in ("baseline", "dualpath"):
         return False, f"mode {config.mode!r} (wish branches are scalar-only)"
     if config.oracle_checks or config.watchdog or paranoid_enabled():

@@ -14,8 +14,11 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, Optional
 
-#: Valid front-end policies.
-MODES = ("baseline", "dmp", "dhp", "dualpath", "wish")
+#: Valid front-end policies.  ``"mpp"`` is hint-free DMP: the same
+#: dynamic-predication engine, with the CFM points learned at run time
+#: by the dynamic merge-point predictor instead of supplied by the
+#: compiler (docs/merge_point_prediction.md).
+MODES = ("baseline", "dmp", "dhp", "dualpath", "wish", "mpp")
 
 
 @dataclasses.dataclass
@@ -65,6 +68,25 @@ class MachineConfig:
     #: branch instances (Klauser et al. found this removes destructive
     #: interference).
     selective_predictor_update: bool = False
+    # Dynamic merge-point predictor sizing (mode "mpp" only; see
+    # docs/merge_point_prediction.md for the geometry rationale)
+    #: Tagged-table capacity (static branches tracked, LRU replacement).
+    merge_table_entries: int = 128
+    #: Merge-point candidates kept per branch entry.
+    merge_max_candidates: int = 8
+    #: Observation-window budget: how far past a branch instance the
+    #: hardware looks for its reconvergence point, in instructions.
+    merge_window_instructions: int = 120
+    #: Instances required on BOTH directions before an entry predicts.
+    merge_min_instances: int = 16
+    #: Fraction of instances (per direction) a candidate must follow.
+    merge_min_fraction: float = 0.7
+    #: Saturating episode-outcome confidence counter: initial value,
+    #: ceiling, and the decay per provable non-merge.  Confidence
+    #: reaching zero retrains the entry (mispredicted-merge recovery).
+    merge_conf_init: int = 2
+    merge_conf_max: int = 7
+    merge_miss_penalty: int = 2
     #: Which path's final global history survives a normal dpred exit:
     #: ``"predicted"`` or ``"alternate"``.  The paper chose the alternate
     #: path's GHR "based on simulation results" (footnote 7); on our
@@ -122,6 +144,21 @@ class MachineConfig:
             )
         if self.fetch_width <= 0 or self.rob_size <= 0:
             raise ValueError("widths and sizes must be positive")
+        if (
+            self.merge_table_entries <= 0
+            or self.merge_max_candidates <= 0
+            or self.merge_window_instructions <= 0
+            or self.merge_min_instances <= 0
+        ):
+            raise ValueError("merge-predictor sizes must be positive")
+        if not 0.0 < self.merge_min_fraction <= 1.0:
+            raise ValueError("merge_min_fraction must be in (0, 1]")
+        if self.merge_conf_init <= 0 or self.merge_conf_max < self.merge_conf_init:
+            raise ValueError(
+                "merge confidence needs 0 < merge_conf_init <= merge_conf_max"
+            )
+        if self.merge_miss_penalty < 0:
+            raise ValueError("merge_miss_penalty must be non-negative")
         if self.watchdog_cycle_limit is not None and self.watchdog_cycle_limit <= 0:
             raise ValueError("watchdog_cycle_limit must be positive or None")
 
@@ -181,9 +218,18 @@ class MachineConfig:
         degenerates to classic always-on compile-time predication."""
         return cls(mode="wish", **overrides)
 
+    @classmethod
+    def mpp(cls, **overrides) -> "MachineConfig":
+        """Hint-free DMP (dynamic merge-point prediction, after Pruett &
+        Patt): CFM points are learned at run time from retired control
+        flow, so no profiling pass — and no hint table — exists anywhere
+        in the loop.  Episodes run on the same dynamic-predication
+        engine as ``dmp``."""
+        return cls(mode="mpp", **overrides)
+
     @property
     def is_predicating(self) -> bool:
-        return self.mode in ("dmp", "dhp", "wish")
+        return self.mode in ("dmp", "dhp", "wish", "mpp")
 
     def describe(self) -> str:
         """Human-readable one-line summary (used by the harness tables)."""

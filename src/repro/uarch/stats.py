@@ -66,6 +66,22 @@ class SimStats:
     #: iteration became predicated-FALSE work instead of a flush).
     loop_iteration_saves: int = 0
 
+    # Dynamic merge-point prediction (mode "mpp" — hint-free DMP;
+    # docs/merge_point_prediction.md)
+    #: Episodes opened with a *learned* CFM point.
+    mpp_predictions: int = 0
+    #: Episodes whose path reached the learned merge point (Table 1
+    #: cases 1/2) / provably never could (EXHAUSTED or LIMIT paths).
+    #: Resolution-truncated episodes are neutral and count in neither.
+    mpp_merge_hits: int = 0
+    mpp_merge_misses: int = 0
+    #: Merge misses that coincided with a pipeline flush — the
+    #: mispredicted-merge recovery path (flush + table decay).
+    mpp_recoveries: int = 0
+    #: Confidence collapses that cleared a predictor entry for
+    #: re-learning.
+    mpp_retrains: int = 0
+
     # Dual-path accounting
     dualpath_forks: int = 0
 
@@ -110,6 +126,13 @@ class SimStats:
         return 1000.0 * self.mispredictions / self.retired_instructions
 
     @property
+    def merge_accuracy(self) -> float:
+        """Fraction of outcome-resolving mpp episodes whose learned merge
+        point was reached (0.0 when no episode resolved an outcome)."""
+        resolved = self.mpp_merge_hits + self.mpp_merge_misses
+        return self.mpp_merge_hits / resolved if resolved else 0.0
+
+    @property
     def total_executed_with_uops(self) -> int:
         return self.executed_instructions + self.extra_uops + self.select_uops
 
@@ -140,5 +163,12 @@ class SimStats:
             lines.append(
                 f"  dpred: entries={self.dpred_entries}  {cases}  "
                 f"select={self.select_uops}  extra={self.extra_uops}"
+            )
+        if self.mpp_predictions:
+            lines.append(
+                f"  mpp: predictions={self.mpp_predictions}  "
+                f"accuracy={self.merge_accuracy:.2%}  "
+                f"recoveries={self.mpp_recoveries}  "
+                f"retrains={self.mpp_retrains}"
             )
         return "\n".join(lines)

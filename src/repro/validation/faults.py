@@ -22,6 +22,13 @@ seed's profile, duplicated CFM entries, self-referential CFM points,
 loop-flag flips, and truncated serialized tables (which must be caught
 at load time by :class:`~repro.errors.HintValidationError`).
 
+The ``mpp-*`` classes corrupt the *dynamic* merge-point predictor
+(mode ``"mpp"``) instead of a hint table — a hopelessly undersized
+tagged table, a learner that promotes garbage candidates, and a
+confidence loop that can never decay — via machine-config overrides.
+There is no static artifact to validate, so these are detected purely
+behaviourally.
+
 Heavy imports (harness, processors) happen inside functions so this
 module can be imported from anywhere without cycles.
 """
@@ -246,6 +253,55 @@ def _truncated_table(context, clean, rng) -> CorruptedTable:
     )
 
 
+def _mpp_overrides(**extra) -> Dict:
+    """Config overrides for a dynamic-table corruption run: mode "mpp"
+    (the suite runner then passes no hint table) with aggressive learner
+    thresholds so the predictor actually trains — and mispredicts —
+    within a short fault-suite trace."""
+    overrides = {
+        "mode": "mpp",
+        "merge_min_instances": 4,
+        "merge_window_instructions": 64,
+    }
+    overrides.update(extra)
+    return overrides
+
+
+def _mpp_tiny_table(context, clean, rng) -> CorruptedTable:
+    """A one-entry tagged table: every second branch evicts the last,
+    so learning state thrashes and most lookups find a cold entry."""
+    return CorruptedTable(
+        HintTable(), [], config_overrides=_mpp_overrides(
+            merge_table_entries=1,
+        ),
+    )
+
+
+def _mpp_overeager_learner(context, clean, rng) -> CorruptedTable:
+    """Promotion thresholds collapsed (one instance per side, 5%
+    agreement): the predictor ships merge points from noise, driving the
+    mispredicted-merge recovery path (flush + retrain)."""
+    return CorruptedTable(
+        HintTable(), [], config_overrides=_mpp_overrides(
+            merge_min_instances=1,
+            merge_min_fraction=0.05,
+        ),
+    )
+
+
+def _mpp_stuck_confidence(context, clean, rng) -> CorruptedTable:
+    """Miss penalty zeroed on top of the overeager learner: confidence
+    never decays, so a wrong learned point is never retrained and keeps
+    opening doomed episodes for the rest of the run."""
+    return CorruptedTable(
+        HintTable(), [], config_overrides=_mpp_overrides(
+            merge_min_instances=1,
+            merge_min_fraction=0.05,
+            merge_miss_penalty=0,
+        ),
+    )
+
+
 FAULT_CLASSES: Tuple[FaultClass, ...] = (
     FaultClass(
         "cfm-midblock",
@@ -300,6 +356,24 @@ FAULT_CLASSES: Tuple[FaultClass, ...] = (
         "serialized hint table truncated mid-entry",
         _truncated_table,
         statically_detectable=True,
+    ),
+    FaultClass(
+        "mpp-tiny-table",
+        "merge-point predictor squeezed to one thrashing table entry",
+        _mpp_tiny_table,
+        statically_detectable=False,
+    ),
+    FaultClass(
+        "mpp-overeager-learner",
+        "merge-point promotion thresholds collapsed (noise becomes CFMs)",
+        _mpp_overeager_learner,
+        statically_detectable=False,
+    ),
+    FaultClass(
+        "mpp-stuck-confidence",
+        "merge miss penalty zeroed: wrong learned points never retrain",
+        _mpp_stuck_confidence,
+        statically_detectable=False,
     ),
 )
 
@@ -572,7 +646,9 @@ def run_fault_suite(
                     context.program,
                     context.trace,
                     config,
-                    hints=corrupted.table,
+                    # mpp learns its own merge points — simulate()
+                    # rejects a hint table in that mode by design.
+                    hints=None if config.mode == "mpp" else corrupted.table,
                     benchmark=name,
                     warm_words=warm,
                 )

@@ -145,7 +145,9 @@ def test_single_cell_simulate_route():
     )
 
 
-@pytest.mark.parametrize("config_name", ("dmp", "dhp", "wish", "loop-pred"))
+@pytest.mark.parametrize(
+    "config_name", ("dmp", "dhp", "wish", "loop-pred", "mpp")
+)
 @pytest.mark.parametrize("bench_name", ("parser", "gzip"))
 def test_fallback_path_bit_identical(bench_name, config_name):
     """Configurations outside the vector envelope (predicated modes,
@@ -156,6 +158,7 @@ def test_fallback_path_bit_identical(bench_name, config_name):
         "dhp": MachineConfig.dhp,
         "wish": MachineConfig.wish,
         "loop-pred": lambda: MachineConfig.dmp(loop_predication=True),
+        "mpp": MachineConfig.mpp,
     }[config_name]
     ctx = _context(bench_name)
     config = factory().hardened()
@@ -206,6 +209,10 @@ def test_cell_supported_reports_reasons():
     assert not ok and "selective" in reason
     ok, reason = cell_supported(_cell(ctx, MachineConfig.wish()))
     assert not ok and "wish" in reason
+    # Learned merge points mutate between lookups; the lockstep vector
+    # path has no lane-local predictor state, so mpp is scalar-only.
+    ok, reason = cell_supported(_cell(ctx, MachineConfig.mpp()))
+    assert not ok and "mpp" in reason
 
     ok, reason = cell_supported(
         _cell(ctx, MachineConfig.baseline().hardened())

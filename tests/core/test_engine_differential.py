@@ -16,7 +16,7 @@ from repro.obs.events import CollectorTracer
 from repro.uarch.config import MachineConfig
 from repro.workloads.suite import BENCHMARK_NAMES
 
-#: Short runs keep the 15 x 4 x 2-engine matrix affordable while still
+#: Short runs keep the 15 x 5 x 2-engine matrix affordable while still
 #: exercising every episode type (dpred entry/exit, forks, flushes).
 ITERATIONS = 120
 
@@ -25,6 +25,7 @@ CONFIGS = {
     "dualpath": MachineConfig.dualpath,
     "dmp": lambda: MachineConfig.dmp(enhanced=True),
     "dhp": MachineConfig.dhp,
+    "mpp": MachineConfig.mpp,
 }
 
 _contexts = {}
@@ -60,6 +61,21 @@ def test_wish_mode_differential(bench_name):
     """Wish branches drive the predication machinery down a different
     entry path; the engines must still agree."""
     _assert_identical(_context(bench_name), MachineConfig.wish().hardened())
+
+
+@pytest.mark.parametrize("bench_name", ("parser", "twolf", "vpr"))
+def test_mpp_recovery_differential(bench_name):
+    """An aggressive learner shape (tiny training threshold, short
+    windows and path limits, early exit on) drives merge mispredictions,
+    recovery flushes and retrains; the learned tables — rebuilt from the
+    retired stream independently in each engine — must stay in lockstep
+    through all of it."""
+    config = MachineConfig.mpp(
+        merge_min_instances=4, merge_window_instructions=64,
+        multiple_cfm=True, early_exit=True,
+        early_exit_default_threshold=24, dpred_path_limit=48,
+    ).hardened()
+    _assert_identical(_context(bench_name), config)
 
 
 @pytest.mark.parametrize("bench_name", ("parser", "twolf"))

@@ -1,0 +1,311 @@
+"""The dynamic merge-point predictor (repro.core.mergepoint) and the
+hint-free ``"mpp"`` machine mode built on it.
+
+Unit tests drive the predictor with a synthetic retired stream (no trace
+needed); the end-to-end tests run real benchmarks and pin the learned
+merge accuracy to a floor.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import simulate
+from repro.core.mergepoint import LearnedHintTable, MergePointPredictor
+from repro.harness.experiment import BenchmarkContext
+from repro.isa.encoding import DivergeHint, HintTable
+from repro.obs.events import CollectorTracer
+from repro.uarch.config import MachineConfig
+
+BRANCH = 0x10C
+OWN_BLOCK = 0x100
+
+
+def _predictor(**overrides):
+    kwargs = dict(min_instances=2, window_instructions=100)
+    kwargs.update(overrides)
+    return MergePointPredictor(**kwargs)
+
+
+def _train(predictor, rounds, branch=BRANCH, own=OWN_BLOCK,
+           taken_side=(0x200,), fallthrough_side=(0x180,),
+           common=(0x300,)):
+    """Alternate the branch, retiring the side-specific blocks and then
+    the common (merging) blocks after each instance."""
+    for i in range(rounds):
+        predictor.observe_block(own, 4)  # closes the previous window
+        predictor.observe_branch(branch, i % 2 == 0, block_pc=own)
+        side = taken_side if i % 2 == 0 else fallthrough_side
+        for pc in side + tuple(common):
+            predictor.observe_block(pc, 4)
+    predictor.observe_block(own, 4)  # close the last window
+
+
+class TestMergePointPredictor:
+    def test_learns_the_common_postdominator(self):
+        predictor = _predictor()
+        _train(predictor, rounds=4)
+        # 0x300 follows both directions; the side blocks follow only one.
+        assert predictor.predict(BRANCH) == (0x300,)
+        assert predictor.trained_branches() == [BRANCH]
+
+    def test_no_prediction_before_both_sides_trained(self):
+        predictor = _predictor(min_instances=3)
+        _train(predictor, rounds=4)  # only 2 instances per side
+        assert predictor.predict(BRANCH) == ()
+        assert predictor.trained_branches() == []
+
+    def test_candidates_sorted_closest_first(self):
+        predictor = _predictor()
+        _train(predictor, rounds=4, common=(0x300, 0x400))
+        assert predictor.predict(BRANCH) == (0x300, 0x400)
+
+    def test_branch_never_merges_at_itself(self):
+        # A block starting at the branch's own PC is a legal observation
+        # but an impossible merge point.
+        predictor = _predictor()
+        _train(predictor, rounds=4, common=(BRANCH, 0x300))
+        assert BRANCH not in predictor.predict(BRANCH)
+        assert predictor.predict(BRANCH) == (0x300,)
+
+    def test_min_fraction_filters_occasional_blocks(self):
+        predictor = _predictor(min_instances=4, min_fraction=0.7)
+        # 0x300 follows every instance; 0x500 follows only the first
+        # taken instance (1/4 < 0.7 on that side).
+        for i in range(8):
+            predictor.observe_block(OWN_BLOCK, 4)
+            predictor.observe_branch(BRANCH, i % 2 == 0, block_pc=OWN_BLOCK)
+            if i == 0:
+                predictor.observe_block(0x500, 4)
+            predictor.observe_block(0x300, 4)
+        predictor.observe_block(OWN_BLOCK, 4)
+        assert predictor.predict(BRANCH) == (0x300,)
+
+    def test_predict_is_pure(self):
+        predictor = _predictor()
+        _train(predictor, rounds=4)
+        first = predictor.predict(BRANCH)
+        # Repeated lookups (the engines query from nested-branch and
+        # static-path code too) must not move any learning state.
+        for _ in range(10):
+            assert predictor.predict(BRANCH) == first
+        assert predictor.trained_branches() == [BRANCH]
+
+    def test_lru_eviction_is_deterministic(self):
+        predictor = _predictor(table_entries=2)
+        for branch in (0x10, 0x20, 0x30):
+            predictor.observe_branch(branch, True, block_pc=branch - 4)
+        # 0x10 is the least recently touched tag; it must be the victim.
+        assert predictor.evictions == 1
+        predictor.observe_branch(0x10, True, block_pc=0xC)
+        assert predictor.evictions == 2
+
+    def test_confidence_saturates_and_decays(self):
+        predictor = _predictor(conf_init=2, conf_max=3, miss_penalty=1)
+        _train(predictor, rounds=4)
+        for _ in range(10):
+            assert predictor.feedback(BRANCH, hit=True) is False
+        # From the ceiling, it takes conf_max misses to collapse.
+        assert predictor.feedback(BRANCH, hit=False) is False
+        assert predictor.feedback(BRANCH, hit=False) is False
+        assert predictor.feedback(BRANCH, hit=False) is True
+
+    def test_collapse_retrains_the_entry(self):
+        predictor = _predictor(conf_init=2, miss_penalty=2)
+        _train(predictor, rounds=4)
+        assert predictor.predict(BRANCH)
+        assert predictor.feedback(BRANCH, hit=False) is True
+        assert predictor.retrains == 1
+        # The candidate statistics are gone: the point is re-learned.
+        assert predictor.predict(BRANCH) == ()
+        _train(predictor, rounds=4)
+        assert predictor.predict(BRANCH) == (0x300,)
+
+    def test_feedback_on_evicted_entry_is_a_noop(self):
+        predictor = _predictor()
+        assert predictor.feedback(0x9999, hit=False) is False
+        assert predictor.retrains == 0
+
+    def test_from_config_reads_the_sizing_knobs(self):
+        config = MachineConfig.mpp(
+            merge_table_entries=32, merge_max_candidates=4,
+            merge_window_instructions=48, merge_min_instances=8,
+            merge_min_fraction=0.5, merge_conf_init=1,
+            merge_conf_max=5, merge_miss_penalty=3,
+        )
+        predictor = MergePointPredictor.from_config(config)
+        assert predictor.table_entries == 32
+        assert predictor.max_candidates == 4
+        assert predictor.window_instructions == 48
+        assert predictor.min_instances == 8
+        assert predictor.min_fraction == 0.5
+        assert predictor.conf_init == 1
+        assert predictor.conf_max == 5
+        assert predictor.miss_penalty == 3
+
+
+class _Instr:
+    def __init__(self, pc):
+        self.pc = pc
+
+
+class _Block:
+    def __init__(self, first_pc, size=4):
+        self.first_pc = first_pc
+        self.instructions = [_Instr(first_pc + 4 * i) for i in range(size)]
+
+
+class _Record:
+    def __init__(self, first_pc, taken=None):
+        self.block = _Block(first_pc)
+        self.taken = taken
+
+
+class TestObserveTo:
+    """The catch-up interface both engines drive from the shared
+    ``_maybe_enter_dpred`` hook — the mpp bit-identity contract."""
+
+    def _records(self):
+        out = []
+        for i in range(6):
+            out.append(_Record(OWN_BLOCK, taken=i % 2 == 0))
+            out.append(_Record(0x200 if i % 2 == 0 else 0x180))
+            out.append(_Record(0x300))
+        return out
+
+    def test_observes_each_record_once(self):
+        records = self._records()
+        predictor = _predictor()
+        predictor.observe_to(records, 9)
+        predictor.observe_to(records, len(records))
+        assert predictor.observed_upto == len(records)
+        assert predictor.predict(records[0].block.instructions[-1].pc)
+
+    def test_rewinding_is_a_noop(self):
+        records = self._records()
+        stepped = _predictor()
+        stepped.observe_to(records, 9)
+        stepped.observe_to(records, 4)  # earlier position: ignored
+        stepped.observe_to(records, 9)  # same position: ignored
+        oneshot = _predictor()
+        oneshot.observe_to(records, 9)
+        assert stepped.observed_upto == oneshot.observed_upto == 9
+        branch_pc = records[0].block.instructions[-1].pc
+        assert stepped.predict(branch_pc) == oneshot.predict(branch_pc)
+
+
+class TestLearnedHintTable:
+    def _trained(self):
+        predictor = _predictor()
+        _train(predictor, rounds=4, common=(0x300, 0x400))
+        return LearnedHintTable(predictor)
+
+    def test_duck_types_the_hint_table_read_side(self):
+        hints = self._trained()
+        assert hints.is_diverge_branch(BRANCH)
+        assert BRANCH in hints
+        assert 0x9999 not in hints
+        assert hints.get(0x9999) is None
+        assert len(hints) == 1
+        assert [pc for pc, _ in hints] == [BRANCH]
+
+    def test_builds_fresh_diverge_hints(self):
+        hints = self._trained()
+        hint = hints.get(BRANCH)
+        assert isinstance(hint, DivergeHint)
+        assert hint.cfm_pcs == (0x300, 0x400)
+        assert hint.primary_cfm == 0x300
+        # Learned hints carry no compiler-only metadata.
+        assert hint.early_exit_threshold is None
+        assert not hint.is_loop
+
+    def test_lookup_is_side_effect_free(self):
+        hints = self._trained()
+        for _ in range(5):
+            assert hints.get(BRANCH) == hints.get(BRANCH)
+        assert hints.predictor.trained_branches() == [BRANCH]
+
+    def test_untrained_predictor_yields_empty_table(self):
+        hints = LearnedHintTable(_predictor())
+        assert len(hints) == 0
+        assert list(hints) == []
+
+
+#: The accuracy floor the end-to-end runs must clear at the default
+#: table geometry (measured: 100% on every suite benchmark; see
+#: docs/merge_point_prediction.md).
+ACCURACY_FLOOR = 0.9
+
+
+class TestMppEndToEnd:
+    @pytest.fixture(scope="class")
+    def context(self):
+        return BenchmarkContext("parser", iterations=200, seed=0)
+
+    @pytest.fixture(scope="class")
+    def stats(self, context):
+        return context.simulate(MachineConfig.mpp().hardened())
+
+    def test_predicates_without_any_hint_table(self, stats):
+        assert stats.mpp_predictions > 0
+        assert stats.dpred_entries > 0
+        assert stats.retired_instructions > 0
+
+    def test_merge_accuracy_clears_the_floor(self, stats):
+        assert stats.mpp_merge_hits + stats.mpp_merge_misses > 0
+        assert stats.merge_accuracy >= ACCURACY_FLOOR
+
+    def test_beats_the_baseline(self, context, stats):
+        baseline = context.simulate(MachineConfig.baseline().hardened())
+        assert stats.ipc > baseline.ipc
+
+    def test_rejects_a_compiler_hint_table(self, context):
+        table = HintTable()
+        table.add(0x1000, DivergeHint((0x2000,)))
+        with pytest.raises(ValueError, match="learns merge points"):
+            simulate(
+                context.program, context.trace,
+                MachineConfig.mpp(), hints=table,
+            )
+
+    def test_summary_reports_the_predictor(self, stats):
+        assert "mpp: predictions=" in stats.summary()
+
+    def test_tracer_sees_the_predictor_without_perturbing_it(self, context):
+        config = MachineConfig.mpp().hardened()
+        untraced = context.simulate(config)
+        tracer = CollectorTracer()
+        traced = context.simulate(config, tracer=tracer)
+        assert dataclasses.asdict(traced) == dataclasses.asdict(untraced)
+        events = [r for r in tracer.records if r["t"] == "mpp"]
+        names = {r["event"] for r in events}
+        assert names <= {"predict", "hit", "miss", "recovery", "retrain"}
+        predicted = sum(1 for r in events if r["event"] == "predict")
+        assert predicted == traced.mpp_predictions
+
+
+class TestDegenerateHintFallback:
+    """The shared no-episode fallback: a present-but-unusable hint
+    (empty candidate set cannot be constructed; a self-referential CFM
+    can) must decline the episode identically on both engines."""
+
+    def test_self_cfm_hints_open_no_episodes(self):
+        ctx = BenchmarkContext("parser", iterations=120, seed=0)
+        clean = ctx.hints_for(MachineConfig.dmp())
+        poisoned = HintTable()
+        for pc, _hint in clean:
+            poisoned.add(pc, DivergeHint((pc,)))
+        config = MachineConfig.dmp().hardened()
+        results = [
+            simulate(
+                ctx.program, ctx.trace, config.replace(engine=engine),
+                hints=poisoned,
+            )
+            for engine in ("reference", "fast")
+        ]
+        for stats in results:
+            assert stats.dpred_entries == 0
+            assert stats.retired_instructions > 0
+        assert dataclasses.asdict(results[0]) == dataclasses.asdict(
+            results[1]
+        )

@@ -69,11 +69,15 @@ def test_reproducer_is_clean_on_batch_engine(entry):
 def test_entry_metadata_is_complete(entry):
     # Triage provenance must never be stripped from a committed entry.
     assert entry["notes"], entry["path"]
+    # The harness finding kinds, plus "recovery": a proactively
+    # committed exerciser (no failure at capture time) pinning the
+    # learned-merge misprediction/recovery machinery of mode "mpp".
     assert entry["finding"]["kind"] in (
         "divergence",
         "oracle",
         "hang",
         "crash",
         "generator",
+        "recovery",
     )
     assert entry["static_instructions"] > 0

@@ -109,6 +109,22 @@ class TestCompare:
         problems = bench.compare(current, current)
         assert any("tracing perturbed" in p for p in problems)
 
+    def test_missing_summary_geomeans_do_not_crash(self):
+        # An all-degenerate report (every cell below the process_time
+        # tick) can legitimately lack the summary geomeans; compare must
+        # treat the absent key as "no ratio information", not KeyError.
+        current = _report([_cell()])
+        baseline = _report([_cell()])
+        del baseline["summary"]["geomean_speedup_cold"]
+        assert bench.compare(current, baseline) == []
+        del current["summary"]["geomean_speedup_cold"]
+        assert bench.compare(current, baseline) == []
+
+    def test_all_degenerate_report_compares_clean(self):
+        report = _report([_cell(speedup=0.0, degenerate=True)])
+        assert report["summary"]["geomean_speedup_cold"] == 0.0
+        assert bench.compare(report, report) == []
+
 
 class TestDegenerateCells:
     """Cells that finished below the process_time tick carry no ratio
@@ -214,6 +230,31 @@ class TestRunBench:
     def test_unknown_batch_mode_rejected(self):
         with pytest.raises(ValueError):
             bench.run_bench(batch="sideways")
+
+    def test_empty_sweep_is_skipped_not_divided_by(self):
+        # A degenerate sweep description (no benchmarks, seeds or
+        # configs) has zero cells; the group must report the skip
+        # instead of dying on the per-cell share division.
+        from repro.uarch.batch import batch_supported
+
+        if not batch_supported():
+            pytest.skip("numpy unavailable; batch engine inactive")
+        for empty in (
+            {"benchmarks": ()},
+            {"seeds": ()},
+            {"config_names": ()},
+        ):
+            kwargs = dict(
+                benchmarks=("gzip",), iterations=10, seeds=(0,), sample=1,
+                cache=None,
+            )
+            kwargs.update(empty)
+            messages = []
+            cell = bench._run_batch_group(
+                "batch-test", say=messages.append, **kwargs
+            )
+            assert cell is None
+            assert any("empty sweep" in m for m in messages)
 
     def test_batch_group_cell_structure(self):
         from repro.uarch.batch import batch_supported

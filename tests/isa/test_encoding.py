@@ -11,6 +11,17 @@ class TestDivergeHint:
         with pytest.raises(ValueError):
             DivergeHint(())
 
+    def test_empty_hint_error_is_structured(self):
+        # Still a ValueError (old callers keep working), but now carries
+        # the machine-readable issue list of the validation hierarchy.
+        from repro.errors import HintValidationError
+
+        with pytest.raises(HintValidationError) as excinfo:
+            DivergeHint(())
+        assert excinfo.value.issues == [
+            "a diverge hint needs at least one CFM point"
+        ]
+
     def test_primary_cfm(self):
         hint = DivergeHint((0x2000, 0x3000))
         assert hint.primary_cfm == 0x2000
@@ -34,6 +45,16 @@ class TestHintTable:
         table.add(0x1000, DivergeHint((0x2000,)))
         with pytest.raises(ValueError):
             table.add(0x1000, DivergeHint((0x3000,)))
+
+    def test_duplicate_error_is_structured(self):
+        from repro.errors import HintValidationError
+
+        table = HintTable()
+        table.add(0x1000, DivergeHint((0x2000,)))
+        with pytest.raises(HintValidationError) as excinfo:
+            table.add(0x1000, DivergeHint((0x3000,)))
+        (issue,) = excinfo.value.issues
+        assert "duplicate hint" in issue and "0x1000" in issue
 
     def test_iteration_sorted_by_pc(self):
         table = HintTable()

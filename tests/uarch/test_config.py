@@ -51,8 +51,37 @@ class TestMachineConfig:
     def test_is_predicating(self):
         assert MachineConfig.dmp().is_predicating
         assert MachineConfig.dhp().is_predicating
+        assert MachineConfig.mpp().is_predicating
         assert not MachineConfig.baseline().is_predicating
         assert not MachineConfig.dualpath().is_predicating
+
+    def test_mpp_factory(self):
+        config = MachineConfig.mpp()
+        assert config.mode == "mpp"
+        # The learned-table geometry defaults (see
+        # docs/merge_point_prediction.md).
+        assert config.merge_table_entries == 128
+        assert config.merge_max_candidates == 8
+        assert config.merge_window_instructions == 120
+        assert config.merge_min_instances == 16
+        assert config.merge_min_fraction == 0.7
+        assert (config.merge_conf_init, config.merge_conf_max) == (2, 7)
+        assert config.merge_miss_penalty == 2
+
+    @pytest.mark.parametrize("overrides", [
+        {"merge_table_entries": 0},
+        {"merge_max_candidates": 0},
+        {"merge_window_instructions": -1},
+        {"merge_min_instances": 0},
+        {"merge_min_fraction": 0.0},
+        {"merge_min_fraction": 1.5},
+        {"merge_conf_init": 0},
+        {"merge_conf_init": 5, "merge_conf_max": 4},
+        {"merge_miss_penalty": -1},
+    ])
+    def test_merge_knob_validation(self, overrides):
+        with pytest.raises(ValueError, match="merge"):
+            MachineConfig.mpp(**overrides)
 
     def test_describe_mentions_enhancements(self):
         text = MachineConfig.dmp(enhanced=True).describe()

@@ -29,3 +29,28 @@ class TestExitCases:
         with pytest.raises(ValueError, match="ExitCase"):
             stats.record_exit_case(bogus)
         assert all(count == 0 for count in stats.exit_cases.values())
+
+
+class TestMergeAccuracy:
+    def test_zero_when_nothing_resolved(self):
+        # No outcome-resolving mpp episode yet: 0.0, never a division
+        # error (the figure and report rollups divide by this).
+        assert SimStats().merge_accuracy == 0.0
+
+    def test_hits_over_resolved_outcomes(self):
+        stats = SimStats()
+        stats.mpp_merge_hits = 3
+        stats.mpp_merge_misses = 1
+        assert stats.merge_accuracy == pytest.approx(0.75)
+
+    def test_summary_line_only_when_predicting(self):
+        stats = SimStats()
+        assert "mpp:" not in stats.summary()
+        stats.mpp_predictions = 4
+        stats.mpp_merge_hits = 4
+        stats.mpp_recoveries = 1
+        stats.mpp_retrains = 2
+        line = stats.summary()
+        assert "mpp: predictions=4" in line
+        assert "accuracy=100.00%" in line
+        assert "recoveries=1" in line and "retrains=2" in line

@@ -14,7 +14,22 @@ from repro.validation import faults
 class TestCatalog:
     def test_names_unique_and_complete(self):
         assert len(set(faults.FAULT_NAMES)) == len(faults.FAULT_NAMES)
-        assert len(faults.FAULT_NAMES) == 9
+        assert len(faults.FAULT_NAMES) == 12
+
+    def test_mpp_classes_corrupt_the_dynamic_table(self):
+        # The mpp classes attack the learned-table geometry through
+        # config overrides (there is no hint table to corrupt), so none
+        # of them can be caught by the static validator.
+        for name in (
+            "mpp-tiny-table", "mpp-overeager-learner",
+            "mpp-stuck-confidence",
+        ):
+            fault = faults.fault_class(name)
+            assert fault.statically_detectable is False
+            corrupted = fault.corrupt(None, None, None)
+            assert corrupted.config_overrides["mode"] == "mpp"
+            assert corrupted.static_issues == []
+            assert len(corrupted.table) == 0
 
     def test_every_class_documented(self):
         for fault in faults.FAULT_CLASSES:
@@ -74,3 +89,37 @@ class TestSubsetSuite:
         payload = subset_report.to_dict()
         assert payload["ok"] is True
         assert len(payload["runs"]) == len(subset_report.runs)
+
+
+@pytest.fixture(scope="module")
+def mpp_report():
+    return faults.run_fault_suite(
+        benchmarks=["parser"],
+        iterations=120,
+        fault_names=[
+            "mpp-tiny-table", "mpp-overeager-learner",
+            "mpp-stuck-confidence",
+        ],
+    )
+
+
+class TestMppFaults:
+    """Corrupting the *dynamic* merge-point table (mode "mpp") — no hint
+    table exists, so the attack surface is the learner's geometry."""
+
+    def test_no_crashes_hangs_or_mismatches(self, mpp_report):
+        assert mpp_report.crashes == []
+        assert mpp_report.hangs == []
+        assert mpp_report.oracle_mismatches == []
+
+    def test_every_class_detected_by_ipc_deviation(self, mpp_report):
+        # None of these is statically detectable; the IPC cross-check
+        # against the clean mpp run must catch all of them.
+        assert all(r.detected for r in mpp_report.injected_runs)
+        assert all(
+            r.loader_error is None for r in mpp_report.injected_runs
+        )
+
+    def test_degraded_but_within_the_robustness_margin(self, mpp_report):
+        assert mpp_report.ipc_violations == []
+        assert mpp_report.ok
